@@ -1,0 +1,403 @@
+// Benchmark harness regenerating every table and figure of the paper's
+// evaluation (§IV-§VII). Each benchmark prints the same rows/series the
+// paper reports; EXPERIMENTS.md records paper-vs-measured values.
+//
+// Monte-Carlo volume is tunable without recompiling:
+//
+//	VLQ_TRIALS    trials per data point (default 1500; paper used 2,000,000)
+//	VLQ_MAXDIST   largest code distance in sweeps (default 7; paper used 11)
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem
+package vlq
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"sync"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/extract"
+	"repro/internal/hardware"
+	"repro/internal/layout"
+	"repro/internal/magic"
+	"repro/internal/montecarlo"
+	"repro/internal/surgery"
+)
+
+func envInt(name string, def int) int {
+	if v := os.Getenv(name); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			return n
+		}
+	}
+	return def
+}
+
+func benchTrials() int { return envInt("VLQ_TRIALS", 1500) }
+
+func benchDistances() []int {
+	max := envInt("VLQ_MAXDIST", 7)
+	var ds []int
+	for d := 3; d <= max; d += 2 {
+		ds = append(ds, d)
+	}
+	return ds
+}
+
+var printOnce sync.Map
+
+// printTableOnce emits a report exactly once per benchmark name even when
+// the framework reruns the function with growing b.N.
+func printTableOnce(b *testing.B, body func()) {
+	if _, dup := printOnce.LoadOrStore(b.Name(), true); !dup {
+		body()
+	}
+}
+
+// --- Table I ---------------------------------------------------------------
+
+func BenchmarkTableI_HardwareParameters(b *testing.B) {
+	var sink hardware.Params
+	for i := 0; i < b.N; i++ {
+		sink = hardware.Default()
+	}
+	printTableOnce(b, func() {
+		p := sink
+		fmt.Println("\nTable I — hardware model (paper values in parentheses):")
+		fmt.Printf("  T1,t   = %8.0f us  (100 us)\n", p.T1Transmon*1e6)
+		fmt.Printf("  T1,c   = %8.0f us  (1 ms)\n", p.T1Cavity*1e6)
+		fmt.Printf("  dt-t   = %8.0f ns  (200 ns)\n", p.Gate2Time*1e9)
+		fmt.Printf("  dt     = %8.0f ns  (50 ns)\n", p.Gate1Time*1e9)
+		fmt.Printf("  dt-m   = %8.0f ns  (200 ns)\n", p.GateTMTime*1e9)
+		fmt.Printf("  dl/s   = %8.0f ns  (150 ns)\n", p.LoadStoreTime*1e9)
+		fmt.Printf("  assumptions: measurement %0.0f ns, reset %0.0f ns, k=%d\n",
+			p.MeasureTime*1e9, p.ResetTime*1e9, p.CavityDepth)
+	})
+}
+
+// --- Figure 11: error thresholds --------------------------------------------
+
+func thresholdBench(b *testing.B, scheme extract.Scheme, paperTh float64) {
+	b.Helper()
+	rates := montecarlo.DefaultPhysRates(6)
+	trials := benchTrials()
+	ds := benchDistances()
+	var pts []montecarlo.SweepPoint
+	for i := 0; i < b.N; i++ {
+		var err error
+		pts, err = montecarlo.ThresholdSweep(scheme, ds, rates, hardware.Default(), trials, 11, montecarlo.UF)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	printTableOnce(b, func() {
+		fmt.Printf("\nFig. 11 — %s (trials/point=%d):\n", scheme, trials)
+		fmt.Printf("  %-10s", "p \\ d")
+		for _, d := range ds {
+			fmt.Printf(" d=%-9d", d)
+		}
+		fmt.Println()
+		for _, p := range rates {
+			fmt.Printf("  %-10.4g", p)
+			for _, d := range ds {
+				for _, pt := range pts {
+					if pt.Phys == p && pt.Distance == d {
+						fmt.Printf(" %-11.5f", pt.Result.Rate())
+					}
+				}
+			}
+			fmt.Println()
+		}
+		th := montecarlo.EstimateThreshold(pts)
+		fmt.Printf("  measured p_th ~= %.4f   (paper: %.3f)\n", th, paperTh)
+	})
+}
+
+func BenchmarkFigure11_BaselineThreshold(b *testing.B) {
+	thresholdBench(b, extract.Baseline, 0.009)
+}
+
+func BenchmarkFigure11_NaturalAllAtOnce(b *testing.B) {
+	thresholdBench(b, extract.NaturalAllAtOnce, 0.009)
+}
+
+func BenchmarkFigure11_NaturalInterleaved(b *testing.B) {
+	thresholdBench(b, extract.NaturalInterleaved, 0.008)
+}
+
+func BenchmarkFigure11_CompactAllAtOnce(b *testing.B) {
+	thresholdBench(b, extract.CompactAllAtOnce, 0.008)
+}
+
+func BenchmarkFigure11_CompactInterleaved(b *testing.B) {
+	thresholdBench(b, extract.CompactInterleaved, 0.008)
+}
+
+// --- Figure 12: sensitivity studies -----------------------------------------
+
+func sensitivityBench(b *testing.B, panel montecarlo.Panel, expectation string) {
+	b.Helper()
+	values := panel.DefaultValues(5)
+	trials := benchTrials()
+	ds := []int{3, 5}
+	var pts []montecarlo.SensitivityPoint
+	for i := 0; i < b.N; i++ {
+		var err error
+		pts, err = montecarlo.SensitivitySweep(panel, values, ds, trials, 13)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	printTableOnce(b, func() {
+		fmt.Printf("\nFig. 12 — %s sensitivity (compact-interleaved at p=2e-3, trials/point=%d):\n", panel, trials)
+		fmt.Printf("  %-12s", "value \\ d")
+		for _, d := range ds {
+			fmt.Printf(" d=%-9d", d)
+		}
+		fmt.Println()
+		for _, v := range values {
+			fmt.Printf("  %-12.3g", v)
+			for _, d := range ds {
+				for _, pt := range pts {
+					if pt.Value == v && pt.Distance == d {
+						fmt.Printf(" %-11.5f", pt.Result.Rate())
+					}
+				}
+			}
+			fmt.Println()
+		}
+		fmt.Printf("  paper's finding: %s\n", expectation)
+	})
+}
+
+func BenchmarkFigure12_SCSCErrorSensitivity(b *testing.B) {
+	sensitivityBench(b, montecarlo.PanelSCSC, "high sensitivity (steep slope at the 2e-3 marker)")
+}
+
+func BenchmarkFigure12_LoadStoreErrorSensitivity(b *testing.B) {
+	sensitivityBench(b, montecarlo.PanelLoadStoreError, "high sensitivity")
+}
+
+func BenchmarkFigure12_SCModeErrorSensitivity(b *testing.B) {
+	sensitivityBench(b, montecarlo.PanelSCModeError, "moderate sensitivity (one transmon-mode gate per plaquette per round)")
+}
+
+func BenchmarkFigure12_CavityT1Sensitivity(b *testing.B) {
+	sensitivityBench(b, montecarlo.PanelCavityT1, "sensitive at low T1, tapering once other errors dominate")
+}
+
+func BenchmarkFigure12_TransmonT1Sensitivity(b *testing.B) {
+	sensitivityBench(b, montecarlo.PanelTransmonT1, "like cavity T1 but offset ~10x (no benefit past T1,t > T1,c/10 at k=10)")
+}
+
+func BenchmarkFigure12_LoadStoreDurationSensitivity(b *testing.B) {
+	sensitivityBench(b, montecarlo.PanelLoadStoreDuration, "mostly insensitive")
+}
+
+func BenchmarkFigure12_CavitySizeSensitivity(b *testing.B) {
+	sensitivityBench(b, montecarlo.PanelCavitySize, "proportional but minor increase with k")
+	printTableOnce(b, func() {}) // table printed by sensitivityBench
+	if b.N > 0 {
+		params := montecarlo.OperatingPoint()
+		roundDur := params.ResetTime + 2*params.Gate1Time + 4*params.Gate2Time + params.MeasureTime
+		kGate := montecarlo.CavityCrossoverEstimate(params, roundDur, montecarlo.GateBudgetPerRound(params))
+		kTh := montecarlo.CavityCrossoverEstimate(params, roundDur, montecarlo.StorageErrorThreshold)
+		if _, dup := printOnce.LoadOrStore(b.Name()+"/crossover", true); !dup {
+			fmt.Printf("  cavity-size crossover: k=%d (vs per-round gate budget), k=%d (vs storage threshold); paper: k ~ 150\n", kGate, kTh)
+		}
+	}
+}
+
+// --- Figure 13 and Table II: magic-state distillation ------------------------
+
+func BenchmarkFigure13a_TStateRate(b *testing.B) {
+	var rates [3]float64
+	for i := 0; i < b.N; i++ {
+		for j, p := range magic.Protocols {
+			rates[j] = p.RateWithPatches(100)
+		}
+	}
+	printTableOnce(b, func() {
+		fmt.Println("\nFig. 13a — T-state production rate with 100 patches:")
+		for j, p := range magic.Protocols {
+			fmt.Printf("  %-12s %.4f T/timestep\n", p.Name, rates[j])
+		}
+		fmt.Printf("  VQubits/Fast = %.2fx (paper: 1.82x), VQubits/Small = %.2fx (paper: 1.22x)\n",
+			magic.VQubits.SpeedupOver(magic.FastLattice), magic.VQubits.SpeedupOver(magic.SmallLattice))
+	})
+}
+
+func BenchmarkFigure13b_SpacePerTState(b *testing.B) {
+	var space [3]float64
+	for i := 0; i < b.N; i++ {
+		for j, p := range magic.Protocols {
+			space[j] = p.PatchesForOneTPerStep()
+		}
+	}
+	printTableOnce(b, func() {
+		fmt.Println("\nFig. 13b — space to produce 1 T state per timestep:")
+		for j, p := range magic.Protocols {
+			fmt.Printf("  %-12s %.0f patches\n", p.Name, space[j])
+		}
+	})
+}
+
+func BenchmarkTableII_ResourceCosts(b *testing.B) {
+	var rows [4]layout.Resources
+	for i := 0; i < b.N; i++ {
+		rows[0] = magic.FastLattice.Resources(5, 10)
+		rows[1] = magic.SmallLattice.Resources(5, 10)
+		rows[2] = magic.VQubitsSolo.Resources(5, 10)
+		rows[3] = magic.VQubitsSolo.WithEmbedding(layout.Compact, "VQubits (compact)").Resources(5, 10)
+	}
+	printTableOnce(b, func() {
+		names := []string{"Fast Lattice [21]", "Small Lattice [12]", "VQubits (natural)", "VQubits (compact)"}
+		paper := [][3]int{{1499, 0, 1499}, {549, 0, 549}, {49, 25, 299}, {29, 25, 279}}
+		fmt.Println("\nTable II — T-state block costs at d=5, k=10 (measured vs paper):")
+		fmt.Printf("  %-20s %-22s %-22s %-22s\n", "protocol", "transmons", "cavities", "total qubits")
+		for j, r := range rows {
+			fmt.Printf("  %-20s %6d (paper %6d)  %6d (paper %6d)  %6d (paper %6d)\n",
+				names[j], r.Transmons, paper[j][0], r.Cavities, paper[j][1], r.TotalQubits(), paper[j][2])
+		}
+		c3, _ := layout.NewRotated(3)
+		e3, _ := layout.NewEmbedding(layout.Compact, c3)
+		fmt.Printf("  smallest Compact instance: %d transmons + %d cavities for k logical qubits (paper: 11 + 9)\n",
+			e3.NumTransmons(), e3.NumCavities())
+	})
+}
+
+// --- Headline claims ----------------------------------------------------------
+
+func BenchmarkClaim_TransversalCNOTSpeedup(b *testing.B) {
+	var est magic.ScheduleEstimate
+	for i := 0; i < b.N; i++ {
+		var err error
+		est, err = magic.EstimateVQubitsSchedule(hardware.Default(), 5)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	printTableOnce(b, func() {
+		fmt.Printf("\nClaim — transversal CNOT latency: %d timestep vs %d for lattice surgery (%.0fx, paper: 6x)\n",
+			surgery.CostCNOTTransversal, surgery.CostCNOTSurgery, surgery.SpeedupTransversalVsSurgery())
+		fmt.Printf("  15-to-1 dataflow on one stack: %d timesteps with transversal CNOTs (paper's schedule: 110)\n", est.Timesteps)
+	})
+}
+
+func BenchmarkClaim_TransmonSavings(b *testing.B) {
+	var nat, cmp, base layout.Resources
+	for i := 0; i < b.N; i++ {
+		base = layout.EmbeddingResources(layout.Baseline2D, 5, 0)
+		nat = layout.EmbeddingResources(layout.Natural, 5, 10)
+		cmp = layout.EmbeddingResources(layout.Compact, 5, 10)
+	}
+	printTableOnce(b, func() {
+		natSave := float64(base.Transmons) * 10 / float64(nat.Transmons)
+		cmpSave := float64(nat.Transmons) / float64(cmp.Transmons)
+		fmt.Printf("\nClaim — transmon savings at d=5, k=10: Natural %.1fx (paper: ~10x), Compact a further %.1fx (paper: ~2x)\n",
+			natSave, cmpSave)
+	})
+}
+
+// --- Ablations beyond the paper ----------------------------------------------
+
+func BenchmarkAblation_DecoderComparison(b *testing.B) {
+	trials := benchTrials()
+	var ufRate, mwRate float64
+	var fallbacks int
+	for i := 0; i < b.N; i++ {
+		uf, err := montecarlo.Run(montecarlo.Config{
+			Scheme: extract.Baseline, Distance: 5, Basis: extract.BasisZ,
+			Params: hardware.Default().ScaledGatesTo(4e-3), Trials: trials, Seed: 17,
+			Decoder: montecarlo.UF,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		mw, err := montecarlo.Run(montecarlo.Config{
+			Scheme: extract.Baseline, Distance: 5, Basis: extract.BasisZ,
+			Params: hardware.Default().ScaledGatesTo(4e-3), Trials: trials, Seed: 17,
+			Decoder: montecarlo.MWPM,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ufRate, mwRate, fallbacks = uf.Rate(), mw.Rate(), mw.Fallbacks
+	}
+	printTableOnce(b, func() {
+		fmt.Printf("\nAblation — decoder quality (baseline d=5, p=4e-3, %d trials):\n", trials)
+		fmt.Printf("  union-find:  %.5f logical error rate\n", ufRate)
+		fmt.Printf("  exact MWPM:  %.5f logical error rate (%d oversized-cluster fallbacks)\n", mwRate, fallbacks)
+	})
+}
+
+func BenchmarkAblation_SchedulingOverhead(b *testing.B) {
+	var rows []string
+	for i := 0; i < b.N; i++ {
+		rows = rows[:0]
+		for _, scheme := range extract.Schemes {
+			e, err := extract.Build(extract.Config{
+				Scheme: scheme, Distance: 5, Rounds: 1, Basis: extract.BasisZ,
+				Params: hardware.Default(),
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			rows = append(rows, fmt.Sprintf("  %-22s %7.2f us/round  %4d ops/round  %3d loads",
+				scheme, e.Circ.Duration()*1e6, e.Circ.NumOps(), e.Circ.CountKind(circuit.OpLoad)))
+		}
+	}
+	printTableOnce(b, func() {
+		fmt.Println("\nAblation — per-round extraction cost at d=5 (serialization structure):")
+		for _, r := range rows {
+			fmt.Println(r)
+		}
+	})
+}
+
+// --- Microbenchmarks (real performance measurements) ---------------------------
+
+func BenchmarkMicro_DEMSampler(b *testing.B) {
+	exp, err := extract.Build(extract.Config{
+		Scheme: extract.CompactInterleaved, Distance: 5, Basis: extract.BasisZ,
+		Params: hardware.Default().ScaledGatesTo(4e-3),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := montecarlo.Run(montecarlo.Config{
+		Scheme: extract.CompactInterleaved, Distance: 5, Basis: extract.BasisZ,
+		Params: hardware.Default().ScaledGatesTo(4e-3), Trials: 1, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	_ = res
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := montecarlo.Run(montecarlo.Config{
+			Scheme: extract.CompactInterleaved, Distance: 5, Basis: extract.BasisZ,
+			Params: hardware.Default().ScaledGatesTo(4e-3), Trials: 200, Seed: int64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	_ = exp
+}
+
+func BenchmarkMicro_ExperimentBuild(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, err := extract.Build(extract.Config{
+			Scheme: extract.CompactInterleaved, Distance: 5, Basis: extract.BasisZ,
+			Params: hardware.Default(),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

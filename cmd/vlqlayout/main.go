@@ -1,0 +1,67 @@
+// Command vlqlayout prints the surface-code embeddings and their hardware
+// resource accounting: the Natural and Compact mappings of Figs. 1, 7 and 8,
+// the Table II resource formulas, and the transmon-savings headline claims.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/layout"
+)
+
+func main() {
+	d := flag.Int("d", 3, "code distance (odd, >= 3)")
+	k := flag.Int("k", 10, "cavity depth (modes per cavity)")
+	kind := flag.String("kind", "all", "embedding: baseline-2d, natural, compact, or all")
+	flag.Parse()
+
+	code, err := layout.NewRotated(*d)
+	if err != nil {
+		fatal(err)
+	}
+	kinds := []layout.EmbeddingKind{layout.Baseline2D, layout.Natural, layout.Compact}
+	if *kind != "all" {
+		found := false
+		for _, kk := range kinds {
+			if kk.String() == *kind {
+				kinds = []layout.EmbeddingKind{kk}
+				found = true
+				break
+			}
+		}
+		if !found {
+			fatal(fmt.Errorf("unknown embedding %q", *kind))
+		}
+	}
+	for _, kk := range kinds {
+		e, err := layout.NewEmbedding(kk, code)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(e.Render())
+		r := layout.EmbeddingResources(kk, *d, *k)
+		fmt.Printf("resources at k=%d: %d transmons, %d cavities, %d total qubits, %d logical qubits\n\n",
+			*k, r.Transmons, r.Cavities, r.TotalQubits(), r.LogicalQubits)
+	}
+
+	base := layout.EmbeddingResources(layout.Baseline2D, *d, 0)
+	nat := layout.EmbeddingResources(layout.Natural, *d, *k)
+	cmp := layout.EmbeddingResources(layout.Compact, *d, *k)
+	fmt.Printf("transmons per logical qubit: baseline %.1f, natural %.1f (%.1fx saving), compact %.1f (%.1fx saving)\n",
+		float64(base.Transmons),
+		float64(nat.Transmons)/float64(*k),
+		float64(base.Transmons)*float64(*k)/float64(nat.Transmons),
+		float64(cmp.Transmons)/float64(*k),
+		float64(base.Transmons)*float64(*k)/float64(cmp.Transmons))
+	if *d == 3 {
+		fmt.Printf("headline (§I): the smallest Compact instance needs %d transmons and %d cavities for %d logical qubits\n",
+			cmp.Transmons, cmp.Cavities, *k)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vlqlayout:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,109 @@
+// Command vlqsense reproduces the Fig. 12 sensitivity studies: logical error
+// rate of Compact-Interleaved at the 2e-3 operating point while one hardware
+// parameter sweeps its range (SC-SC / load-store / SC-mode gate error,
+// cavity or transmon T1, load-store duration, cavity size).
+//
+// Example:
+//
+//	vlqsense -panel cavity-t1 -distances 3,5 -trials 10000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/montecarlo"
+)
+
+func main() {
+	panel := flag.String("panel", "all", "panel: sc-sc-error, load-store-error, sc-mode-error, cavity-t1, transmon-t1, load-store-duration, cavity-size, or all")
+	distances := flag.String("distances", "3,5", "comma-separated code distances")
+	values := flag.String("values", "", "comma-separated parameter values (default: paper's range)")
+	nvalues := flag.Int("nvalues", 5, "number of grid values when -values is empty")
+	trials := flag.Int("trials", 3000, "Monte-Carlo trials per point")
+	seed := flag.Int64("seed", 1, "random seed")
+	csv := flag.Bool("csv", false, "emit CSV instead of a table")
+	flag.Parse()
+
+	var panels []montecarlo.Panel
+	if *panel == "all" {
+		panels = montecarlo.Panels
+	} else {
+		panels = []montecarlo.Panel{montecarlo.Panel(*panel)}
+	}
+	ds, err := parseInts(*distances)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *csv {
+		fmt.Println("panel,value,distance,logical_rate,stderr,trials")
+	}
+	for _, pn := range panels {
+		vals := pn.DefaultValues(*nvalues)
+		if *values != "" {
+			if vals, err = parseFloats(*values); err != nil {
+				fatal(err)
+			}
+		}
+		pts, err := montecarlo.SensitivitySweep(pn, vals, ds, *trials, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		if *csv {
+			for _, pt := range pts {
+				fmt.Printf("%s,%g,%d,%g,%g,%d\n", pt.Panel, pt.Value, pt.Distance, pt.Result.Rate(), pt.Result.StdErr(), pt.Result.Trials)
+			}
+			continue
+		}
+		fmt.Printf("\n== Fig. 12 panel: %s (compact-interleaved at p=2e-3, trials/point=%d) ==\n", pn, *trials)
+		fmt.Printf("%-12s", "value \\ d")
+		for _, d := range ds {
+			fmt.Printf("  d=%-9d", d)
+		}
+		fmt.Println()
+		for _, v := range vals {
+			fmt.Printf("%-12.3g", v)
+			for _, d := range ds {
+				for _, pt := range pts {
+					if pt.Distance == d && pt.Value == v {
+						fmt.Printf("  %-11.5f", pt.Result.Rate())
+					}
+				}
+			}
+			fmt.Println()
+		}
+	}
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vlqsense:", err)
+	os.Exit(1)
+}

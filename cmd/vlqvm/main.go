@@ -1,0 +1,101 @@
+// Command vlqvm runs a randomized logical workload on the virtualized-
+// logical-qubit machine and reports its schedule: timesteps, refreshes,
+// paging traffic, transversal vs surgery CNOT mix, movement serialization,
+// and the refresh-deadline margin.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/hardware"
+	"repro/internal/layout"
+)
+
+func main() {
+	rows := flag.Int("rows", 2, "stack grid rows")
+	cols := flag.Int("cols", 2, "stack grid cols")
+	d := flag.Int("d", 5, "code distance")
+	k := flag.Int("k", 10, "cavity depth")
+	kind := flag.String("kind", "compact", "embedding: natural or compact")
+	qubits := flag.Int("qubits", 16, "logical qubits to allocate")
+	ops := flag.Int("ops", 200, "random logical operations to schedule")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	emb := layout.Compact
+	if *kind == "natural" {
+		emb = layout.Natural
+	}
+	params := hardware.Default()
+	params.CavityDepth = *k
+	m, err := core.New(core.Config{
+		Rows: *rows, Cols: *cols, Distance: *d,
+		Embedding: emb, Params: params,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	hw := m.HardwareResources()
+	fmt.Printf("machine: %dx%d stacks, %s d=%d k=%d -> capacity %d logical qubits on %d transmons + %d cavities (%d total physical qubits)\n",
+		*rows, *cols, emb, *d, *k, m.Capacity(), hw.Transmons, hw.Cavities, hw.TotalQubits())
+
+	if *qubits > m.Capacity() {
+		fatal(fmt.Errorf("requested %d qubits exceeds capacity %d", *qubits, m.Capacity()))
+	}
+	rng := rand.New(rand.NewSource(*seed))
+	var live []core.QubitID
+	for i := 0; i < *qubits; i++ {
+		q, err := m.Alloc(fmt.Sprintf("q%d", i))
+		if err != nil {
+			fatal(err)
+		}
+		live = append(live, q)
+	}
+	for i := 0; i < *ops; i++ {
+		switch rng.Intn(10) {
+		case 0, 1, 2:
+			if err := m.SingleQubit(live[rng.Intn(len(live))]); err != nil {
+				fatal(err)
+			}
+		case 3:
+			if err := m.InjectT(live[rng.Intn(len(live))]); err != nil {
+				fatal(err)
+			}
+		case 4:
+			q := live[rng.Intn(len(live))]
+			dst := hardware.PhysicalAddr{Row: rng.Intn(*rows), Col: rng.Intn(*cols)}
+			_ = m.Move(q, dst) // full stacks legitimately refuse
+		default:
+			a, b := live[rng.Intn(len(live))], live[rng.Intn(len(live))]
+			if a != b {
+				if err := m.CNOT(a, b); err != nil {
+					fatal(err)
+				}
+			}
+		}
+		if err := m.Audit(); err != nil {
+			fatal(fmt.Errorf("invariant violated after op %d: %w", i, err))
+		}
+	}
+
+	st := m.Stats()
+	fmt.Printf("\nschedule for %d random logical ops:\n", *ops)
+	fmt.Printf("  timesteps            %8d (each = %d EC cycles)\n", st.Timesteps, *d)
+	fmt.Printf("  transversal CNOTs    %8d\n", st.TransversalCNOTs)
+	fmt.Printf("  surgery CNOTs        %8d (6x latency each)\n", st.SurgeryCNOTs)
+	fmt.Printf("  patch moves          %8d\n", st.Moves)
+	fmt.Printf("  refreshes            %8d (DRAM-style EC of stored qubits)\n", st.Refreshes)
+	fmt.Printf("  loads / stores       %8d / %d\n", st.Loads, st.Stores)
+	fmt.Printf("  deadline delays      %8d timesteps\n", st.DelayedTimesteps)
+	fmt.Printf("  route conflicts      %8d timesteps\n", st.RouteConflicts)
+	fmt.Printf("  max staleness seen   %8d timesteps (deadline: k+%d)\n", st.MaxStalenessSeen, 6)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vlqvm:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,44 @@
+// Threshold example: a miniature Fig. 11 — sweep the physical error rate
+// over distances 3 and 5 for the baseline and the Compact-Interleaved 2.5D
+// scheme, print both curves, and estimate the crossing points.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	vlq "repro"
+)
+
+func main() {
+	distances := []int{3, 5}
+	rates := vlq.DefaultPhysRates(5)
+	const trials = 4000
+
+	for _, scheme := range []vlq.Scheme{vlq.Baseline, vlq.CompactInterleaved} {
+		pts, err := vlq.ThresholdSweep(scheme, distances, rates, vlq.DefaultHardware(), trials, 7, vlq.DecodeUnionFind)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("== %s ==\n", scheme)
+		fmt.Printf("%-10s %-12s %-12s\n", "p", "d=3", "d=5")
+		for _, p := range rates {
+			fmt.Printf("%-10.4g", p)
+			for _, d := range distances {
+				for _, pt := range pts {
+					if pt.Phys == p && pt.Distance == d {
+						fmt.Printf(" %-12.5f", pt.Result.Rate())
+					}
+				}
+			}
+			fmt.Println()
+		}
+		if th := vlq.EstimateThreshold(pts); th > 0 {
+			fmt.Printf("threshold estimate: p_th ~= %.4f (paper band: 0.008-0.009)\n\n", th)
+		} else {
+			fmt.Printf("no crossing bracketed on this grid\n\n")
+		}
+	}
+	fmt.Println("Below threshold the d=5 column beats d=3; above it the ordering flips —")
+	fmt.Println("the defining shape of every Fig. 11 panel.")
+}

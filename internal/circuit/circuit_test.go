@@ -1,0 +1,171 @@
+package circuit
+
+import "testing"
+
+func locs(transmons, modes int) []Loc {
+	out := make([]Loc, 0, transmons+modes)
+	for i := 0; i < transmons; i++ {
+		out = append(out, SlotTransmon)
+	}
+	for i := 0; i < modes; i++ {
+		out = append(out, SlotCavityMode)
+	}
+	return out
+}
+
+func TestBuilderBasicFlow(t *testing.T) {
+	b := NewBuilder(3, locs(2, 1))
+	b.SetOccupied(2) // data resting in the mode
+
+	b.Begin(150e-9)
+	b.Load(0, 2, 1e-3)
+	b.End(nil)
+
+	b.Begin(200e-9)
+	b.Reset(1, 1e-3)
+	b.End(nil)
+
+	b.Begin(200e-9)
+	b.CNOT(0, 1, 1e-3)
+	b.End(nil)
+
+	b.Begin(300e-9)
+	idx := b.MeasureZ(1, 1e-3)
+	b.End(nil)
+
+	b.Begin(150e-9)
+	b.Store(0, 2, 1e-3)
+	b.End(nil)
+
+	c, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx != 0 || c.NumMeas != 1 {
+		t.Errorf("measurement bookkeeping: idx=%d NumMeas=%d", idx, c.NumMeas)
+	}
+	if got := c.NumOps(); got != 5 {
+		t.Errorf("NumOps = %d, want 5", got)
+	}
+	if got, want := c.Duration(), 150e-9+200e-9+200e-9+300e-9+150e-9; got != want {
+		t.Errorf("Duration = %g, want %g", got, want)
+	}
+	if c.CountKind(OpLoad) != 1 || c.CountKind(OpStore) != 1 {
+		t.Error("load/store counts wrong")
+	}
+}
+
+func TestBuilderIdleAnnotation(t *testing.T) {
+	b := NewBuilder(4, locs(2, 2))
+	b.SetOccupied(2)
+	b.SetOccupied(3)
+
+	b.Begin(150e-9)
+	b.Load(0, 2, 1e-3)
+	b.End(func(slot int, loc Loc, dur float64) float64 {
+		if loc != SlotCavityMode {
+			t.Errorf("only the resting mode should idle, got slot %d (%v)", slot, loc)
+		}
+		return 1e-4
+	})
+	c, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Slot 3 (occupied mode, untouched) idles; slots 0 and 2 were touched by
+	// the load; slot 1 is empty.
+	idles := 0
+	for _, op := range c.Moments[0].Ops {
+		if op.Kind == OpIdle {
+			idles++
+			if op.A != 3 {
+				t.Errorf("idle landed on slot %d, want 3", op.A)
+			}
+		}
+	}
+	if idles != 1 {
+		t.Errorf("%d idle ops, want 1", idles)
+	}
+}
+
+func TestBuilderRejectsDoubleUse(t *testing.T) {
+	b := NewBuilder(2, locs(2, 0))
+	b.Begin(1)
+	b.Reset(0, 0)
+	b.Reset(0, 0)
+	b.End(nil)
+	if _, err := b.Finish(); err == nil {
+		t.Error("double use of a slot in one moment must fail")
+	}
+}
+
+func TestBuilderRejectsBadLoads(t *testing.T) {
+	// Load from an empty mode.
+	b := NewBuilder(2, locs(1, 1))
+	b.Begin(1)
+	b.Load(0, 1, 0)
+	b.End(nil)
+	if _, err := b.Finish(); err == nil {
+		t.Error("load from empty mode must fail")
+	}
+
+	// Load into an occupied transmon.
+	b = NewBuilder(2, locs(1, 1))
+	b.SetOccupied(0)
+	b.SetOccupied(1)
+	b.Begin(1)
+	b.Load(0, 1, 0)
+	b.End(nil)
+	if _, err := b.Finish(); err == nil {
+		t.Error("load into occupied transmon must fail")
+	}
+
+	// Load with swapped slot kinds.
+	b = NewBuilder(2, locs(1, 1))
+	b.SetOccupied(0)
+	b.Begin(1)
+	b.Load(1, 0, 0)
+	b.End(nil)
+	if _, err := b.Finish(); err == nil {
+		t.Error("load with (mode, transmon) arguments must fail")
+	}
+}
+
+func TestBuilderRejectsOpsOutsideMoments(t *testing.T) {
+	b := NewBuilder(1, locs(1, 0))
+	b.Reset(0, 0)
+	if _, err := b.Finish(); err == nil {
+		t.Error("op outside a moment must fail")
+	}
+}
+
+func TestBuilderRejectsUnfinishedMoment(t *testing.T) {
+	b := NewBuilder(1, locs(1, 0))
+	b.Begin(1)
+	if _, err := b.Finish(); err == nil {
+		t.Error("Finish inside an open moment must fail")
+	}
+}
+
+func TestBuilderRejectsGateOnEmptySlot(t *testing.T) {
+	b := NewBuilder(2, locs(2, 0))
+	b.Begin(1)
+	b.H(0, 0)
+	b.End(nil)
+	if _, err := b.Finish(); err == nil {
+		t.Error("H on unoccupied slot must fail")
+	}
+}
+
+func TestBuilderCNOTSelfLoop(t *testing.T) {
+	b := NewBuilder(2, locs(2, 0))
+	b.Begin(1)
+	b.Reset(0, 0)
+	b.End(nil)
+	b.Begin(1)
+	b.CNOT(0, 0, 0)
+	b.End(nil)
+	if _, err := b.Finish(); err == nil {
+		t.Error("CNOT with control == target must fail")
+	}
+}

@@ -1,0 +1,334 @@
+// Package core implements the paper's primary contribution as an executable
+// model: a machine of virtualized logical qubits. Logical qubits live at
+// virtual addresses (stack, cavity mode), are paged into a stack's transmons
+// for operations, and are refreshed — loaded, error-corrected, stored — on a
+// DRAM-like schedule that guarantees every stored qubit a correction round
+// at least every k timesteps (§III, §III-D).
+//
+// The machine models the architectural constraints the paper discusses:
+//
+//   - serialization: qubits sharing a stack cannot be operated on in
+//     parallel; an operation occupies its stacks for its whole duration and
+//     suspends their refresh;
+//   - the reserved free mode per stack used for qubit movement and for
+//     routed lattice-surgery ancillas;
+//   - operation latencies in timesteps (1 round of d EC cycles each):
+//     transversal CNOT 1, move 1, lattice-surgery CNOT 6;
+//   - refresh-deadline scheduling: operations are delayed when a co-located
+//     stored qubit would otherwise miss its correction deadline.
+//
+// The physical error behaviour of each mechanism is measured by the
+// Monte-Carlo stack (internal/montecarlo); this package models time, space,
+// and contention.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/hardware"
+	"repro/internal/layout"
+	"repro/internal/surgery"
+)
+
+// QubitID names an allocated logical qubit.
+type QubitID int
+
+// Config describes a machine.
+type Config struct {
+	Rows, Cols int // stack grid dimensions
+	Distance   int
+	Embedding  layout.EmbeddingKind // Natural or Compact
+	Params     hardware.Params
+	// MaxStale is the refresh deadline in timesteps. 0 means the default
+	// CavityDepth + CostCNOTSurgery: at steady state every stored qubit is
+	// corrected at least every k timesteps ("roughly guaranteed to get a
+	// round of correction every k time steps"), and the paper notes the
+	// rate "may be reduced slightly" while logical operations occupy a
+	// stack — the surgery latency is exactly that slack.
+	MaxStale int
+}
+
+// Stats accumulates schedule accounting for a machine run.
+type Stats struct {
+	Timesteps        int
+	Refreshes        int
+	Loads, Stores    int
+	TransversalCNOTs int
+	SurgeryCNOTs     int
+	Moves            int
+	SingleQubitGates int
+	Preparations     int
+	Measurements     int
+	TInjections      int
+	DelayedTimesteps int // timesteps inserted to satisfy refresh deadlines
+	RouteConflicts   int // timesteps spent waiting for busy route stacks
+	MaxStalenessSeen int
+}
+
+type qubit struct {
+	id     QubitID
+	name   string
+	addr   hardware.VirtualAddr
+	lastEC int
+	alive  bool
+}
+
+// Machine is a VLQ machine instance.
+type Machine struct {
+	cfg      Config
+	k        int
+	modes    [][]QubitID // [stack][mode], -1 free; mode k-1 is reserved
+	busyTill []int       // stack busy until this timestep (exclusive)
+	qubits   []qubit
+	clock    int
+	stats    Stats
+}
+
+// New builds a machine with the given configuration. Every stack reserves
+// one cavity mode for movement and surgery ancillas, so capacity is
+// (CavityDepth-1) logical qubits per stack.
+func New(cfg Config) (*Machine, error) {
+	if cfg.Rows < 1 || cfg.Cols < 1 {
+		return nil, fmt.Errorf("core: grid %dx%d invalid", cfg.Rows, cfg.Cols)
+	}
+	if err := cfg.Params.Validate(); err != nil {
+		return nil, err
+	}
+	k := cfg.Params.CavityDepth
+	if k < 2 {
+		return nil, fmt.Errorf("core: cavity depth %d leaves no usable modes after the reserved one", k)
+	}
+	if cfg.Embedding != layout.Natural && cfg.Embedding != layout.Compact {
+		return nil, fmt.Errorf("core: embedding must be Natural or Compact, got %v", cfg.Embedding)
+	}
+	if cfg.MaxStale == 0 {
+		cfg.MaxStale = k + surgery.CostCNOTSurgery
+	}
+	if cfg.MaxStale < 2 {
+		return nil, fmt.Errorf("core: MaxStale %d too small to schedule anything", cfg.MaxStale)
+	}
+	m := &Machine{
+		cfg:      cfg,
+		k:        k,
+		modes:    make([][]QubitID, cfg.Rows*cfg.Cols),
+		busyTill: make([]int, cfg.Rows*cfg.Cols),
+	}
+	for s := range m.modes {
+		m.modes[s] = make([]QubitID, k)
+		for z := range m.modes[s] {
+			m.modes[s][z] = -1
+		}
+	}
+	return m, nil
+}
+
+// Stats returns a copy of the accumulated schedule statistics.
+func (m *Machine) Stats() Stats { return m.stats }
+
+// Clock returns the current timestep.
+func (m *Machine) Clock() int { return m.clock }
+
+// NumStacks returns the number of stacks.
+func (m *Machine) NumStacks() int { return len(m.modes) }
+
+// Capacity returns the number of logical qubits the machine can hold.
+func (m *Machine) Capacity() int { return m.NumStacks() * (m.k - 1) }
+
+// HardwareResources returns the physical footprint of the whole machine.
+func (m *Machine) HardwareResources() layout.Resources {
+	per := layout.EmbeddingResources(m.cfg.Embedding, m.cfg.Distance, m.k)
+	return layout.Resources{
+		Transmons:     per.Transmons * m.NumStacks(),
+		Cavities:      per.Cavities * m.NumStacks(),
+		CavityDepth:   m.k,
+		LogicalQubits: m.Capacity(),
+	}
+}
+
+func (m *Machine) stackIndex(a hardware.PhysicalAddr) int {
+	return a.Row*m.cfg.Cols + a.Col
+}
+
+func (m *Machine) stackAddr(s int) hardware.PhysicalAddr {
+	return hardware.PhysicalAddr{Row: s / m.cfg.Cols, Col: s % m.cfg.Cols}
+}
+
+// Address returns the current virtual address of q.
+func (m *Machine) Address(q QubitID) (hardware.VirtualAddr, error) {
+	if err := m.check(q); err != nil {
+		return hardware.VirtualAddr{}, err
+	}
+	return m.qubits[q].addr, nil
+}
+
+func (m *Machine) check(q QubitID) error {
+	if q < 0 || int(q) >= len(m.qubits) {
+		return fmt.Errorf("core: unknown qubit %d", q)
+	}
+	if !m.qubits[q].alive {
+		return fmt.Errorf("core: qubit %d (%s) was measured", q, m.qubits[q].name)
+	}
+	return nil
+}
+
+// Alloc places a new logical qubit (prepared in |0>) at the first virtual
+// address with capacity, costing one preparation timestep on its stack.
+func (m *Machine) Alloc(name string) (QubitID, error) {
+	for s := range m.modes {
+		for z := 0; z < m.k-1; z++ { // mode k-1 stays reserved
+			if m.modes[s][z] != -1 {
+				continue
+			}
+			id := QubitID(len(m.qubits))
+			m.qubits = append(m.qubits, qubit{
+				id: id, name: name,
+				addr:   hardware.VirtualAddr{Stack: m.stackAddr(s), Mode: z},
+				lastEC: m.clock,
+				alive:  true,
+			})
+			m.modes[s][z] = id
+			if err := m.runOp([]int{s}, surgery.CostPrepare, &m.stats.Preparations); err != nil {
+				return -1, err
+			}
+			return id, nil
+		}
+	}
+	return -1, fmt.Errorf("core: machine full (%d qubits)", m.Capacity())
+}
+
+// advance moves the clock forward one timestep: every stack that is not
+// busy refreshes its stalest stored qubit (one load + one store + one round
+// of error correction, the Interleaved schedule).
+func (m *Machine) advance() {
+	for s := range m.modes {
+		if m.busyTill[s] > m.clock {
+			continue
+		}
+		stalest := QubitID(-1)
+		worst := -1
+		for _, q := range m.modes[s] {
+			if q < 0 {
+				continue
+			}
+			stale := m.clock - m.qubits[q].lastEC
+			if stale > worst {
+				worst = stale
+				stalest = q
+			}
+		}
+		if stalest >= 0 {
+			m.qubits[stalest].lastEC = m.clock
+			m.stats.Refreshes++
+			m.stats.Loads++
+			m.stats.Stores++
+		}
+	}
+	m.clock++
+	m.stats.Timesteps++
+	for i := range m.qubits {
+		if !m.qubits[i].alive {
+			continue
+		}
+		if stale := m.clock - m.qubits[i].lastEC; stale > m.stats.MaxStalenessSeen {
+			m.stats.MaxStalenessSeen = stale
+		}
+	}
+}
+
+// delayForDeadlines advances the clock (running refreshes) until occupying
+// the given stacks for dur timesteps cannot push any of their stored qubits
+// past the refresh deadline — including the drain after the operation: a
+// stack refreshes one qubit per timestep, so the qubit that is i-th in the
+// staleness backlog is only reached i timesteps after the stack frees up.
+// It fails if the deadline is unsatisfiable (an over-tight MaxStale for the
+// stack occupancy).
+func (m *Machine) delayForDeadlines(stacks []int, dur int) error {
+	var stales []int
+	for guard := 0; ; guard++ {
+		if guard > 10*(m.cfg.MaxStale+m.k)+100 {
+			return fmt.Errorf("core: refresh deadline %d unsatisfiable for a %d-timestep operation", m.cfg.MaxStale, dur)
+		}
+		ok := true
+		for _, s := range stacks {
+			stales = stales[:0]
+			for _, q := range m.modes[s] {
+				if q < 0 {
+					continue
+				}
+				stales = append(stales, m.clock-m.qubits[q].lastEC)
+			}
+			// Descending staleness = drain order after the op.
+			for i := 1; i < len(stales); i++ {
+				for j := i; j > 0 && stales[j] > stales[j-1]; j-- {
+					stales[j], stales[j-1] = stales[j-1], stales[j]
+				}
+			}
+			for rank, st := range stales {
+				if st+dur+rank+1 > m.cfg.MaxStale {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				break
+			}
+		}
+		if ok {
+			return nil
+		}
+		m.advance()
+		m.stats.DelayedTimesteps++
+	}
+}
+
+// waitUntilFree advances the clock until every listed stack is idle,
+// counting contention.
+func (m *Machine) waitUntilFree(stacks []int) {
+	for {
+		busy := false
+		for _, s := range stacks {
+			if m.busyTill[s] > m.clock {
+				busy = true
+				break
+			}
+		}
+		if !busy {
+			return
+		}
+		m.advance()
+		m.stats.RouteConflicts++
+	}
+}
+
+// runOp schedules an operation occupying the given stacks for dur
+// timesteps: it waits for the stacks, satisfies refresh deadlines, marks the
+// stacks busy, and advances the clock through the operation. Qubits stored
+// in the busy stacks receive no refresh during the operation; the operation
+// itself error-corrects the stacks' loaded patches, which is accounted by
+// refreshing every qubit of the listed stacks at completion... only the
+// qubits actually loaded participate, so instead the operation refreshes
+// nothing implicitly and relies on the deadline check.
+func (m *Machine) runOp(stacks []int, dur int, counter *int) error {
+	m.waitUntilFree(stacks)
+	if err := m.delayForDeadlines(stacks, dur); err != nil {
+		return err
+	}
+	for _, s := range stacks {
+		m.busyTill[s] = m.clock + dur
+	}
+	for i := 0; i < dur; i++ {
+		m.advance()
+	}
+	if counter != nil {
+		*counter++
+	}
+	return nil
+}
+
+// touch marks q as error-corrected now (it was loaded and cycled as part of
+// an operation).
+func (m *Machine) touch(qs ...QubitID) {
+	for _, q := range qs {
+		m.qubits[q].lastEC = m.clock
+	}
+}

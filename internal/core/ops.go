@@ -1,0 +1,255 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/hardware"
+	"repro/internal/surgery"
+)
+
+// SingleQubit applies a transversal single-qubit logical gate (X, Z, H, S)
+// to q: one timestep on its stack, during which the patch is loaded, gated,
+// cycled, and stored.
+func (m *Machine) SingleQubit(q QubitID) error {
+	if err := m.check(q); err != nil {
+		return err
+	}
+	s := m.stackIndex(m.qubits[q].addr.Stack)
+	if err := m.runOp([]int{s}, 1, &m.stats.SingleQubitGates); err != nil {
+		return err
+	}
+	m.stats.Loads++
+	m.stats.Stores++
+	m.touch(q)
+	return nil
+}
+
+// InjectT consumes a distilled T state to apply a logical T gate to q (one
+// timestep plus the surgery with the magic-state patch, folded into the
+// paper's accounting as a single-stack op).
+func (m *Machine) InjectT(q QubitID) error {
+	if err := m.check(q); err != nil {
+		return err
+	}
+	s := m.stackIndex(m.qubits[q].addr.Stack)
+	if err := m.runOp([]int{s}, 1, &m.stats.TInjections); err != nil {
+		return err
+	}
+	m.touch(q)
+	return nil
+}
+
+// MeasureZ destructively measures q, freeing its virtual address.
+func (m *Machine) MeasureZ(q QubitID) error {
+	if err := m.check(q); err != nil {
+		return err
+	}
+	addr := m.qubits[q].addr
+	s := m.stackIndex(addr.Stack)
+	if err := m.runOp([]int{s}, surgery.CostMeasure, &m.stats.Measurements); err != nil {
+		return err
+	}
+	m.modes[s][addr.Mode] = -1
+	m.qubits[q].alive = false
+	return nil
+}
+
+// route returns the stacks along an L-shaped Manhattan path from a to b,
+// inclusive of both endpoints.
+func (m *Machine) route(a, b hardware.PhysicalAddr) []int {
+	var out []int
+	r, c := a.Row, a.Col
+	out = append(out, m.stackIndex(hardware.PhysicalAddr{Row: r, Col: c}))
+	for r != b.Row {
+		if r < b.Row {
+			r++
+		} else {
+			r--
+		}
+		out = append(out, m.stackIndex(hardware.PhysicalAddr{Row: r, Col: c}))
+	}
+	for c != b.Col {
+		if c < b.Col {
+			c++
+		} else {
+			c--
+		}
+		out = append(out, m.stackIndex(hardware.PhysicalAddr{Row: r, Col: c}))
+	}
+	return out
+}
+
+// Move relocates q to a free mode of the destination stack: one timestep
+// occupying the whole route, whose reserved free modes carry the moving
+// patch (§III-D).
+func (m *Machine) Move(q QubitID, dst hardware.PhysicalAddr) error {
+	if err := m.check(q); err != nil {
+		return err
+	}
+	if dst.Row < 0 || dst.Row >= m.cfg.Rows || dst.Col < 0 || dst.Col >= m.cfg.Cols {
+		return fmt.Errorf("core: destination %v outside grid", dst)
+	}
+	src := m.qubits[q].addr
+	if src.Stack == dst {
+		return nil
+	}
+	ds := m.stackIndex(dst)
+	slot := -1
+	for z := 0; z < m.k-1; z++ {
+		if m.modes[ds][z] == -1 {
+			slot = z
+			break
+		}
+	}
+	if slot == -1 {
+		return fmt.Errorf("core: stack %v has no free mode for an incoming qubit", dst)
+	}
+	path := m.route(src.Stack, dst)
+	if err := m.runOp(path, surgery.CostMove, &m.stats.Moves); err != nil {
+		return err
+	}
+	ss := m.stackIndex(src.Stack)
+	m.modes[ss][src.Mode] = -1
+	m.modes[ds][slot] = q
+	m.qubits[q].addr = hardware.VirtualAddr{Stack: dst, Mode: slot}
+	m.stats.Loads++
+	m.stats.Stores++
+	m.touch(q)
+	return nil
+}
+
+// CNOTTransversal performs the architecture's fast CNOT. Same stack: one
+// timestep (Fig. 6). Different stacks: the control is moved to the target's
+// stack through the reserved modes, gated transversally, and moved back —
+// the paper's 3-timestep variant (§III-B).
+func (m *Machine) CNOTTransversal(ctrl, tgt QubitID) error {
+	if err := m.check(ctrl); err != nil {
+		return err
+	}
+	if err := m.check(tgt); err != nil {
+		return err
+	}
+	if ctrl == tgt {
+		return fmt.Errorf("core: CNOT control equals target")
+	}
+	ca, ta := m.qubits[ctrl].addr, m.qubits[tgt].addr
+	if ca.Stack == ta.Stack {
+		s := m.stackIndex(ca.Stack)
+		if err := m.runOp([]int{s}, surgery.CostCNOTTransversal, &m.stats.TransversalCNOTs); err != nil {
+			return err
+		}
+		m.stats.Loads++
+		m.stats.Stores++
+		m.touch(ctrl, tgt)
+		return nil
+	}
+	home := ca.Stack
+	if err := m.Move(ctrl, ta.Stack); err != nil {
+		return fmt.Errorf("core: transversal CNOT move: %w", err)
+	}
+	s := m.stackIndex(ta.Stack)
+	if err := m.runOp([]int{s}, surgery.CostCNOTTransversal, &m.stats.TransversalCNOTs); err != nil {
+		return err
+	}
+	m.stats.Loads++
+	m.stats.Stores++
+	m.touch(ctrl, tgt)
+	if err := m.Move(ctrl, home); err != nil {
+		return fmt.Errorf("core: transversal CNOT move back: %w", err)
+	}
+	return nil
+}
+
+// CNOTSurgery performs the conventional lattice-surgery CNOT (Fig. 4):
+// six timesteps occupying both endpoint stacks and the routed ancilla
+// region between them (whose reserved modes hold the logical ancilla).
+func (m *Machine) CNOTSurgery(ctrl, tgt QubitID) error {
+	if err := m.check(ctrl); err != nil {
+		return err
+	}
+	if err := m.check(tgt); err != nil {
+		return err
+	}
+	if ctrl == tgt {
+		return fmt.Errorf("core: CNOT control equals target")
+	}
+	ca, ta := m.qubits[ctrl].addr, m.qubits[tgt].addr
+	path := m.route(ca.Stack, ta.Stack)
+	if err := m.runOp(path, surgery.CostCNOTSurgery, &m.stats.SurgeryCNOTs); err != nil {
+		return err
+	}
+	m.stats.Loads += 2
+	m.stats.Stores += 2
+	m.touch(ctrl, tgt)
+	return nil
+}
+
+// CNOT picks the architecture's preferred implementation: transversal when
+// the qubits share a stack, transversal-with-move when a free mode is
+// available at the target, and lattice surgery otherwise.
+func (m *Machine) CNOT(ctrl, tgt QubitID) error {
+	if err := m.check(ctrl); err != nil {
+		return err
+	}
+	if err := m.check(tgt); err != nil {
+		return err
+	}
+	ca, ta := m.qubits[ctrl].addr, m.qubits[tgt].addr
+	if ca.Stack == ta.Stack {
+		return m.CNOTTransversal(ctrl, tgt)
+	}
+	ds := m.stackIndex(ta.Stack)
+	for z := 0; z < m.k-1; z++ {
+		if m.modes[ds][z] == -1 {
+			return m.CNOTTransversal(ctrl, tgt)
+		}
+	}
+	return m.CNOTSurgery(ctrl, tgt)
+}
+
+// Idle advances the machine n timesteps with no operations (refresh only).
+func (m *Machine) Idle(n int) {
+	for i := 0; i < n; i++ {
+		m.advance()
+	}
+}
+
+// Staleness returns how many timesteps ago q last completed a correction
+// round.
+func (m *Machine) Staleness(q QubitID) (int, error) {
+	if err := m.check(q); err != nil {
+		return 0, err
+	}
+	return m.clock - m.qubits[q].lastEC, nil
+}
+
+// Audit verifies machine invariants: reserved modes are free, mode table
+// and qubit table agree, and no live qubit is past its refresh deadline.
+func (m *Machine) Audit() error {
+	for s := range m.modes {
+		if m.modes[s][m.k-1] != -1 {
+			return fmt.Errorf("core: reserved mode of stack %d occupied by qubit %d", s, m.modes[s][m.k-1])
+		}
+		for z, q := range m.modes[s] {
+			if q < 0 {
+				continue
+			}
+			info := m.qubits[q]
+			if !info.alive {
+				return fmt.Errorf("core: dead qubit %d still mapped at stack %d mode %d", q, s, z)
+			}
+			if m.stackIndex(info.addr.Stack) != s || info.addr.Mode != z {
+				return fmt.Errorf("core: address table mismatch for qubit %d", q)
+			}
+		}
+	}
+	for i := range m.qubits {
+		if !m.qubits[i].alive {
+			continue
+		}
+		if stale := m.clock - m.qubits[i].lastEC; stale > m.cfg.MaxStale {
+			return fmt.Errorf("core: qubit %d staleness %d exceeds deadline %d", i, stale, m.cfg.MaxStale)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,133 @@
+package decoder
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dem"
+)
+
+// Exact is the plain exact minimum-weight perfect matching decoder: Dijkstra
+// pairwise distances plus one bitmask dynamic program over the whole event
+// set. Cost is O(2^k) in the event count k, so Decode fails for
+// k > MaxEvents. MWPM lifts this ceiling via safe decomposition; Exact
+// remains as the independently-coded ground truth for tests.
+type Exact struct {
+	g *dem.Graph
+	// MaxEvents bounds the DP size (default 16).
+	MaxEvents int
+
+	dist []float64
+	mask []bool
+	heap distHeap
+}
+
+// NewExact builds an exact matching decoder over g.
+func NewExact(g *dem.Graph) *Exact {
+	n := g.NumNodes + 1
+	return &Exact{
+		g:         g,
+		MaxEvents: 16,
+		dist:      make([]float64, n),
+		mask:      make([]bool, n),
+	}
+}
+
+// Name implements Decoder.
+func (x *Exact) Name() string { return "exact-mwpm" }
+
+// Decode implements Decoder.
+func (x *Exact) Decode(events []int) (bool, error) {
+	obs, _, err := x.DecodeWithWeight(events)
+	return obs, err
+}
+
+// DecodeWithWeight additionally returns the optimal matching weight.
+func (x *Exact) DecodeWithWeight(events []int) (bool, float64, error) {
+	k := len(events)
+	if k == 0 {
+		return false, 0, nil
+	}
+	if k > x.MaxEvents {
+		return false, 0, fmt.Errorf("exact: %d events exceeds MaxEvents=%d", k, x.MaxEvents)
+	}
+	n := x.g.NumNodes
+	pd := make([][]float64, k)
+	pm := make([][]bool, k)
+	bd := make([]float64, k)
+	bm := make([]bool, k)
+	for i, ev := range events {
+		dijkstra(x.g, ev, x.dist, x.mask, &x.heap)
+		pd[i] = make([]float64, k)
+		pm[i] = make([]bool, k)
+		for j, ev2 := range events {
+			pd[i][j] = x.dist[ev2]
+			pm[i][j] = x.mask[ev2]
+		}
+		bd[i] = x.dist[n]
+		bm[i] = x.mask[n]
+	}
+	members := make([]int, k)
+	for i := range members {
+		members[i] = i
+	}
+	obs, w := matchComponent(members, pd, pm, bd, bm)
+	if math.IsInf(w, 1) {
+		return false, 0, fmt.Errorf("exact: no feasible matching")
+	}
+	return obs, w, nil
+}
+
+func lowestBit(s int) int {
+	i := 0
+	for s&1 == 0 {
+		s >>= 1
+		i++
+	}
+	return i
+}
+
+type heapItem struct {
+	d    float64
+	node int32
+}
+
+type distHeap []heapItem
+
+func (h *distHeap) push(it heapItem) {
+	*h = append(*h, it)
+	i := len(*h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if (*h)[p].d <= (*h)[i].d {
+			break
+		}
+		(*h)[p], (*h)[i] = (*h)[i], (*h)[p]
+		i = p
+	}
+}
+
+func (h *distHeap) pop() heapItem {
+	old := *h
+	top := old[0]
+	last := len(old) - 1
+	old[0] = old[last]
+	*h = old[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		if l >= last {
+			break
+		}
+		m := l
+		if r < last && old[r].d < old[l].d {
+			m = r
+		}
+		if old[i].d <= old[m].d {
+			break
+		}
+		old[i], old[m] = old[m], old[i]
+		i = m
+	}
+	return top
+}

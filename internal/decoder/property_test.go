@@ -1,0 +1,134 @@
+package decoder
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dem"
+	"repro/internal/extract"
+)
+
+// Property: decoder output is invariant under permutation of the event list
+// (events are a set, not a sequence).
+func TestEventOrderInvariance(t *testing.T) {
+	_, g := circuitGraph(t, extract.Baseline, 3, 5e-3)
+	uf := NewUnionFind(g)
+	mw := NewMWPM(g)
+	rng := rand.New(rand.NewSource(97))
+
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(6)
+		events := map[int]bool{}
+		for len(events) < n {
+			events[r.Intn(g.NumNodes)] = true
+		}
+		var sorted []int
+		for e := range events {
+			sorted = append(sorted, e)
+		}
+		// Two random permutations.
+		a := append([]int(nil), sorted...)
+		b := append([]int(nil), sorted...)
+		rng.Shuffle(len(a), func(i, j int) { a[i], a[j] = a[j], a[i] })
+		rng.Shuffle(len(b), func(i, j int) { b[i], b[j] = b[j], b[i] })
+		ra, err1 := uf.Decode(a)
+		rb, err2 := uf.Decode(b)
+		if err1 != nil || err2 != nil || ra != rb {
+			return false
+		}
+		ma, err3 := mw.Decode(a)
+		mb, err4 := mw.Decode(b)
+		return err3 == nil && err4 == nil && ma == mb
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Parity property: the UF decoder must succeed for any even-sized event set
+// and for odd-sized sets when boundary edges exist.
+func TestUFAlwaysTerminates(t *testing.T) {
+	g := lineGraph(12, 1e-2)
+	uf := NewUnionFind(g)
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(8)
+		seen := map[int]bool{}
+		var events []int
+		for len(events) < n {
+			e := rng.Intn(12)
+			if !seen[e] {
+				seen[e] = true
+				events = append(events, e)
+			}
+		}
+		if _, err := uf.Decode(events); err != nil {
+			t.Fatalf("trial %d (%v): %v", trial, events, err)
+		}
+	}
+}
+
+// Larger clustered syndromes: MWPM component decomposition must handle event
+// sets well past the plain DP ceiling when they form separated clusters.
+func TestMWPMLargeSeparatedClusters(t *testing.T) {
+	g := lineGraph(60, 1e-3)
+	mw := NewMWPM(g)
+	// Three well-separated adjacent pairs plus a far singleton: 7 events,
+	// each cluster tiny.
+	events := []int{5, 6, 25, 26, 45, 46, 58}
+	obs, err := mw.Decode(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pairs match internally (no flips); the singleton at 58 exits through
+	// the right boundary, which carries the logical mask.
+	if !obs {
+		t.Error("expected the right-boundary match to flip the observable")
+	}
+	// A version with the singleton near the left boundary must not flip.
+	obs, err = mw.Decode([]int{1, 25, 26, 45, 46, 5, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obs {
+		t.Error("left-boundary singleton must not flip the observable")
+	}
+}
+
+// Weighted-edge behavior: shrinking one edge's probability reroutes the
+// matching around it.
+func TestWeightSensitivity(t *testing.T) {
+	// Path of 4 detectors; make the middle edge very unlikely so two
+	// middle events prefer boundary exits... build two graphs and compare.
+	cheap := func(midP float64) *dem.Graph {
+		m := &dem.Model{NumDets: 4}
+		add := func(dets []int32, obs bool, p float64) {
+			m.Mechs = append(m.Mechs, dem.Mechanism{Dets: dets, Obs: obs, P: p})
+		}
+		add([]int32{0}, false, 0.1)
+		add([]int32{0, 1}, false, 0.1)
+		add([]int32{1, 2}, false, midP)
+		add([]int32{2, 3}, false, 0.1)
+		add([]int32{3}, true, 0.1)
+		g, err := m.DecodingGraph()
+		if err != nil {
+			panic(err)
+		}
+		return g
+	}
+	// Likely middle edge: events {1,2} match directly, no flip.
+	mw := NewMWPM(cheap(0.3))
+	obs, err := mw.Decode([]int{1, 2})
+	if err != nil || obs {
+		t.Fatalf("likely middle edge: got (%v,%v)", obs, err)
+	}
+	// Very unlikely middle edge: cheaper to exit both boundaries; the right
+	// exit carries the logical mask.
+	mw = NewMWPM(cheap(1e-9))
+	obs, err = mw.Decode([]int{1, 2})
+	if err != nil || !obs {
+		t.Fatalf("unlikely middle edge: got (%v,%v), want boundary rerouting with flip", obs, err)
+	}
+}

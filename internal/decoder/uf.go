@@ -1,0 +1,345 @@
+package decoder
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dem"
+)
+
+// UnionFind is the weighted-growth union-find decoder. Odd clusters of
+// detection events grow along the decoding graph's edges at equal weight
+// rate; clusters merge when an edge saturates, and stop being active when
+// their defect parity is even or they touch the boundary. A peeling pass
+// over the grown support then selects the correction edges, whose logical
+// masks XOR into the observable prediction.
+type UnionFind struct {
+	g   *dem.Graph
+	n   int     // real nodes; node n is the virtual boundary
+	cap []int64 // integer edge capacities from matching weights
+
+	// Reusable per-decode state.
+	grown    []int64
+	parent   []int32
+	rank     []int8
+	parity   []bool // defect parity per root
+	boundary []bool // root touches the virtual boundary
+	defect   []bool
+	seeded   []bool    // node's adjacency already added to its cluster
+	edgeList [][]int32 // per-root candidate growth edges
+	sat      []bool    // edge saturated (in the support)
+	visited  []bool
+	bfsOrder []int32
+	bfsEdge  []int32 // edge used to reach node in the forest
+	bfsPar   []int32
+}
+
+// capUnit converts float weights to integer capacities; chosen so relative
+// weights keep about six significant digits.
+const capScale = 1 << 20
+
+// NewUnionFind builds a union-find decoder over g.
+func NewUnionFind(g *dem.Graph) *UnionFind {
+	n := g.NumNodes
+	u := &UnionFind{g: g, n: n}
+	minW := math.Inf(1)
+	for i := range g.Edges {
+		if w := g.Edges[i].W; w > 0 && w < minW {
+			minW = w
+		}
+	}
+	if math.IsInf(minW, 1) {
+		minW = 1
+	}
+	u.cap = make([]int64, len(g.Edges))
+	for i := range g.Edges {
+		c := int64(math.Round(g.Edges[i].W / minW * capScale))
+		if c < 1 {
+			c = 1
+		}
+		u.cap[i] = c
+	}
+	u.grown = make([]int64, len(g.Edges))
+	u.parent = make([]int32, n+1)
+	u.rank = make([]int8, n+1)
+	u.parity = make([]bool, n+1)
+	u.boundary = make([]bool, n+1)
+	u.defect = make([]bool, n+1)
+	u.seeded = make([]bool, n+1)
+	u.edgeList = make([][]int32, n+1)
+	u.sat = make([]bool, len(g.Edges))
+	u.visited = make([]bool, n+1)
+	u.bfsEdge = make([]int32, n+1)
+	u.bfsPar = make([]int32, n+1)
+	return u
+}
+
+// Name implements Decoder.
+func (u *UnionFind) Name() string { return "union-find" }
+
+func (u *UnionFind) find(v int32) int32 {
+	for u.parent[v] != v {
+		u.parent[v] = u.parent[u.parent[v]]
+		v = u.parent[v]
+	}
+	return v
+}
+
+// endpoint returns the decoding-graph endpoints of edge ei with the boundary
+// mapped to virtual node n.
+func (u *UnionFind) endpoints(ei int32) (int32, int32) {
+	e := &u.g.Edges[ei]
+	v := e.V
+	if v == dem.BoundaryNode {
+		v = int32(u.n)
+	}
+	return e.U, v
+}
+
+// Decode implements Decoder.
+func (u *UnionFind) Decode(events []int) (bool, error) {
+	if len(events) == 0 {
+		return false, nil
+	}
+	if len(events)%2 == 1 && u.g.Stats.BoundaryEdges == 0 {
+		return false, fmt.Errorf("union-find: odd event count with no boundary")
+	}
+	n := u.n
+	// Reset state (full reset keeps the code simple; decode cost is
+	// dominated by growth anyway).
+	for i := range u.grown {
+		u.grown[i] = 0
+		u.sat[i] = false
+	}
+	for v := 0; v <= n; v++ {
+		u.parent[v] = int32(v)
+		u.rank[v] = 0
+		u.parity[v] = false
+		u.boundary[v] = false
+		u.defect[v] = false
+		u.edgeList[v] = u.edgeList[v][:0]
+		u.visited[v] = false
+		u.seeded[v] = false
+	}
+	u.boundary[n] = true
+	u.seeded[n] = true // the virtual boundary has no adjacency list
+	for _, d := range events {
+		u.defect[d] = true
+		u.parity[d] = true
+	}
+	// Seed candidate edge lists from defect clusters.
+	for _, d := range events {
+		u.edgeList[d] = append(u.edgeList[d], u.g.Adj[d]...)
+		u.seeded[d] = true
+	}
+
+	active := make([]int32, 0, len(events))
+	refreshActive := func() {
+		active = active[:0]
+		for _, d := range events {
+			r := u.find(int32(d))
+			if u.parity[r] && !u.boundary[r] {
+				// Deduplicate roots.
+				dup := false
+				for _, a := range active {
+					if a == r {
+						dup = true
+						break
+					}
+				}
+				if !dup {
+					active = append(active, r)
+				}
+			}
+		}
+	}
+
+	union := func(a, b int32) int32 {
+		// A node joining a growing cluster contributes its own adjacency
+		// to the cluster's candidate growth edges exactly once.
+		for _, v := range [2]int32{a, b} {
+			if !u.seeded[v] {
+				u.seeded[v] = true
+				rv := u.find(v)
+				u.edgeList[rv] = append(u.edgeList[rv], u.g.Adj[v]...)
+			}
+		}
+		ra, rb := u.find(a), u.find(b)
+		if ra == rb {
+			return ra
+		}
+		if u.rank[ra] < u.rank[rb] {
+			ra, rb = rb, ra
+		}
+		if u.rank[ra] == u.rank[rb] {
+			u.rank[ra]++
+		}
+		u.parent[rb] = ra
+		u.parity[ra] = u.parity[ra] != u.parity[rb]
+		u.boundary[ra] = u.boundary[ra] || u.boundary[rb]
+		if len(u.edgeList[rb]) > len(u.edgeList[ra]) {
+			u.edgeList[ra], u.edgeList[rb] = u.edgeList[rb], u.edgeList[ra]
+		}
+		u.edgeList[ra] = append(u.edgeList[ra], u.edgeList[rb]...)
+		u.edgeList[rb] = nil
+		return ra
+	}
+
+	for iter := 0; ; iter++ {
+		if iter > 4*len(u.g.Edges)+16 {
+			return false, fmt.Errorf("union-find: growth failed to converge")
+		}
+		refreshActive()
+		if len(active) == 0 {
+			break
+		}
+		// Minimum slack per growth unit across all candidate edges.
+		var minDelta int64 = math.MaxInt64
+		for _, r := range active {
+			kept := u.edgeList[r][:0]
+			for _, ei := range u.edgeList[r] {
+				if u.sat[ei] {
+					continue
+				}
+				a, b := u.endpoints(ei)
+				ra, rb := u.find(a), u.find(b)
+				if ra == rb {
+					continue // internal edge
+				}
+				kept = append(kept, ei)
+				ends := int64(1)
+				other := rb
+				if ra != r {
+					other = ra
+				}
+				if u.parity[other] && !u.boundary[other] {
+					ends = 2 // both sides grow
+				}
+				slack := (u.cap[ei] - u.grown[ei] + ends - 1) / ends
+				if slack < minDelta {
+					minDelta = slack
+				}
+			}
+			u.edgeList[r] = kept
+		}
+		if minDelta == math.MaxInt64 {
+			return false, fmt.Errorf("union-find: active cluster with no growable edges")
+		}
+		// Grow and merge.
+		for _, r := range active {
+			if u.find(r) != r {
+				continue // merged earlier this round
+			}
+			for _, ei := range u.edgeList[r] {
+				if u.sat[ei] {
+					continue
+				}
+				a, b := u.endpoints(ei)
+				if u.find(a) == u.find(b) {
+					continue
+				}
+				u.grown[ei] += minDelta
+				if u.grown[ei] >= u.cap[ei] {
+					u.grown[ei] = u.cap[ei]
+					u.sat[ei] = true
+					union(a, b)
+				}
+			}
+		}
+	}
+	return u.peel()
+}
+
+// peel extracts a correction from the grown support and returns its logical
+// mask.
+func (u *UnionFind) peel() (bool, error) {
+	n := u.n
+	// Support adjacency: saturated edges only.
+	// BFS forest rooted at the boundary first, then any unvisited node.
+	u.bfsOrder = u.bfsOrder[:0]
+	var queue []int32
+
+	push := func(v, parent, viaEdge int32) {
+		u.visited[v] = true
+		u.bfsPar[v] = parent
+		u.bfsEdge[v] = viaEdge
+		queue = append(queue, v)
+		u.bfsOrder = append(u.bfsOrder, v)
+	}
+
+	expand := func(v int32) {
+		var adj []int32
+		if v == int32(n) {
+			// The boundary's incident saturated edges: scan all saturated
+			// boundary edges (cheap: boundary edges only).
+			for ei := range u.g.Edges {
+				if u.sat[ei] && u.g.Edges[ei].V == dem.BoundaryNode {
+					w := u.g.Edges[ei].U
+					if !u.visited[w] {
+						push(w, v, int32(ei))
+					}
+				}
+			}
+			return
+		}
+		adj = u.g.Adj[v]
+		for _, ei := range adj {
+			if !u.sat[ei] {
+				continue
+			}
+			a, b := u.endpoints(ei)
+			w := a
+			if w == v {
+				w = b
+			}
+			if !u.visited[w] {
+				push(w, v, int32(ei))
+			}
+		}
+	}
+
+	// Root at boundary.
+	push(int32(n), -1, -1)
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		expand(v)
+	}
+	// Remaining components (clusters not touching the boundary).
+	for v := 0; v < n; v++ {
+		if u.visited[v] || !u.defect[v] {
+			continue
+		}
+		// BFS this component from v.
+		push(int32(v), -1, -1)
+		for len(queue) > 0 {
+			w := queue[0]
+			queue = queue[1:]
+			expand(w)
+		}
+	}
+
+	// Peel in reverse BFS order.
+	obs := false
+	for i := len(u.bfsOrder) - 1; i >= 0; i-- {
+		v := u.bfsOrder[i]
+		if v == int32(n) || u.bfsPar[v] == -1 {
+			if v != int32(n) && u.defect[v] {
+				return false, fmt.Errorf("union-find: unresolved defect at root %d", v)
+			}
+			continue
+		}
+		if u.defect[v] {
+			ei := u.bfsEdge[v]
+			if u.g.Edges[ei].Obs {
+				obs = !obs
+			}
+			p := u.bfsPar[v]
+			if p != int32(n) {
+				u.defect[p] = !u.defect[p]
+			}
+			u.defect[v] = false
+		}
+	}
+	return obs, nil
+}

@@ -1,0 +1,208 @@
+// Package dem builds detector error models: it enumerates every elementary
+// Pauli fault of an experiment's circuit, propagates each one
+// deterministically through the Pauli-frame simulator, and records which
+// detectors and whether the logical observable flip. Faults with identical
+// footprints merge into a single mechanism with XOR-combined probability.
+// This mirrors how Stim derives matchable models from circuits, and it gives
+// two things:
+//
+//   - a fast Monte-Carlo sampler (flip each mechanism independently, XOR its
+//     footprint), statistically identical to gate-level frame sampling; and
+//   - the weighted decoding graph consumed by the union-find and
+//     minimum-weight-matching decoders, including hook edges and boundary
+//     edges, with per-edge logical masks.
+package dem
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/extract"
+	"repro/internal/pframe"
+)
+
+// Mechanism is one independent error source: with probability P it flips
+// every detector in Dets and, if Obs, the logical observable.
+type Mechanism struct {
+	Dets []int32
+	Obs  bool
+	P    float64
+}
+
+// BuildStats reports diagnostics from model construction.
+type BuildStats struct {
+	Faults          int // elementary faults enumerated
+	Harmless        int // faults with no detector or observable effect
+	Mechanisms      int // merged mechanisms
+	MaxFootprint    int // largest detector footprint of any fault
+	UndetectableObs int // faults flipping the observable but no detector (must be 0)
+	MultiDetFaults  int // faults with footprints larger than 2 (need decomposition)
+}
+
+// Model is the detector error model of one experiment.
+type Model struct {
+	NumDets int
+	Mechs   []Mechanism
+	Stats   BuildStats
+}
+
+// Build constructs the model for experiment e.
+func Build(e *extract.Experiment) (*Model, error) {
+	ndet := len(e.Detectors)
+	// Invert detector definitions: measurement -> detectors containing it.
+	measDets := make([][]int32, e.Circ.NumMeas)
+	for di, det := range e.Detectors {
+		for _, m := range det.Meas {
+			measDets[m] = append(measDets[m], int32(di))
+		}
+	}
+	measObs := make([]bool, e.Circ.NumMeas)
+	for _, m := range e.Observable {
+		measObs[m] = !measObs[m]
+	}
+
+	prop := pframe.NewPropagator(e.Circ)
+	faults := pframe.AllFaults(e.Circ)
+
+	classes := make(map[string]*Mechanism)
+	var order []string // deterministic output order
+
+	detParity := make(map[int32]bool, 8)
+	model := &Model{NumDets: ndet}
+	model.Stats.Faults = len(faults)
+
+	for _, wf := range faults {
+		flips := prop.Propagate(wf.Fault)
+		clear(detParity)
+		obs := false
+		for _, m := range flips {
+			for _, d := range measDets[m] {
+				detParity[d] = !detParity[d]
+			}
+			if measObs[m] {
+				obs = !obs
+			}
+		}
+		dets := make([]int32, 0, len(detParity))
+		for d, v := range detParity {
+			if v {
+				dets = append(dets, d)
+			}
+		}
+		if len(dets) == 0 {
+			if obs {
+				model.Stats.UndetectableObs++
+			} else {
+				model.Stats.Harmless++
+			}
+			if !obs {
+				continue
+			}
+		}
+		sort.Slice(dets, func(i, j int) bool { return dets[i] < dets[j] })
+		if len(dets) > model.Stats.MaxFootprint {
+			model.Stats.MaxFootprint = len(dets)
+		}
+		if len(dets) > 2 {
+			model.Stats.MultiDetFaults++
+		}
+		key := footprintKey(dets, obs)
+		if mech, ok := classes[key]; ok {
+			mech.P = xorProb(mech.P, wf.P)
+		} else {
+			classes[key] = &Mechanism{Dets: dets, Obs: obs, P: wf.P}
+			order = append(order, key)
+		}
+	}
+	if model.Stats.UndetectableObs > 0 {
+		return nil, fmt.Errorf("dem: %d faults flip the observable without any detector", model.Stats.UndetectableObs)
+	}
+	for _, k := range order {
+		model.Mechs = append(model.Mechs, *classes[k])
+	}
+	model.Stats.Mechanisms = len(model.Mechs)
+	return model, nil
+}
+
+func footprintKey(dets []int32, obs bool) string {
+	buf := make([]byte, 0, 4*len(dets)+1)
+	for _, d := range dets {
+		buf = append(buf, byte(d), byte(d>>8), byte(d>>16), byte(d>>24))
+	}
+	if obs {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	return string(buf)
+}
+
+// xorProb combines two independent flip sources into the probability that an
+// odd number of them fires.
+func xorProb(a, b float64) float64 { return a*(1-b) + b*(1-a) }
+
+// Sampler draws detector-event samples directly from the model. Not safe for
+// concurrent use; create one per goroutine.
+type Sampler struct {
+	m      *Model
+	parity []bool
+	events []int
+}
+
+// NewSampler returns a sampler over the model.
+func (m *Model) NewSampler() *Sampler {
+	return &Sampler{m: m, parity: make([]bool, m.NumDets)}
+}
+
+// Sample draws one shot: the list of fired detectors (sorted, reused buffer)
+// and whether the logical observable flipped.
+func (s *Sampler) Sample(rng interface{ Float64() float64 }) (events []int, obs bool) {
+	for i := range s.parity {
+		s.parity[i] = false
+	}
+	for i := range s.m.Mechs {
+		mech := &s.m.Mechs[i]
+		if rng.Float64() >= mech.P {
+			continue
+		}
+		for _, d := range mech.Dets {
+			s.parity[d] = !s.parity[d]
+		}
+		if mech.Obs {
+			obs = !obs
+		}
+	}
+	s.events = s.events[:0]
+	for d, v := range s.parity {
+		if v {
+			s.events = append(s.events, d)
+		}
+	}
+	return s.events, obs
+}
+
+// ExpectedEventRate returns the mean number of detection events per shot
+// (sum of footprint sizes weighted by probability) — a cheap cross-check
+// against empirical sampling.
+func (m *Model) ExpectedEventRate() float64 {
+	t := 0.0
+	for i := range m.Mechs {
+		// Each mechanism flips each of its detectors with probability P;
+		// to first order the expected count adds P per detector touched.
+		t += m.Mechs[i].P * float64(len(m.Mechs[i].Dets))
+	}
+	return t
+}
+
+// clampProb keeps probabilities in the open interval for weight computation.
+func clampProb(p float64) float64 {
+	const lo, hi = 1e-15, 0.5 - 1e-12
+	return math.Min(math.Max(p, lo), hi)
+}
+
+// WeightOf converts a probability to a matching weight ln((1-p)/p).
+func WeightOf(p float64) float64 {
+	p = clampProb(p)
+	return math.Log((1 - p) / p)
+}

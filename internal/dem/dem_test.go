@@ -1,0 +1,197 @@
+package dem
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/extract"
+	"repro/internal/hardware"
+	"repro/internal/pframe"
+)
+
+func buildModel(t *testing.T, scheme extract.Scheme, d int) (*extract.Experiment, *Model) {
+	t.Helper()
+	e, err := extract.Build(extract.Config{Scheme: scheme, Distance: d, Basis: extract.BasisZ, Params: hardware.Default()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Build(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, m
+}
+
+func TestBuildAllSchemes(t *testing.T) {
+	for _, scheme := range extract.Schemes {
+		e, m := buildModel(t, scheme, 3)
+		if m.NumDets != len(e.Detectors) {
+			t.Errorf("%v: NumDets = %d, want %d", scheme, m.NumDets, len(e.Detectors))
+		}
+		if m.Stats.Mechanisms == 0 || m.Stats.Faults == 0 {
+			t.Errorf("%v: empty model: %+v", scheme, m.Stats)
+		}
+		// Surface-code circuit noise always includes hook errors spanning
+		// two detectors and single-detector boundary mechanisms.
+		has1, has2 := false, false
+		for i := range m.Mechs {
+			switch len(m.Mechs[i].Dets) {
+			case 1:
+				has1 = true
+			case 2:
+				has2 = true
+			}
+			if m.Mechs[i].P <= 0 || m.Mechs[i].P >= 1 {
+				t.Fatalf("%v: mechanism with probability %g", scheme, m.Mechs[i].P)
+			}
+		}
+		if !has1 || !has2 {
+			t.Errorf("%v: missing boundary or pair mechanisms", scheme)
+		}
+	}
+}
+
+// Merging and probabilities: sampling the model must reproduce the
+// per-detector fire rates of gate-level frame sampling.
+func TestModelMatchesFrameSampling(t *testing.T) {
+	for _, scheme := range []extract.Scheme{extract.Baseline, extract.CompactInterleaved} {
+		e, m := buildModel(t, scheme, 3)
+
+		const trials = 30000
+		// Gate-level reference.
+		ref := make([]int, len(e.Detectors))
+		refObs := 0
+		fs := pframe.NewSampler(e.Circ)
+		rng := rand.New(rand.NewSource(31))
+		for n := 0; n < trials; n++ {
+			flips := fs.Sample(rng)
+			for di, det := range e.Detectors {
+				v := false
+				for _, mi := range det.Meas {
+					v = v != flips[mi]
+				}
+				if v {
+					ref[di]++
+				}
+			}
+			o := false
+			for _, mi := range e.Observable {
+				o = o != flips[mi]
+			}
+			if o {
+				refObs++
+			}
+		}
+
+		// Model sampler.
+		got := make([]int, m.NumDets)
+		gotObs := 0
+		ds := m.NewSampler()
+		rng2 := rand.New(rand.NewSource(32))
+		for n := 0; n < trials; n++ {
+			events, o := ds.Sample(rng2)
+			for _, d := range events {
+				got[d]++
+			}
+			if o {
+				gotObs++
+			}
+		}
+
+		for di := range ref {
+			a := float64(ref[di]) / trials
+			b := float64(got[di]) / trials
+			if math.Abs(a-b) > 0.015 {
+				t.Errorf("%v: detector %d rate %.4f (frames) vs %.4f (model)", scheme, di, a, b)
+			}
+		}
+		a := float64(refObs) / trials
+		b := float64(gotObs) / trials
+		if math.Abs(a-b) > 0.015 {
+			t.Errorf("%v: raw observable-flip rate %.4f vs %.4f", scheme, a, b)
+		}
+	}
+}
+
+func TestDecodingGraphStructure(t *testing.T) {
+	for _, scheme := range extract.Schemes {
+		_, m := buildModel(t, scheme, 3)
+		g, err := m.DecodingGraph()
+		if err != nil {
+			t.Fatalf("%v: %v", scheme, err)
+		}
+		if g.NumNodes != m.NumDets {
+			t.Errorf("%v: graph nodes %d, want %d", scheme, g.NumNodes, m.NumDets)
+		}
+		if g.Stats.BoundaryEdges == 0 {
+			t.Errorf("%v: no boundary edges", scheme)
+		}
+		for _, e := range g.Edges {
+			if e.W < 0 {
+				t.Fatalf("%v: negative weight %g (p=%g)", scheme, e.W, e.P)
+			}
+			if e.U == e.V {
+				t.Fatalf("%v: self-loop edge", scheme)
+			}
+		}
+		// Graph must be connected enough to decode: every node has an edge.
+		for v, adj := range g.Adj {
+			if len(adj) == 0 {
+				t.Fatalf("%v: detector %d has no incident edges", scheme, v)
+			}
+		}
+		// Most multi-detector mechanisms must decompose cleanly.
+		if g.Stats.DecomposedDirty > g.Stats.DecomposedOK {
+			t.Errorf("%v: %d dirty vs %d clean decompositions", scheme, g.Stats.DecomposedDirty, g.Stats.DecomposedOK)
+		}
+	}
+}
+
+// Logical masks must be consistent: flipping along any cycle of the graph
+// should preserve the observable (sum of Obs around a cycle even), except
+// for cycles crossing between the two boundaries... which are exactly the
+// logical operators. Spot-check the invariant on the smallest graph by
+// verifying that a full row of boundary-to-boundary edges flips the
+// observable an odd number of times.
+func TestLogicalMaskSanity(t *testing.T) {
+	_, m := buildModel(t, extract.Baseline, 3)
+	g, err := m.DecodingGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	obsEdges := 0
+	for _, e := range g.Edges {
+		if e.Obs {
+			obsEdges++
+		}
+	}
+	if obsEdges == 0 {
+		t.Fatal("no edge carries the logical mask; logical errors would be invisible")
+	}
+}
+
+func TestWeightOf(t *testing.T) {
+	if w := WeightOf(0.5); w < 0 || w > 1e-6 {
+		t.Errorf("WeightOf(0.5) = %g, want ~0", w)
+	}
+	if w1, w2 := WeightOf(1e-3), WeightOf(1e-2); w1 <= w2 {
+		t.Error("weights must decrease with probability")
+	}
+	if w := WeightOf(0); math.IsInf(w, 0) || math.IsNaN(w) {
+		t.Errorf("WeightOf(0) must be finite, got %g", w)
+	}
+}
+
+func TestXorProb(t *testing.T) {
+	if got := xorProb(0.5, 0.5); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("xorProb(0.5,0.5) = %g", got)
+	}
+	if got := xorProb(0, 0.25); got != 0.25 {
+		t.Errorf("xorProb(0,p) = %g", got)
+	}
+	// Commutative.
+	if xorProb(0.1, 0.3) != xorProb(0.3, 0.1) {
+		t.Error("xorProb must be commutative")
+	}
+}

@@ -1,0 +1,217 @@
+package dem
+
+import (
+	"fmt"
+	"sort"
+)
+
+// BoundaryNode is the virtual node id used for single-detector (boundary)
+// edges in the decoding graph.
+const BoundaryNode int32 = -1
+
+// Edge is one decoding-graph edge: an error class flipping detectors U and V
+// (V == BoundaryNode for boundary edges) with probability P, matching weight
+// W = ln((1-P)/P), and logical mask Obs.
+type Edge struct {
+	U, V int32
+	P    float64
+	W    float64
+	Obs  bool
+}
+
+// GraphStats reports diagnostics from graph extraction.
+type GraphStats struct {
+	Edges            int
+	BoundaryEdges    int
+	DecomposedOK     int // multi-detector mechanisms decomposed into known edges
+	DecomposedDirty  int // fallback decompositions (footprint had no exact cover)
+	AmbiguousClasses int // edges whose two logical classes both carried mass
+	AmbiguousMass    float64
+}
+
+// Graph is the matchable decoding graph extracted from a Model.
+type Graph struct {
+	NumNodes int
+	Edges    []Edge
+	// Adj[v] lists edge indices incident to node v (boundary edges appear
+	// only in their real endpoint's list).
+	Adj   [][]int32
+	Stats GraphStats
+}
+
+type edgeKey struct{ u, v int32 }
+
+type edgeClasses struct {
+	pFalse, pTrue float64 // probability mass per logical class
+}
+
+// DecodingGraph projects the model onto a graph of 1- and 2-detector error
+// classes. Mechanisms with larger footprints are decomposed into elementary
+// edges (preferring exact covers by already-known edges whose logical masks
+// XOR to the mechanism's); each component inherits the mechanism's
+// probability.
+func (m *Model) DecodingGraph() (*Graph, error) {
+	acc := make(map[edgeKey]*edgeClasses)
+	var order []edgeKey
+	bump := func(u, v int32, obs bool, p float64) {
+		if v != BoundaryNode && u > v {
+			u, v = v, u
+		}
+		k := edgeKey{u, v}
+		c, ok := acc[k]
+		if !ok {
+			c = &edgeClasses{}
+			acc[k] = c
+			order = append(order, k)
+		}
+		if obs {
+			c.pTrue = xorProb(c.pTrue, p)
+		} else {
+			c.pFalse = xorProb(c.pFalse, p)
+		}
+	}
+
+	g := &Graph{NumNodes: m.NumDets}
+
+	// Pass 1: elementary mechanisms.
+	var big []*Mechanism
+	for i := range m.Mechs {
+		mech := &m.Mechs[i]
+		switch len(mech.Dets) {
+		case 1:
+			bump(mech.Dets[0], BoundaryNode, mech.Obs, mech.P)
+		case 2:
+			bump(mech.Dets[0], mech.Dets[1], mech.Obs, mech.P)
+		default:
+			big = append(big, mech)
+		}
+	}
+
+	// Pass 2: decompose larger footprints over the elementary edge set.
+	known := func(u, v int32) (obs bool, ok bool) {
+		if v != BoundaryNode && u > v {
+			u, v = v, u
+		}
+		c, exists := acc[edgeKey{u, v}]
+		if !exists {
+			return false, false
+		}
+		return c.pTrue > c.pFalse, true
+	}
+	for _, mech := range big {
+		parts, obsOK := decompose(mech.Dets, mech.Obs, known)
+		if parts == nil {
+			// Fallback: pair consecutive detectors; attach the observable
+			// mask to the first pair.
+			g.Stats.DecomposedDirty++
+			for i := 0; i+1 < len(mech.Dets); i += 2 {
+				bump(mech.Dets[i], mech.Dets[i+1], mech.Obs && i == 0, mech.P)
+			}
+			if len(mech.Dets)%2 == 1 {
+				last := mech.Dets[len(mech.Dets)-1]
+				bump(last, BoundaryNode, false, mech.P)
+			}
+			continue
+		}
+		if obsOK {
+			g.Stats.DecomposedOK++
+		} else {
+			g.Stats.DecomposedDirty++
+		}
+		for _, part := range parts {
+			obs, _ := known(part[0], part[1])
+			bump(part[0], part[1], obs, mech.P)
+		}
+	}
+
+	// Materialize edges.
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].u != order[j].u {
+			return order[i].u < order[j].u
+		}
+		return order[i].v < order[j].v
+	})
+	for _, k := range order {
+		c := acc[k]
+		p := xorProb(c.pFalse, c.pTrue)
+		if p <= 0 {
+			continue
+		}
+		obs := c.pTrue > c.pFalse
+		if c.pTrue > 0 && c.pFalse > 0 {
+			g.Stats.AmbiguousClasses++
+			if c.pTrue < c.pFalse {
+				g.Stats.AmbiguousMass += c.pTrue
+			} else {
+				g.Stats.AmbiguousMass += c.pFalse
+			}
+		}
+		e := Edge{U: k.u, V: k.v, P: p, W: WeightOf(p), Obs: obs}
+		g.Edges = append(g.Edges, e)
+		if k.v == BoundaryNode {
+			g.Stats.BoundaryEdges++
+		}
+	}
+	g.Stats.Edges = len(g.Edges)
+
+	g.Adj = make([][]int32, g.NumNodes)
+	for ei := range g.Edges {
+		e := &g.Edges[ei]
+		if e.U < 0 || int(e.U) >= g.NumNodes || (e.V != BoundaryNode && int(e.V) >= g.NumNodes) {
+			return nil, fmt.Errorf("dem: edge %d endpoints (%d,%d) out of range", ei, e.U, e.V)
+		}
+		g.Adj[e.U] = append(g.Adj[e.U], int32(ei))
+		if e.V != BoundaryNode {
+			g.Adj[e.V] = append(g.Adj[e.V], int32(ei))
+		}
+	}
+	return g, nil
+}
+
+// decompose searches for a partition of dets into known elementary edges
+// (pairs, or singletons matched to the boundary) whose logical masks XOR to
+// obs. It returns the parts (each {u, v} with v possibly BoundaryNode) and
+// whether the observable constraint was met; parts == nil means no cover by
+// known edges exists at all.
+func decompose(dets []int32, obs bool, known func(u, v int32) (bool, bool)) (parts [][2]int32, obsOK bool) {
+	var best [][2]int32
+	bestOK := false
+	var cur [][2]int32
+
+	var rec func(remaining []int32, acc bool)
+	rec = func(remaining []int32, acc bool) {
+		if bestOK {
+			return
+		}
+		if len(remaining) == 0 {
+			if best == nil || acc == obs {
+				best = append([][2]int32(nil), cur...)
+				bestOK = acc == obs
+			}
+			return
+		}
+		d0 := remaining[0]
+		// Pair d0 with each later detector over a known edge.
+		for j := 1; j < len(remaining); j++ {
+			dj := remaining[j]
+			eObs, ok := known(d0, dj)
+			if !ok {
+				continue
+			}
+			rest := make([]int32, 0, len(remaining)-2)
+			rest = append(rest, remaining[1:j]...)
+			rest = append(rest, remaining[j+1:]...)
+			cur = append(cur, [2]int32{d0, dj})
+			rec(rest, acc != eObs)
+			cur = cur[:len(cur)-1]
+		}
+		// Or send d0 to the boundary.
+		if eObs, ok := known(d0, BoundaryNode); ok {
+			cur = append(cur, [2]int32{d0, BoundaryNode})
+			rec(remaining[1:], acc != eObs)
+			cur = cur[:len(cur)-1]
+		}
+	}
+	rec(dets, false)
+	return best, bestOK
+}

@@ -1,0 +1,120 @@
+package dem
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/extract"
+	"repro/internal/hardware"
+)
+
+// The analytic expected detection-event rate must match empirical sampling.
+func TestExpectedEventRate(t *testing.T) {
+	_, m := buildModel(t, extract.NaturalInterleaved, 3)
+	want := m.ExpectedEventRate()
+	s := m.NewSampler()
+	rng := rand.New(rand.NewSource(77))
+	const trials = 20000
+	total := 0
+	for i := 0; i < trials; i++ {
+		ev, _ := s.Sample(rng)
+		total += len(ev)
+	}
+	got := float64(total) / trials
+	// First-order approximation: allow 10% plus absolute slack (cancellation
+	// between overlapping mechanisms makes the true rate slightly lower).
+	if math.Abs(got-want) > 0.1*want+0.05 {
+		t.Errorf("empirical event rate %.4f vs analytic %.4f", got, want)
+	}
+}
+
+// At distance 5 the circuit produces multi-detector faults (hooks spanning
+// both space and time); all of them must decompose cleanly over elementary
+// edges.
+func TestDecompositionAtDistance5(t *testing.T) {
+	e, err := extract.Build(extract.Config{
+		Scheme: extract.CompactInterleaved, Distance: 5, Basis: extract.BasisZ,
+		Params: hardware.Default(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Build(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := m.DecodingGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Stats.DecomposedDirty > 0 {
+		t.Errorf("%d dirty decompositions at d=5 (ok=%d); footprints not covered by elementary edges",
+			g.Stats.DecomposedDirty, g.Stats.DecomposedOK)
+	}
+	// Ambiguous logical mass (same edge carrying both classes) must be a
+	// tiny fraction of total edge probability.
+	totalP := 0.0
+	for _, ed := range g.Edges {
+		totalP += ed.P
+	}
+	if g.Stats.AmbiguousMass > 0.05*totalP {
+		t.Errorf("ambiguous logical mass %.4g is %.1f%% of total %.4g",
+			g.Stats.AmbiguousMass, 100*g.Stats.AmbiguousMass/totalP, totalP)
+	}
+}
+
+// Probability bookkeeping property: xorProb is associative and stays within
+// [0, 0.5] when both inputs are (physical error rates are sub-half).
+func TestXorProbProperties(t *testing.T) {
+	f := func(a, b, c uint16) bool {
+		pa := float64(a) / (2 << 16) // [0, 0.5)
+		pb := float64(b) / (2 << 16)
+		pc := float64(c) / (2 << 16)
+		left := xorProb(xorProb(pa, pb), pc)
+		right := xorProb(pa, xorProb(pb, pc))
+		if math.Abs(left-right) > 1e-12 {
+			return false
+		}
+		v := xorProb(pa, pb)
+		return v >= 0 && v <= 0.5
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Model mechanisms must be deterministic across rebuilds (map-iteration
+// hygiene): same circuit, same model.
+func TestBuildDeterminism(t *testing.T) {
+	e, err := extract.Build(extract.Config{
+		Scheme: extract.CompactAllAtOnce, Distance: 3, Basis: extract.BasisZ,
+		Params: hardware.Default(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Build(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Mechs) != len(b.Mechs) {
+		t.Fatalf("mechanism counts differ: %d vs %d", len(a.Mechs), len(b.Mechs))
+	}
+	for i := range a.Mechs {
+		ma, mb := &a.Mechs[i], &b.Mechs[i]
+		if ma.Obs != mb.Obs || ma.P != mb.P || len(ma.Dets) != len(mb.Dets) {
+			t.Fatalf("mechanism %d differs across rebuilds", i)
+		}
+		for j := range ma.Dets {
+			if ma.Dets[j] != mb.Dets[j] {
+				t.Fatalf("mechanism %d detector lists differ", i)
+			}
+		}
+	}
+}

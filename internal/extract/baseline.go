@@ -1,0 +1,93 @@
+package extract
+
+import (
+	"repro/internal/circuit"
+	"repro/internal/layout"
+)
+
+// alignedRoundDuration is the wall-clock length of one standard
+// syndrome-extraction round (used by Baseline and Natural): ancilla reset,
+// basis change, four CNOT layers, basis change, measurement.
+func (e *Experiment) alignedRoundDuration() float64 {
+	p := e.Config.Params
+	return p.ResetTime + 2*p.Gate1Time + 4*p.Gate2Time + p.MeasureTime
+}
+
+// alignedRound emits one standard extraction round. Data qubits must
+// currently reside in their data transmons (always true for Baseline; true
+// between load and store for Natural). All plaquettes extract in parallel
+// using the four compatible CNOT layers of layout.ZOrder/XOrder.
+func (e *Experiment) alignedRound(b *circuit.Builder, rec *recorder) {
+	p := e.Config.Params
+	idle := e.idlePolicy()
+	code := e.Code
+	anc := func(plaq int) int { return e.TransmonSlot[e.Emb.AncHost[plaq]] }
+	data := func(q int) int { return e.TransmonSlot[e.Emb.DataHost[q]] }
+
+	b.Begin(p.ResetTime)
+	for i := range code.Plaquettes {
+		b.Reset(anc(i), p.PReset)
+	}
+	b.End(idle)
+
+	hLayer := func() {
+		b.Begin(p.Gate1Time)
+		for i := range code.Plaquettes {
+			if code.Plaquettes[i].Type == layout.PlaqX {
+				b.H(anc(i), p.PGate1)
+			}
+		}
+		b.End(idle)
+	}
+	hLayer()
+
+	for l := 0; l < 4; l++ {
+		b.Begin(p.Gate2Time)
+		for i := range code.Plaquettes {
+			pl := &code.Plaquettes[i]
+			q := pl.DataIdx[l]
+			if q < 0 {
+				continue
+			}
+			if pl.Type == layout.PlaqZ { // data controls, ancilla accumulates
+				b.CNOT(data(q), anc(i), p.PGate2)
+			} else { // PlaqX: ancilla controls
+				b.CNOT(anc(i), data(q), p.PGate2)
+			}
+		}
+		b.End(idle)
+	}
+
+	hLayer()
+
+	b.Begin(p.MeasureTime)
+	for i := range code.Plaquettes {
+		rec.add(i, b.MeasureZ(anc(i), p.PMeasure))
+	}
+	b.End(idle)
+	for i := range code.Plaquettes {
+		b.Discard(anc(i))
+	}
+}
+
+// buildBaseline assembles the conventional 2D experiment: data live in their
+// transmons for the whole trial; no loads, stores, or gaps.
+func (e *Experiment) buildBaseline() error {
+	nslots, locs := e.slotPlan()
+	b := circuit.NewBuilder(nslots, locs)
+	dataSlot := func(q int) int { return e.TransmonSlot[e.Emb.DataHost[q]] }
+	for q := 0; q < e.Code.NumData(); q++ {
+		b.SetOccupied(dataSlot(q))
+	}
+	rec := newRecorder(e.Code.NumPlaquettes())
+	for r := 0; r < e.Config.rounds(); r++ {
+		e.alignedRound(b, rec)
+	}
+	final := finalReadout(b, e.Config.Basis, e.Code.NumData(), dataSlot)
+	circ, err := b.Finish()
+	if err != nil {
+		return err
+	}
+	e.Circ = circ
+	return e.finishDetectors(rec, final)
+}

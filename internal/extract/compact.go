@@ -1,0 +1,302 @@
+package extract
+
+import (
+	"fmt"
+
+	"repro/internal/circuit"
+	"repro/internal/layout"
+)
+
+// compactAction is one CNOT of the Compact schedule: plaquette plaq performs
+// its step-th CNOT (in the Compact per-type data order).
+type compactAction struct {
+	plaq, step int
+}
+
+// compactStream unrolls the pipelined Fig. 10 schedule for the given number
+// of rounds. The returned stream has rounds*8+2 sub-steps: group C's last
+// two CNOTs of round r execute during the first two sub-steps of round r+1,
+// and the final two sub-steps are the cool-down flush of the last round's C
+// extraction. stream[t] lists the CNOT actions of sub-step t; dutyStart[p]
+// and dutyEnd[p] list, per plaquette, the sub-steps at which each of its
+// extraction cycles begins and ends.
+func compactStream(code *layout.Code, rounds int) (stream [][]compactAction, dutyStart, dutyEnd [][]int) {
+	stream = make([][]compactAction, rounds*8+2)
+	dutyStart = make([][]int, code.NumPlaquettes())
+	dutyEnd = make([][]int, code.NumPlaquettes())
+	for i := range code.Plaquettes {
+		p := &code.Plaquettes[i]
+		g := layout.CompactGroupOf(p)
+		first, last := layout.CompactDutyWindow(g)
+		for rep := 0; rep < rounds; rep++ {
+			for s := 0; s < 4; s++ {
+				t := rep*8 + layout.CompactStepOf(g, s)
+				stream[t] = append(stream[t], compactAction{plaq: i, step: s})
+			}
+			dutyStart[i] = append(dutyStart[i], rep*8+first)
+			dutyEnd[i] = append(dutyEnd[i], rep*8+last)
+		}
+	}
+	return stream, dutyStart, dutyEnd
+}
+
+// buildCompact assembles the Compact-embedding experiments (§III-C). The
+// schedule follows Fig. 10: eight CNOT sub-steps per round, two phase groups
+// active per sub-step, transmon-mode gates for colocated data, and
+// just-in-time loads with store-on-last-consecutive-use (which achieves the
+// one-load-one-store-per-data-per-round property for bulk data).
+//
+// All-at-once pipelines all rounds into one stream preceded by a single
+// (k-1)-super-cycle cavity gap; Interleaved emits one self-contained round
+// (with its own pipeline flush) per turn, with (k-1)-turn gaps between.
+func (e *Experiment) buildCompact() error {
+	rounds := e.Config.rounds()
+
+	// Probe pass: build one gapless unit to learn its wall-clock duration
+	// for the serialization gaps.
+	interleaved := e.Config.Scheme == CompactInterleaved
+	unitRounds := rounds
+	if interleaved {
+		unitRounds = 1
+	}
+	probeDur, err := e.compactProbeDuration(unitRounds)
+	if err != nil {
+		return err
+	}
+	turns := float64(e.Config.Params.CavityDepth - 1)
+
+	nslots, locs := e.slotPlan()
+	b := circuit.NewBuilder(nslots, locs)
+	idle := e.idlePolicy()
+	for q := 0; q < e.Code.NumData(); q++ {
+		b.SetOccupied(e.ModeSlot[q])
+	}
+	rec := newRecorder(e.Code.NumPlaquettes())
+
+	gap := func(dur float64) {
+		if dur <= 0 || !e.Config.ChargeGapIdle {
+			return
+		}
+		b.Begin(dur)
+		b.End(idle)
+	}
+
+	if interleaved {
+		for r := 0; r < rounds; r++ {
+			gap(turns * probeDur)
+			if err := e.compactBody(b, rec, 1); err != nil {
+				return err
+			}
+		}
+	} else {
+		gap(turns * probeDur)
+		if err := e.compactBody(b, rec, rounds); err != nil {
+			return err
+		}
+	}
+
+	final := finalReadout(b, e.Config.Basis, e.Code.NumData(), func(q int) int { return e.ModeSlot[q] })
+	circ, err := b.Finish()
+	if err != nil {
+		return err
+	}
+	e.Circ = circ
+	return e.finishDetectors(rec, final)
+}
+
+// compactProbeDuration measures the duration of a gapless pipeline of the
+// given round count by building it against a scratch builder.
+func (e *Experiment) compactProbeDuration(rounds int) (float64, error) {
+	nslots, locs := e.slotPlan()
+	b := circuit.NewBuilder(nslots, locs)
+	for q := 0; q < e.Code.NumData(); q++ {
+		b.SetOccupied(e.ModeSlot[q])
+	}
+	rec := newRecorder(e.Code.NumPlaquettes())
+	if err := e.compactBody(b, rec, rounds); err != nil {
+		return 0, err
+	}
+	c, err := b.Finish()
+	if err != nil {
+		return 0, err
+	}
+	return c.Duration(), nil
+}
+
+// compactBody emits one pipelined stream of the given round count. Data
+// begin and end in their cavity modes.
+func (e *Experiment) compactBody(b *circuit.Builder, rec *recorder, rounds int) error {
+	p := e.Config.Params
+	idle := e.idlePolicy()
+	code := e.Code
+	emb := e.Emb
+	anc := func(plaq int) int { return e.TransmonSlot[emb.AncHost[plaq]] }
+	host := func(q int) int { return e.TransmonSlot[emb.DataHost[q]] }
+
+	stream, dutyStart, dutyEnd := compactStream(code, rounds)
+
+	// Invert duty boundaries: which plaquettes start/end at sub-step t.
+	startsAt := make(map[int][]int)
+	endsAt := make(map[int][]int)
+	for i := range code.Plaquettes {
+		for _, t := range dutyStart[i] {
+			startsAt[t] = append(startsAt[t], i)
+		}
+		for _, t := range dutyEnd[i] {
+			endsAt[t] = append(endsAt[t], i)
+		}
+	}
+
+	loaded := make([]bool, code.NumData())
+	neededAt := func(t int) map[int]bool {
+		need := map[int]bool{}
+		if t >= len(stream) {
+			return need
+		}
+		for _, a := range stream[t] {
+			q := code.CompactDataStep(&code.Plaquettes[a.plaq], a.step)
+			if q >= 0 && !emb.Colocated(a.plaq, q) {
+				need[q] = true
+			}
+		}
+		return need
+	}
+
+	// boundary emits the housekeeping between sub-step t-1 and t (or after
+	// the final sub-step when t == len(stream)), packed into at most three
+	// moments per the Fig. 10 pipelining:
+	//
+	//	M1: basis-closing Hadamards of finished X ancillas + stores of
+	//	    loaded data whose consecutive-use run ended (disjoint: a
+	//	    just-finished ancilla transmon never hosts currently-loaded
+	//	    data);
+	//	M2: measurements of finished ancillas + resets of starting
+	//	    ancillas + loads for the upcoming sub-step (disjoint: duty
+	//	    windows are >= 5 sub-steps apart, and the schedule's
+	//	    host-availability property keeps loads off ending/starting
+	//	    ancilla transmons — the builder verifies all of this);
+	//	M3: basis-opening Hadamards of starting X ancillas (must follow
+	//	    their own reset in M2).
+	//
+	// Timing model: Fig. 10 executes this housekeeping *concurrently* with
+	// neighboring CNOT sub-steps on disjoint transmons (the loads, stores,
+	// resets and Hadamards all fit within one 200 ns two-qubit-gate slot).
+	// The boundary moments here therefore preserve the causal order of the
+	// operations and their gate-error channels but charge zero additional
+	// wall-clock time, except for the measurement tail (300 ns readout
+	// exceeds the 200 ns sub-step it overlaps, so the 100 ns excess is
+	// charged). This keeps the Compact round near its dense-packed length
+	// (~2 us) instead of serializing every housekeeping moment (~5 us),
+	// matching the paper's claim that Compact has "a similar cost as
+	// Natural, Interleaved".
+	boundary := func(t int) {
+		ended := endsAt[t-1]
+		started := startsAt[t]
+		need := neededAt(t)
+		var stores []int
+		for q := range loaded {
+			if loaded[q] && !need[q] {
+				stores = append(stores, q)
+			}
+		}
+		var loads []int
+		for q := 0; q < code.NumData(); q++ {
+			if need[q] && !loaded[q] {
+				loads = append(loads, q)
+			}
+		}
+		var hEnd, hStart []int
+		for _, pl := range ended {
+			if code.Plaquettes[pl].Type == layout.PlaqX {
+				hEnd = append(hEnd, pl)
+			}
+		}
+		for _, pl := range started {
+			if code.Plaquettes[pl].Type == layout.PlaqX {
+				hStart = append(hStart, pl)
+			}
+		}
+
+		if len(hEnd) > 0 || len(stores) > 0 {
+			b.Begin(0)
+			for _, pl := range hEnd {
+				b.H(anc(pl), p.PGate1)
+			}
+			for _, q := range stores {
+				b.Store(host(q), e.ModeSlot[q], p.PLoadStore)
+				loaded[q] = false
+			}
+			b.End(idle)
+		}
+		if len(ended) > 0 || len(started) > 0 || len(loads) > 0 {
+			// Only measurement time cannot hide under a neighboring
+			// 200 ns CNOT sub-step; charge the excess.
+			dur := 0.0
+			if len(ended) > 0 && p.MeasureTime > p.Gate2Time {
+				dur = p.MeasureTime - p.Gate2Time
+			}
+			b.Begin(dur)
+			for _, pl := range ended {
+				rec.add(pl, b.MeasureZ(anc(pl), p.PMeasure))
+			}
+			for _, pl := range started {
+				b.Reset(anc(pl), p.PReset)
+			}
+			for _, q := range loads {
+				b.Load(host(q), e.ModeSlot[q], p.PLoadStore)
+				loaded[q] = true
+			}
+			b.End(idle)
+			for _, pl := range ended {
+				b.Discard(anc(pl))
+			}
+		}
+		if len(hStart) > 0 {
+			b.Begin(0)
+			for _, pl := range hStart {
+				b.H(anc(pl), p.PGate1)
+			}
+			b.End(idle)
+		}
+	}
+
+	for t := 0; t < len(stream); t++ {
+		boundary(t)
+		if len(stream[t]) == 0 {
+			continue
+		}
+		b.Begin(p.Gate2Time)
+		for _, a := range stream[t] {
+			pl := &code.Plaquettes[a.plaq]
+			q := code.CompactDataStep(pl, a.step)
+			if q < 0 {
+				continue
+			}
+			if emb.Colocated(a.plaq, q) {
+				// Transmon-mode gate: the data stays in the cavity.
+				if pl.Type == layout.PlaqZ {
+					b.CNOT(e.ModeSlot[q], anc(a.plaq), p.PGateTM)
+				} else {
+					b.CNOT(anc(a.plaq), e.ModeSlot[q], p.PGateTM)
+				}
+				continue
+			}
+			if !loaded[q] {
+				return fmt.Errorf("extract: data %d not loaded for plaquette %d step %d at sub-step %d", q, a.plaq, a.step, t)
+			}
+			if pl.Type == layout.PlaqZ {
+				b.CNOT(host(q), anc(a.plaq), p.PGate2)
+			} else {
+				b.CNOT(anc(a.plaq), host(q), p.PGate2)
+			}
+		}
+		b.End(idle)
+	}
+	boundary(len(stream))
+	for q := range loaded {
+		if loaded[q] {
+			return fmt.Errorf("extract: data %d still loaded at end of compact body", q)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,304 @@
+package extract
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/hardware"
+	"repro/internal/layout"
+	"repro/internal/stab"
+)
+
+func testParams() hardware.Params {
+	p := hardware.Default()
+	return p
+}
+
+func build(t *testing.T, scheme Scheme, d int, basis Basis) *Experiment {
+	t.Helper()
+	e, err := Build(Config{Scheme: scheme, Distance: d, Basis: basis, Params: testParams()})
+	if err != nil {
+		t.Fatalf("%v d=%d basis=%v: %v", scheme, d, basis, err)
+	}
+	return e
+}
+
+// runTableau executes the experiment's circuit on the exact stabilizer
+// simulator, ignoring noise probabilities, and returns the measurement
+// outcomes. Random outcomes draw from rng.
+func runTableau(t *testing.T, e *Experiment, rng *rand.Rand) []byte {
+	t.Helper()
+	tab := stab.New(e.Circ.NumSlots)
+	if e.Config.Basis == BasisX {
+		// Perfect |+> preparation of the resting data slots.
+		for q := 0; q < e.Code.NumData(); q++ {
+			slot := e.ModeSlot[q]
+			if slot < 0 {
+				slot = e.TransmonSlot[e.Emb.DataHost[q]]
+			}
+			tab.H(slot)
+		}
+	}
+	out := make([]byte, e.Circ.NumMeas)
+	for mi := range e.Circ.Moments {
+		for _, op := range e.Circ.Moments[mi].Ops {
+			switch op.Kind {
+			case circuit.OpReset:
+				tab.Reset(op.A, rng)
+			case circuit.OpH:
+				tab.H(op.A)
+			case circuit.OpCNOT:
+				tab.CNOT(op.A, op.B)
+			case circuit.OpLoad:
+				// The transmon is re-initialized as part of the transfer.
+				tab.Reset(op.A, rng)
+				tab.SWAP(op.A, op.B)
+			case circuit.OpStore:
+				tab.Reset(op.B, rng)
+				tab.SWAP(op.A, op.B)
+			case circuit.OpMeasureZ:
+				o, _ := tab.MeasureZ(op.A, rng)
+				out[op.MeasIdx] = o
+			case circuit.OpIdle:
+				// no unitary action
+			}
+		}
+	}
+	return out
+}
+
+// Quiescence: in a noiseless execution every detector of every scheme must
+// be zero — the first syndrome round is deterministic given the preparation
+// basis, repeated syndromes agree, and the perfect final data readout
+// reconstructs the last syndrome. This exercises the full extraction
+// machinery (CNOT orders, compact pipelining, loads/stores) against the
+// exact simulator.
+func TestQuiescenceAllSchemes(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, scheme := range Schemes {
+		for _, basis := range []Basis{BasisZ, BasisX} {
+			for _, d := range []int{3, 5} {
+				e := build(t, scheme, d, basis)
+				for trial := 0; trial < 3; trial++ {
+					out := runTableau(t, e, rng)
+					for di, det := range e.Detectors {
+						v := byte(0)
+						for _, m := range det.Meas {
+							v ^= out[m]
+						}
+						if v != 0 {
+							t.Fatalf("%v d=%d basis=%v: detector %d (plaq %d round %d) fired in noiseless run",
+								scheme, d, basis, di, det.Plaq, det.Round)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// The logical observable must be deterministic (and 0 for the +1 eigenstate
+// preparations we use) in a noiseless run, and flip when the corresponding
+// logical operator is applied mid-circuit.
+func TestObservableDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for _, scheme := range Schemes {
+		for _, basis := range []Basis{BasisZ, BasisX} {
+			e := build(t, scheme, 3, basis)
+			out := runTableau(t, e, rng)
+			v := byte(0)
+			for _, m := range e.Observable {
+				v ^= out[m]
+			}
+			if v != 0 {
+				t.Errorf("%v basis=%v: noiseless logical readout = %d, want 0", scheme, basis, v)
+			}
+		}
+	}
+}
+
+func TestDetectorAndMeasCounts(t *testing.T) {
+	for _, scheme := range Schemes {
+		for _, d := range []int{3, 5} {
+			e := build(t, scheme, d, BasisZ)
+			nz := (d*d - 1) / 2
+			wantDet := nz * (d + 1) // d rounds of syndromes + final closure
+			if len(e.Detectors) != wantDet {
+				t.Errorf("%v d=%d: %d detectors, want %d", scheme, d, len(e.Detectors), wantDet)
+			}
+			wantMeas := (d*d-1)*d + d*d // d rounds of all plaquettes + final data
+			if e.Circ.NumMeas != wantMeas {
+				t.Errorf("%v d=%d: %d measurements, want %d", scheme, d, e.Circ.NumMeas, wantMeas)
+			}
+			if len(e.Observable) != d {
+				t.Errorf("%v d=%d: observable support %d, want %d", scheme, d, len(e.Observable), d)
+			}
+		}
+	}
+}
+
+// Load/store accounting. Natural All-at-once: one load and one store per
+// data per super-cycle. Natural Interleaved: one per data per round. Compact
+// (pipelined, all-at-once): colocated data never move; bulk data move once
+// per round.
+func TestLoadStoreCounts(t *testing.T) {
+	d := 5
+	ndata := d * d
+	rounds := d
+
+	nat := build(t, NaturalAllAtOnce, d, BasisZ)
+	if got := nat.Circ.CountKind(circuit.OpLoad); got != ndata {
+		t.Errorf("natural AAO: %d loads, want %d", got, ndata)
+	}
+
+	ni := build(t, NaturalInterleaved, d, BasisZ)
+	if got := ni.Circ.CountKind(circuit.OpLoad); got != ndata*rounds {
+		t.Errorf("natural interleaved: %d loads, want %d", got, ndata*rounds)
+	}
+
+	// Compact: every non-colocated data use requires residency; the
+	// schedule's consecutive-use property bounds loads by uses. Count
+	// colocated data (never loaded).
+	ca := build(t, CompactAllAtOnce, d, BasisZ)
+	loads := ca.Circ.CountKind(circuit.OpLoad)
+	stores := ca.Circ.CountKind(circuit.OpStore)
+	if loads != stores {
+		t.Errorf("compact AAO: %d loads vs %d stores", loads, stores)
+	}
+	// Bulk data load exactly once per round. Boundary data may need a second
+	// residency per round, but the total must stay well under one load per
+	// use (3 per round) — the Fig. 10 amortization property.
+	maxLoads := rounds * ndata * 2
+	minLoads := rounds * 1
+	if loads < minLoads || loads > maxLoads {
+		t.Errorf("compact AAO: %d loads outside sanity window [%d,%d]", loads, minLoads, maxLoads)
+	}
+	perRound := float64(loads) / float64(rounds) / float64(ndata)
+	if perRound > 1.5 {
+		t.Errorf("compact AAO: %.2f loads per data per round; amortization lost", perRound)
+	}
+
+	// Transmon-mode gates: one per merged plaquette per round.
+	wantTM := (d*d - 1 - (d - 1)) * rounds
+	if got := ca.Circ.CountKind(circuit.OpCNOT); got <= 0 {
+		t.Fatal("compact AAO has no CNOTs")
+	}
+	tm := 0
+	for mi := range ca.Circ.Moments {
+		for _, op := range ca.Circ.Moments[mi].Ops {
+			if op.Kind == circuit.OpCNOT && ca.Circ.SlotLoc[op.A] == circuit.SlotCavityMode ||
+				op.Kind == circuit.OpCNOT && ca.Circ.SlotLoc[op.B] == circuit.SlotCavityMode {
+				tm++
+			}
+		}
+	}
+	if tm != wantTM {
+		t.Errorf("compact AAO: %d transmon-mode gates, want %d", tm, wantTM)
+	}
+}
+
+// With gap-idle charging enabled (the Fig. 12 mode), the serialization gaps
+// must scale with cavity depth: with k=1 there are no gaps, and the k=10
+// circuit is much longer in wall-clock time. Without it (the Fig. 11 mode),
+// cavity depth does not change the circuit.
+func TestCavityDepthGaps(t *testing.T) {
+	p1 := testParams()
+	p1.CavityDepth = 1
+	e1, err := Build(Config{Scheme: NaturalInterleaved, Distance: 3, Basis: BasisZ, Params: p1, ChargeGapIdle: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p10 := testParams()
+	e10, err := Build(Config{Scheme: NaturalInterleaved, Distance: 3, Basis: BasisZ, Params: p10, ChargeGapIdle: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1, d10 := e1.Circ.Duration(), e10.Circ.Duration()
+	if d10 < 8*d1 {
+		t.Errorf("k=10 duration %g not ~10x k=1 duration %g (gap idle charged)", d10, d1)
+	}
+	// Without gap charging the duration is independent of k.
+	n1, _ := Build(Config{Scheme: NaturalInterleaved, Distance: 3, Basis: BasisZ, Params: p1})
+	n10, _ := Build(Config{Scheme: NaturalInterleaved, Distance: 3, Basis: BasisZ, Params: p10})
+	if n1.Circ.Duration() != n10.Circ.Duration() {
+		t.Error("without gap charging, duration must not depend on cavity depth")
+	}
+	// Baseline is unaffected by cavity depth either way.
+	b1, _ := Build(Config{Scheme: Baseline, Distance: 3, Basis: BasisZ, Params: p1})
+	b10, _ := Build(Config{Scheme: Baseline, Distance: 3, Basis: BasisZ, Params: p10})
+	if b1.Circ.Duration() != b10.Circ.Duration() {
+		t.Error("baseline duration must not depend on cavity depth")
+	}
+}
+
+// Memory schemes use dramatically fewer transmons.
+func TestSlotBudget(t *testing.T) {
+	d := 5
+	base := build(t, Baseline, d, BasisZ)
+	cmp := build(t, CompactAllAtOnce, d, BasisZ)
+	baseTransmons := 0
+	for _, loc := range base.Circ.SlotLoc {
+		if loc == circuit.SlotTransmon {
+			baseTransmons++
+		}
+	}
+	cmpTransmons := 0
+	for _, loc := range cmp.Circ.SlotLoc {
+		if loc == circuit.SlotTransmon {
+			cmpTransmons++
+		}
+	}
+	if baseTransmons != 2*d*d-1 || cmpTransmons != d*d+d-1 {
+		t.Errorf("transmon slots: baseline %d (want %d), compact %d (want %d)",
+			baseTransmons, 2*d*d-1, cmpTransmons, d*d+d-1)
+	}
+}
+
+// Building with an explicit round count different from d must work (used by
+// the sensitivity sweeps).
+func TestExplicitRounds(t *testing.T) {
+	e, err := Build(Config{Scheme: CompactInterleaved, Distance: 3, Rounds: 7, Basis: BasisZ, Params: testParams()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nz := (3*3 - 1) / 2
+	if want := nz * 8; len(e.Detectors) != want {
+		t.Errorf("detectors = %d, want %d", len(e.Detectors), want)
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build(Config{Scheme: Baseline, Distance: 4, Basis: BasisZ, Params: testParams()}); err == nil {
+		t.Error("even distance must fail")
+	}
+	bad := testParams()
+	bad.PGate2 = 2
+	if _, err := Build(Config{Scheme: Baseline, Distance: 3, Basis: BasisZ, Params: bad}); err == nil {
+		t.Error("invalid params must fail")
+	}
+	p := testParams()
+	p.CavityDepth = 0
+	if _, err := Build(Config{Scheme: NaturalAllAtOnce, Distance: 3, Basis: BasisZ, Params: p}); err == nil {
+		t.Error("zero cavity depth must fail for memory schemes")
+	}
+}
+
+// Every scheme/basis pair must produce a circuit whose every moment respects
+// builder invariants (Finish succeeded) and where plaquette histories are
+// strictly increasing measurement indices (time-ordering).
+func TestMeasurementTimeOrdering(t *testing.T) {
+	for _, scheme := range Schemes {
+		e := build(t, scheme, 3, BasisZ)
+		// Group detector definitions per plaquette and check round order.
+		last := map[int]int{}
+		for _, det := range e.Detectors {
+			if det.Round <= last[det.Plaq] {
+				t.Errorf("%v: detector rounds out of order for plaquette %d", scheme, det.Plaq)
+			}
+			last[det.Plaq] = det.Round
+		}
+	}
+}
+
+var _ = layout.PlaqZ // keep import if unused in some builds

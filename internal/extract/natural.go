@@ -1,0 +1,75 @@
+package extract
+
+import "repro/internal/circuit"
+
+// buildNatural assembles the Natural-embedding experiments (§III-A). Data
+// qubits rest in mode z of the cavity under their own transmon; extraction
+// rounds are the standard aligned rounds, bracketed by parallel loads and
+// stores. Cavity-depth serialization appears as explicit gap moments:
+//
+//   - All-at-once: one gap of (k-1) super-cycles before the patch's burst of
+//     d rounds (the other k-1 patches each take a full super-cycle turn).
+//   - Interleaved: a gap of (k-1) single-round turns before every round.
+func (e *Experiment) buildNatural() error {
+	p := e.Config.Params
+	rounds := e.Config.rounds()
+	nslots, locs := e.slotPlan()
+	b := circuit.NewBuilder(nslots, locs)
+	idle := e.idlePolicy()
+
+	for q := 0; q < e.Code.NumData(); q++ {
+		b.SetOccupied(e.ModeSlot[q])
+	}
+	rec := newRecorder(e.Code.NumPlaquettes())
+
+	roundDur := e.alignedRoundDuration()
+	turns := float64(p.CavityDepth - 1)
+
+	gap := func(dur float64) {
+		if dur <= 0 || !e.Config.ChargeGapIdle {
+			return
+		}
+		b.Begin(dur)
+		b.End(idle)
+	}
+	loadAll := func() {
+		b.Begin(p.LoadStoreTime)
+		for q := 0; q < e.Code.NumData(); q++ {
+			b.Load(e.TransmonSlot[e.Emb.DataHost[q]], e.ModeSlot[q], p.PLoadStore)
+		}
+		b.End(idle)
+	}
+	storeAll := func() {
+		b.Begin(p.LoadStoreTime)
+		for q := 0; q < e.Code.NumData(); q++ {
+			b.Store(e.TransmonSlot[e.Emb.DataHost[q]], e.ModeSlot[q], p.PLoadStore)
+		}
+		b.End(idle)
+	}
+
+	if e.Config.Scheme == NaturalAllAtOnce {
+		superCycle := 2*p.LoadStoreTime + float64(rounds)*roundDur
+		gap(turns * superCycle)
+		loadAll()
+		for r := 0; r < rounds; r++ {
+			e.alignedRound(b, rec)
+		}
+		storeAll()
+	} else {
+		turnDur := 2*p.LoadStoreTime + roundDur
+		for r := 0; r < rounds; r++ {
+			gap(turns * turnDur)
+			loadAll()
+			e.alignedRound(b, rec)
+			storeAll()
+		}
+	}
+
+	final := finalReadout(b, e.Config.Basis, e.Code.NumData(), func(q int) int { return e.ModeSlot[q] })
+	circ, err := b.Finish()
+	if err != nil {
+		return err
+	}
+	e.Circ = circ
+	return e.finishDetectors(rec, final)
+}

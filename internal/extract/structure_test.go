@@ -1,0 +1,144 @@
+package extract
+
+import (
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/hardware"
+)
+
+// Circuit structure must be identical across physical error rates: the
+// threshold sweep varies op probabilities but never the op sequence (the
+// property that lets detector-error-model skeletons be compared across
+// sweep points and keeps seeds aligned).
+func TestStructureInvariantUnderErrorScaling(t *testing.T) {
+	for _, scheme := range Schemes {
+		var shapes [][3]int
+		for _, p := range []float64{1e-4, 2e-3, 2e-2} {
+			e, err := Build(Config{
+				Scheme: scheme, Distance: 3, Basis: BasisZ,
+				Params: hardware.Default().ScaledGatesTo(p),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			shapes = append(shapes, [3]int{len(e.Circ.Moments), e.Circ.NumOps(), e.Circ.NumMeas})
+		}
+		for i := 1; i < len(shapes); i++ {
+			if shapes[i] != shapes[0] {
+				t.Errorf("%v: circuit shape changed across error rates: %v vs %v", scheme, shapes[0], shapes[i])
+			}
+		}
+	}
+}
+
+// Basis X and basis Z experiments are mirror images: same op counts except
+// for the final-readout Hadamards, same detector counts.
+func TestBasisSymmetry(t *testing.T) {
+	for _, scheme := range Schemes {
+		ez := build(t, scheme, 3, BasisZ)
+		ex := build(t, scheme, 3, BasisX)
+		if len(ez.Detectors) != len(ex.Detectors) {
+			t.Errorf("%v: detector counts differ across bases: %d vs %d", scheme, len(ez.Detectors), len(ex.Detectors))
+		}
+		hz := ez.Circ.CountKind(circuit.OpH)
+		hx := ex.Circ.CountKind(circuit.OpH)
+		if hx != hz+ez.Code.NumData() {
+			t.Errorf("%v: basis-X should add exactly %d readout Hadamards (got %d vs %d)", scheme, ez.Code.NumData(), hx, hz)
+		}
+		if ez.Circ.NumMeas != ex.Circ.NumMeas {
+			t.Errorf("%v: measurement counts differ across bases", scheme)
+		}
+	}
+}
+
+// Every noisy op must carry a probability consistent with its hardware
+// source: no op may exceed the largest configured error rate (catches
+// mis-wired channels).
+func TestNoiseWiring(t *testing.T) {
+	p := hardware.Default()
+	for _, scheme := range Schemes {
+		e := build(t, scheme, 3, BasisZ)
+		maxP := p.PGate2
+		for _, v := range []float64{p.PGate1, p.PGateTM, p.PLoadStore, p.PMeasure, p.PReset} {
+			if v > maxP {
+				maxP = v
+			}
+		}
+		for mi := range e.Circ.Moments {
+			for _, op := range e.Circ.Moments[mi].Ops {
+				if op.Kind == circuit.OpIdle {
+					// Idle probabilities come from T1 and can be anything
+					// small; just require sanity.
+					if op.P < 0 || op.P > 0.5 {
+						t.Fatalf("%v: idle op with probability %g", scheme, op.P)
+					}
+					continue
+				}
+				if op.P < 0 || op.P > maxP {
+					t.Fatalf("%v: op %v with probability %g exceeds configured maximum %g", scheme, op.Kind, op.P, maxP)
+				}
+				switch op.Kind {
+				case circuit.OpCNOT:
+					if op.P != p.PGate2 && op.P != p.PGateTM {
+						t.Fatalf("%v: CNOT with unexpected probability %g", scheme, op.P)
+					}
+				case circuit.OpLoad, circuit.OpStore:
+					if op.P != p.PLoadStore {
+						t.Fatalf("%v: load/store with probability %g", scheme, op.P)
+					}
+				case circuit.OpMeasureZ:
+					if op.P != p.PMeasure && op.P != 0 {
+						t.Fatalf("%v: measurement with probability %g", scheme, op.P)
+					}
+				}
+			}
+		}
+	}
+}
+
+// Compact rounds must be gate-time dominated: the dense-packed round at d=5
+// stays under 2x the Natural round plus the measurement tails (guards the
+// timing model against regressions that re-serialize housekeeping).
+func TestCompactRoundDurationBudget(t *testing.T) {
+	p := hardware.Default()
+	nat, err := Build(Config{Scheme: NaturalInterleaved, Distance: 5, Rounds: 1, Basis: BasisZ, Params: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmp, err := Build(Config{Scheme: CompactInterleaved, Distance: 5, Rounds: 1, Basis: BasisZ, Params: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.Circ.Duration() > 2*nat.Circ.Duration() {
+		t.Errorf("compact round %.2gs exceeds 2x natural round %.2gs — housekeeping re-serialized?",
+			cmp.Circ.Duration(), nat.Circ.Duration())
+	}
+	if cmp.Circ.Duration() <= nat.Circ.Duration() {
+		t.Errorf("compact round should still cost more than natural (8 sub-steps vs 4 layers)")
+	}
+}
+
+// Gap charging must add pure-idle moments and nothing else.
+func TestGapChargingAddsOnlyIdle(t *testing.T) {
+	p := hardware.Default()
+	without, err := Build(Config{Scheme: NaturalInterleaved, Distance: 3, Basis: BasisZ, Params: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	with, err := Build(Config{Scheme: NaturalInterleaved, Distance: 3, Basis: BasisZ, Params: p, ChargeGapIdle: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range []circuit.OpKind{circuit.OpCNOT, circuit.OpLoad, circuit.OpStore, circuit.OpMeasureZ, circuit.OpReset, circuit.OpH} {
+		if without.Circ.CountKind(kind) != with.Circ.CountKind(kind) {
+			t.Errorf("gap charging changed %v count", kind)
+		}
+	}
+	if with.Circ.CountKind(circuit.OpIdle) <= without.Circ.CountKind(circuit.OpIdle) {
+		t.Error("gap charging must add idle channels")
+	}
+	if with.Circ.Duration() <= without.Circ.Duration() {
+		t.Error("gap charging must lengthen the circuit")
+	}
+}

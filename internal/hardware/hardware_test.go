@@ -1,0 +1,120 @@
+package hardware
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultMatchesTableI(t *testing.T) {
+	p := Default()
+	if p.T1Transmon != 100e-6 {
+		t.Errorf("T1,t = %g, want 100us", p.T1Transmon)
+	}
+	if p.T1Cavity != 1e-3 {
+		t.Errorf("T1,c = %g, want 1ms", p.T1Cavity)
+	}
+	if p.Gate2Time != 200e-9 {
+		t.Errorf("dt-t = %g, want 200ns", p.Gate2Time)
+	}
+	if p.Gate1Time != 50e-9 {
+		t.Errorf("dt = %g, want 50ns", p.Gate1Time)
+	}
+	if p.GateTMTime != 200e-9 {
+		t.Errorf("dt-m = %g, want 200ns", p.GateTMTime)
+	}
+	if p.LoadStoreTime != 150e-9 {
+		t.Errorf("dl/s = %g, want 150ns", p.LoadStoreTime)
+	}
+	if p.CavityDepth != 10 {
+		t.Errorf("k = %d, want 10", p.CavityDepth)
+	}
+	if err := p.Validate(); err != nil {
+		t.Errorf("default params invalid: %v", err)
+	}
+}
+
+func TestScaledTo(t *testing.T) {
+	p := Default().ScaledTo(PRef)
+	if p.PGate2 != PRef || math.Abs(p.T1Transmon-100e-6) > 1e-12 {
+		t.Errorf("scaling to PRef must be the identity: %+v", p)
+	}
+
+	q := Default().ScaledTo(2 * PRef)
+	if q.PGate2 != 2*PRef {
+		t.Errorf("PGate2 = %g, want %g", q.PGate2, 2*PRef)
+	}
+	if math.Abs(q.PGate1-2*PRef/10) > 1e-15 {
+		t.Errorf("PGate1 = %g, want %g", q.PGate1, 2*PRef/10)
+	}
+	if math.Abs(q.T1Transmon-50e-6) > 1e-12 {
+		t.Errorf("T1 transmon = %g, want 50us (inverse scaling)", q.T1Transmon)
+	}
+	if math.Abs(q.T1Cavity-0.5e-3) > 1e-12 {
+		t.Errorf("T1 cavity = %g, want 0.5ms", q.T1Cavity)
+	}
+	// Durations never change under error-rate scaling ("gate times are
+	// fixed while we vary the physical error rate").
+	if q.Gate2Time != p.Gate2Time || q.LoadStoreTime != p.LoadStoreTime {
+		t.Error("gate durations must not scale")
+	}
+}
+
+func TestScaledToPreservesRatios(t *testing.T) {
+	f := func(scale float64) bool {
+		phys := math.Mod(math.Abs(scale), 0.05) + 1e-5
+		p := Default().ScaledTo(phys)
+		return math.Abs(p.PGate1/p.PGate2-0.1) < 1e-9 &&
+			math.Abs(p.PLoadStore/p.PGate2-1.0) < 1e-9 &&
+			math.Abs(p.T1Transmon*p.PGate2-100e-6*PRef) < 1e-15
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLambda(t *testing.T) {
+	p := Default()
+	if got := p.LambdaTransmon(0); got != 0 {
+		t.Errorf("lambda(0) = %g, want 0", got)
+	}
+	// Small-time expansion: lambda(dt) ~ dt/T1.
+	dt := 1e-9
+	if got, want := p.LambdaTransmon(dt), dt/p.T1Transmon; math.Abs(got-want)/want > 1e-3 {
+		t.Errorf("lambda small-dt = %g, want ~%g", got, want)
+	}
+	// Cavity is 10x more coherent than the transmon: 10x fewer idle errors.
+	ratio := p.LambdaTransmon(1e-6) / p.LambdaCavity(1e-6)
+	if math.Abs(ratio-10) > 0.1 {
+		t.Errorf("transmon/cavity idle-error ratio = %g, want ~10", ratio)
+	}
+	// Monotone and saturating.
+	if p.LambdaCavity(10) <= p.LambdaCavity(1e-3) || p.LambdaCavity(100) > 1 {
+		t.Error("lambda must be monotone in dt and bounded by 1")
+	}
+}
+
+func TestValidateCatchesBadValues(t *testing.T) {
+	p := Default()
+	p.PGate2 = 1.5
+	if err := p.Validate(); err == nil {
+		t.Error("PGate2 > 1 must fail validation")
+	}
+	p = Default()
+	p.T1Cavity = -1
+	if err := p.Validate(); err == nil {
+		t.Error("negative T1 must fail validation")
+	}
+	p = Default()
+	p.CavityDepth = -2
+	if err := p.Validate(); err == nil {
+		t.Error("negative cavity depth must fail validation")
+	}
+}
+
+func TestAddressStrings(t *testing.T) {
+	v := VirtualAddr{Stack: PhysicalAddr{Row: 1, Col: 2}, Mode: 7}
+	if got := v.String(); got != "stack(1,2)/mode7" {
+		t.Errorf("VirtualAddr string = %q", got)
+	}
+}

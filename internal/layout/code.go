@@ -1,0 +1,198 @@
+// Package layout implements the rotated surface code geometry (Fig. 2 of the
+// paper) and the paper's two hardware embeddings of it onto the 2.5D
+// transmon+cavity architecture: Natural (§III-A, Fig. 1) and Compact
+// (§III-C, Figs. 7 and 8). It also provides the resource-counting functions
+// behind Table II and the "11 transmons and 9 cavities" headline claim.
+//
+// Coordinate convention: the distance-d patch occupies lattice coordinates
+// [0, 2d] x [0, 2d]. Data qubits sit at odd-odd coordinates; syndrome
+// (measure) ancillas sit at even-even coordinates. The bottom (y=0) and top
+// (y=2d) boundaries host Z half-plaquettes; the west (x=0) and east (x=2d)
+// boundaries host X half-plaquettes. Logical Z is a vertical Z string on the
+// x=1 column; logical X is a horizontal X string on the y=1 row.
+package layout
+
+import (
+	"fmt"
+)
+
+// Coord is a lattice coordinate in the rotated surface code plane.
+type Coord struct{ X, Y int }
+
+// Add returns c translated by (dx, dy).
+func (c Coord) Add(dx, dy int) Coord { return Coord{c.X + dx, c.Y + dy} }
+
+func (c Coord) String() string { return fmt.Sprintf("(%d,%d)", c.X, c.Y) }
+
+// PlaqType distinguishes the two stabilizer types of the surface code.
+type PlaqType uint8
+
+// Plaquette types: Z plaquettes detect bit-flip (X) errors by measuring
+// Z-parities; X plaquettes detect phase-flip (Z) errors by measuring
+// X-parities.
+const (
+	PlaqZ PlaqType = iota
+	PlaqX
+)
+
+func (t PlaqType) String() string {
+	if t == PlaqZ {
+		return "Z"
+	}
+	return "X"
+}
+
+// Plaquette is one stabilizer generator: an ancilla site and up to four data
+// qubits listed in syndrome-extraction CNOT order. DataIdx has exactly four
+// layers aligned across all plaquettes (layer l of every plaquette executes
+// in the same circuit moment); boundary half-plaquettes mark their missing
+// layers with -1.
+//
+// The CNOT orders are chosen so that mid-extraction ancilla ("hook") errors
+// spread onto data pairs perpendicular to the logical operator they could
+// harm, preserving the full code distance (the standard zigzag orders):
+// Z plaquettes visit (+1,+1), (+1,-1), (-1,+1), (-1,-1);
+// X plaquettes visit (+1,+1), (-1,+1), (+1,-1), (-1,-1).
+type Plaquette struct {
+	ID      int
+	Type    PlaqType
+	Ancilla Coord
+	DataIdx [4]int // data index per CNOT layer, -1 if absent
+}
+
+// Weight returns the number of data qubits in the plaquette (2 or 4).
+func (p *Plaquette) Weight() int {
+	w := 0
+	for _, d := range p.DataIdx {
+		if d >= 0 {
+			w++
+		}
+	}
+	return w
+}
+
+// ZOrder and XOrder are the per-layer (dx,dy) offsets from an ancilla to the
+// data qubit it interacts with in that layer.
+var (
+	ZOrder = [4][2]int{{+1, +1}, {+1, -1}, {-1, +1}, {-1, -1}}
+	XOrder = [4][2]int{{+1, +1}, {-1, +1}, {+1, -1}, {-1, -1}}
+)
+
+// Code is a distance-d rotated surface code patch.
+type Code struct {
+	Distance   int
+	Data       []Coord     // data qubit positions; index is the data id
+	Plaquettes []Plaquette // all stabilizer generators
+	LogicalZ   []int       // data ids of the vertical logical-Z string (x=1)
+	LogicalX   []int       // data ids of the horizontal logical-X string (y=1)
+	dataAt     map[Coord]int
+}
+
+// NewRotated constructs the distance-d rotated surface code. d must be odd
+// and at least 3.
+func NewRotated(d int) (*Code, error) {
+	if d < 3 || d%2 == 0 {
+		return nil, fmt.Errorf("layout: distance must be odd and >= 3, got %d", d)
+	}
+	c := &Code{
+		Distance: d,
+		dataAt:   make(map[Coord]int),
+	}
+	for y := 1; y < 2*d; y += 2 {
+		for x := 1; x < 2*d; x += 2 {
+			c.dataAt[Coord{x, y}] = len(c.Data)
+			c.Data = append(c.Data, Coord{x, y})
+		}
+	}
+	for j := 0; j <= d; j++ {
+		for i := 0; i <= d; i++ {
+			pos := Coord{2 * i, 2 * j}
+			typ := PlaqX
+			if (i+j)%2 == 0 {
+				typ = PlaqZ
+			}
+			if !ancillaIncluded(d, i, j, typ) {
+				continue
+			}
+			p := Plaquette{ID: len(c.Plaquettes), Type: typ, Ancilla: pos}
+			order := ZOrder
+			if typ == PlaqX {
+				order = XOrder
+			}
+			for l, off := range order {
+				q, ok := c.dataAt[pos.Add(off[0], off[1])]
+				if !ok {
+					q = -1
+				}
+				p.DataIdx[l] = q
+			}
+			c.Plaquettes = append(c.Plaquettes, p)
+		}
+	}
+	for y := 1; y < 2*d; y += 2 {
+		c.LogicalZ = append(c.LogicalZ, c.dataAt[Coord{1, y}])
+	}
+	for x := 1; x < 2*d; x += 2 {
+		c.LogicalX = append(c.LogicalX, c.dataAt[Coord{x, 1}])
+	}
+	return c, nil
+}
+
+// ancillaIncluded implements the boundary rules: bulk ancillas are always
+// present; the top/bottom boundaries keep only Z half-plaquettes; the
+// east/west boundaries keep only X half-plaquettes; corners are dropped.
+func ancillaIncluded(d, i, j int, typ PlaqType) bool {
+	interiorI := i >= 1 && i <= d-1
+	interiorJ := j >= 1 && j <= d-1
+	switch {
+	case interiorI && interiorJ:
+		return true
+	case (j == 0 || j == d) && interiorI:
+		return typ == PlaqZ
+	case (i == 0 || i == d) && interiorJ:
+		return typ == PlaqX
+	default:
+		return false
+	}
+}
+
+// DataIndex returns the data id at position c, or -1.
+func (c *Code) DataIndex(pos Coord) int {
+	if id, ok := c.dataAt[pos]; ok {
+		return id
+	}
+	return -1
+}
+
+// NumData returns the number of data qubits (d^2).
+func (c *Code) NumData() int { return len(c.Data) }
+
+// NumPlaquettes returns the number of stabilizer generators (d^2 - 1).
+func (c *Code) NumPlaquettes() int { return len(c.Plaquettes) }
+
+// PlaquettesOfType returns the plaquettes with the given type.
+func (c *Code) PlaquettesOfType(t PlaqType) []Plaquette {
+	var out []Plaquette
+	for _, p := range c.Plaquettes {
+		if p.Type == t {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// SharedData returns the data ids common to plaquettes a and b.
+func SharedData(a, b *Plaquette) []int {
+	var out []int
+	for _, da := range a.DataIdx {
+		if da < 0 {
+			continue
+		}
+		for _, db := range b.DataIdx {
+			if da == db {
+				out = append(out, da)
+			}
+		}
+	}
+	return out
+}

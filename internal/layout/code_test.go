@@ -1,0 +1,232 @@
+package layout
+
+import (
+	"testing"
+
+	"repro/internal/pauli"
+)
+
+func mustCode(t *testing.T, d int) *Code {
+	t.Helper()
+	c, err := NewRotated(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// plaquetteOperator renders plaquette p as a Pauli string over data qubits.
+func plaquetteOperator(c *Code, p *Plaquette) pauli.Str {
+	s := pauli.NewStr(c.NumData())
+	base := pauli.Z
+	if p.Type == PlaqX {
+		base = pauli.X
+	}
+	for _, d := range p.DataIdx {
+		if d >= 0 {
+			s[d] = base
+		}
+	}
+	return s
+}
+
+func logicalOperator(c *Code, ids []int, base pauli.Pauli) pauli.Str {
+	s := pauli.NewStr(c.NumData())
+	for _, d := range ids {
+		s[d] = base
+	}
+	return s
+}
+
+func TestNewRotatedRejectsBadDistance(t *testing.T) {
+	for _, d := range []int{0, 1, 2, 4, -3} {
+		if _, err := NewRotated(d); err == nil {
+			t.Errorf("NewRotated(%d) should fail", d)
+		}
+	}
+}
+
+func TestCounts(t *testing.T) {
+	for _, d := range []int{3, 5, 7, 9, 11} {
+		c := mustCode(t, d)
+		if got := c.NumData(); got != d*d {
+			t.Errorf("d=%d: %d data, want %d", d, got, d*d)
+		}
+		if got := c.NumPlaquettes(); got != d*d-1 {
+			t.Errorf("d=%d: %d plaquettes, want %d", d, got, d*d-1)
+		}
+		nz := len(c.PlaquettesOfType(PlaqZ))
+		nx := len(c.PlaquettesOfType(PlaqX))
+		if nz != nx || nz+nx != d*d-1 {
+			t.Errorf("d=%d: %d Z and %d X plaquettes, want equal split of %d", d, nz, nx, d*d-1)
+		}
+		if len(c.LogicalZ) != d || len(c.LogicalX) != d {
+			t.Errorf("d=%d: logical operator weights %d/%d, want %d", d, len(c.LogicalZ), len(c.LogicalX), d)
+		}
+	}
+}
+
+func TestPlaquetteWeights(t *testing.T) {
+	for _, d := range []int{3, 5, 7} {
+		c := mustCode(t, d)
+		w2 := 0
+		for i := range c.Plaquettes {
+			switch w := c.Plaquettes[i].Weight(); w {
+			case 2:
+				w2++
+			case 4:
+			default:
+				t.Fatalf("d=%d: plaquette %d has weight %d", d, i, w)
+			}
+		}
+		if w2 != 2*(d-1) {
+			t.Errorf("d=%d: %d half-plaquettes, want %d", d, w2, 2*(d-1))
+		}
+	}
+}
+
+func TestStabilizersCommute(t *testing.T) {
+	for _, d := range []int{3, 5, 7} {
+		c := mustCode(t, d)
+		ops := make([]pauli.Str, len(c.Plaquettes))
+		for i := range c.Plaquettes {
+			ops[i] = plaquetteOperator(c, &c.Plaquettes[i])
+		}
+		for i := range ops {
+			for j := i + 1; j < len(ops); j++ {
+				if !ops[i].Commutes(ops[j]) {
+					t.Fatalf("d=%d: plaquettes %d and %d anticommute", d, i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestLogicalOperators(t *testing.T) {
+	for _, d := range []int{3, 5, 7} {
+		c := mustCode(t, d)
+		lz := logicalOperator(c, c.LogicalZ, pauli.Z)
+		lx := logicalOperator(c, c.LogicalX, pauli.X)
+		if lz.Commutes(lx) {
+			t.Fatalf("d=%d: logical Z and X must anticommute", d)
+		}
+		if lz.Weight() != d || lx.Weight() != d {
+			t.Fatalf("d=%d: logical weights %d/%d", d, lz.Weight(), lx.Weight())
+		}
+		for i := range c.Plaquettes {
+			op := plaquetteOperator(c, &c.Plaquettes[i])
+			if !op.Commutes(lz) {
+				t.Fatalf("d=%d: plaquette %d anticommutes with logical Z", d, i)
+			}
+			if !op.Commutes(lx) {
+				t.Fatalf("d=%d: plaquette %d anticommutes with logical X", d, i)
+			}
+		}
+	}
+}
+
+// Every interior data qubit touches two Z and two X plaquettes; every data
+// qubit touches at least one of each.
+func TestDataCoverage(t *testing.T) {
+	for _, d := range []int{3, 5} {
+		c := mustCode(t, d)
+		zc := make([]int, c.NumData())
+		xc := make([]int, c.NumData())
+		for i := range c.Plaquettes {
+			p := &c.Plaquettes[i]
+			for _, q := range p.DataIdx {
+				if q < 0 {
+					continue
+				}
+				if p.Type == PlaqZ {
+					zc[q]++
+				} else {
+					xc[q]++
+				}
+			}
+		}
+		for q, pos := range c.Data {
+			interior := pos.X > 1 && pos.X < 2*d-1 && pos.Y > 1 && pos.Y < 2*d-1
+			if interior && (zc[q] != 2 || xc[q] != 2) {
+				t.Errorf("d=%d: interior data %v has %d Z + %d X checks", d, pos, zc[q], xc[q])
+			}
+			if zc[q] < 1 || xc[q] < 1 || zc[q] > 2 || xc[q] > 2 {
+				t.Errorf("d=%d: data %v has %d Z + %d X checks", d, pos, zc[q], xc[q])
+			}
+		}
+	}
+}
+
+// No data qubit may be touched by two plaquettes in the same CNOT layer;
+// this is what lets all plaquettes extract syndromes in four parallel
+// moments.
+func TestCNOTLayersConflictFree(t *testing.T) {
+	for _, d := range []int{3, 5, 7} {
+		c := mustCode(t, d)
+		for l := 0; l < 4; l++ {
+			seen := make(map[int]int)
+			for i := range c.Plaquettes {
+				q := c.Plaquettes[i].DataIdx[l]
+				if q < 0 {
+					continue
+				}
+				if prev, dup := seen[q]; dup {
+					t.Fatalf("d=%d layer %d: data %d used by plaquettes %d and %d", d, l, q, prev, i)
+				}
+				seen[q] = i
+			}
+		}
+	}
+}
+
+// Hook-error safety: the data qubits touched by the *last two* CNOT layers
+// of a plaquette must be aligned perpendicular to the logical operator that
+// same-type hooks could extend. For Z plaquettes (whose hooks are X pairs,
+// dangerous to horizontal logical X chains) the final pair must share a
+// column; for X plaquettes it must share a row.
+func TestHookOrderSafety(t *testing.T) {
+	for _, d := range []int{3, 5, 7} {
+		c := mustCode(t, d)
+		for i := range c.Plaquettes {
+			p := &c.Plaquettes[i]
+			a, b := p.DataIdx[2], p.DataIdx[3]
+			if a < 0 || b < 0 {
+				continue // half-plaquettes have weight-1 suffixes at worst
+			}
+			pa, pb := c.Data[a], c.Data[b]
+			if p.Type == PlaqZ && pa.X != pb.X {
+				t.Errorf("d=%d: Z plaquette %d hook pair %v,%v not column-aligned", d, i, pa, pb)
+			}
+			if p.Type == PlaqX && pa.Y != pb.Y {
+				t.Errorf("d=%d: X plaquette %d hook pair %v,%v not row-aligned", d, i, pa, pb)
+			}
+		}
+	}
+}
+
+func TestSharedData(t *testing.T) {
+	c := mustCode(t, 3)
+	// Any Z/X plaquette pair shares 0 or 2 data qubits (this is why they
+	// commute).
+	for i := range c.Plaquettes {
+		for j := range c.Plaquettes {
+			if i == j || c.Plaquettes[i].Type == c.Plaquettes[j].Type {
+				continue
+			}
+			n := len(SharedData(&c.Plaquettes[i], &c.Plaquettes[j]))
+			if n != 0 && n != 2 {
+				t.Fatalf("plaquettes %d/%d share %d data", i, j, n)
+			}
+		}
+	}
+}
+
+func TestDataIndex(t *testing.T) {
+	c := mustCode(t, 3)
+	if got := c.DataIndex(Coord{1, 1}); got != 0 {
+		t.Errorf("DataIndex(1,1) = %d, want 0", got)
+	}
+	if got := c.DataIndex(Coord{0, 0}); got != -1 {
+		t.Errorf("DataIndex(0,0) = %d, want -1", got)
+	}
+}

@@ -1,0 +1,129 @@
+package layout
+
+// This file encodes the Compact syndrome-extraction schedule of Fig. 10.
+//
+// The plaquettes are split into four groups: Z plaquettes into A and B and X
+// plaquettes into C and D by the column parity of their ancilla. Each round
+// is eight CNOT sub-steps; in each sub-step two groups each execute one step
+// of their four-CNOT sequence, phase-offset so that a transmon is never
+// simultaneously an active ancilla and the (loaded) host of a data qubit
+// another plaquette needs:
+//
+//	s0: A0 C2 | s1: A1 C3 | s2: A2 D0 | s3: A3 D1
+//	s4: B0 D2 | s5: B1 D3 | s6: B2 C0 | s7: B3 C1
+//
+// (the paper's published sequence with the two X groups relabeled). Group C
+// straddles the round boundary: its last two CNOTs execute in the first two
+// sub-steps of the following round, so a multi-round schedule pipelines with
+// a one-round warm-up/cool-down for C.
+//
+// Within this schedule each plaquette uses its own CNOT data order, uniform
+// per type and chosen so that (a) the first Z step and the first X step are
+// the colocated (transmon-mode) gate, (b) the hook-error suffix pairs stay
+// perpendicular to the endangered logical operator, and (c) every data
+// qubit's four uses land in four distinct sub-steps. Remarkably, the orders
+// below make every bulk data qubit's three non-colocated uses consecutive,
+// so one load and one store per data qubit per round suffices (the property
+// Fig. 10 highlights).
+
+// CompactZOffsets is the per-step (dx,dy) data order for Z plaquettes in the
+// Compact schedule. Step 0 is the colocated upper-right data.
+var CompactZOffsets = [4][2]int{{+1, +1}, {+1, -1}, {-1, -1}, {-1, +1}}
+
+// CompactXOffsets is the per-step data order for X plaquettes. Step 0 is the
+// colocated lower-left data.
+var CompactXOffsets = [4][2]int{{-1, -1}, {+1, -1}, {+1, +1}, {-1, +1}}
+
+// CompactGroup identifies one of the four phase groups.
+type CompactGroup uint8
+
+// The four Compact extraction groups.
+const (
+	GroupA CompactGroup = iota // Z plaquettes, even ancilla column
+	GroupB                     // Z plaquettes, odd ancilla column
+	GroupC                     // X plaquettes, even ancilla column
+	GroupD                     // X plaquettes, odd ancilla column
+)
+
+func (g CompactGroup) String() string {
+	return [...]string{"A", "B", "C", "D"}[g]
+}
+
+// CompactGroupOf returns the phase group of plaquette p.
+func CompactGroupOf(p *Plaquette) CompactGroup {
+	even := (p.Ancilla.X/2)%2 == 0
+	if p.Type == PlaqZ {
+		if even {
+			return GroupA
+		}
+		return GroupB
+	}
+	if even {
+		return GroupC
+	}
+	return GroupD
+}
+
+// GroupStep is one entry of a sub-step: the group acting and which of its
+// four CNOT steps it performs.
+type GroupStep struct {
+	Group CompactGroup
+	Step  int
+}
+
+// CompactSchedule lists, for each of the eight sub-steps of a round, the two
+// (group, step) actions it contains.
+var CompactSchedule = [8][2]GroupStep{
+	{{GroupA, 0}, {GroupC, 2}},
+	{{GroupA, 1}, {GroupC, 3}},
+	{{GroupA, 2}, {GroupD, 0}},
+	{{GroupA, 3}, {GroupD, 1}},
+	{{GroupB, 0}, {GroupD, 2}},
+	{{GroupB, 1}, {GroupD, 3}},
+	{{GroupB, 2}, {GroupC, 0}},
+	{{GroupB, 3}, {GroupC, 1}},
+}
+
+// CompactOffsets returns the data order offsets for plaquette type t.
+func CompactOffsets(t PlaqType) [4][2]int {
+	if t == PlaqZ {
+		return CompactZOffsets
+	}
+	return CompactXOffsets
+}
+
+// DataAt returns the data id at the given offset from p's ancilla, or -1.
+func (c *Code) DataAt(p *Plaquette, dx, dy int) int {
+	return c.DataIndex(p.Ancilla.Add(dx, dy))
+}
+
+// CompactDataStep returns the data id plaquette p addresses at Compact step
+// s (0..3), or -1 if that corner is outside the patch.
+func (c *Code) CompactDataStep(p *Plaquette, s int) int {
+	off := CompactOffsets(p.Type)[s]
+	return c.DataAt(p, off[0], off[1])
+}
+
+// CompactDutyWindow returns the first and last sub-step index (in the
+// unrolled stream of 8 per round, relative to the plaquette's own round) at
+// which group g performs CNOTs. Group C's window extends past the round
+// boundary (values >= 8 index into the next round's sub-steps).
+func CompactDutyWindow(g CompactGroup) (first, last int) {
+	switch g {
+	case GroupA:
+		return 0, 3
+	case GroupB:
+		return 4, 7
+	case GroupD:
+		return 2, 5
+	default: // GroupC: s6, s7, then s0, s1 of the next round
+		return 6, 9
+	}
+}
+
+// CompactStepOf returns the global sub-step (relative to the start of the
+// plaquette's own duty round) at which group g performs its CNOT step s.
+func CompactStepOf(g CompactGroup, s int) int {
+	first, _ := CompactDutyWindow(g)
+	return first + s
+}

@@ -1,0 +1,208 @@
+package layout
+
+import "testing"
+
+// subStepOfUse returns, for each data qubit use (plaquette p, step s), the
+// absolute sub-step within the cyclic 8-step round at which it executes.
+func subStepOfUse(p *Plaquette, s int) int {
+	return CompactStepOf(CompactGroupOf(p), s) % 8
+}
+
+// Every plaquette covers its full support under the Compact orders, matching
+// the baseline orders as a set.
+func TestCompactOrdersCoverSupport(t *testing.T) {
+	for _, d := range []int{3, 5, 7} {
+		c := mustCode(t, d)
+		for i := range c.Plaquettes {
+			p := &c.Plaquettes[i]
+			base := map[int]bool{}
+			for _, q := range p.DataIdx {
+				if q >= 0 {
+					base[q] = true
+				}
+			}
+			comp := map[int]bool{}
+			for s := 0; s < 4; s++ {
+				if q := c.CompactDataStep(p, s); q >= 0 {
+					if comp[q] {
+						t.Fatalf("d=%d plaquette %d: duplicate data %d", d, i, q)
+					}
+					comp[q] = true
+				}
+			}
+			if len(base) != len(comp) {
+				t.Fatalf("d=%d plaquette %d: support size %d vs %d", d, i, len(comp), len(base))
+			}
+			for q := range base {
+				if !comp[q] {
+					t.Fatalf("d=%d plaquette %d: data %d missing from compact order", d, i, q)
+				}
+			}
+		}
+	}
+}
+
+// Step 0 of every plaquette is the colocated data (the merge partner), when
+// it exists.
+func TestCompactStepZeroIsColocated(t *testing.T) {
+	for _, d := range []int{3, 5} {
+		c := mustCode(t, d)
+		e, err := NewEmbedding(Compact, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range c.Plaquettes {
+			p := &c.Plaquettes[i]
+			q := c.CompactDataStep(p, 0)
+			if q < 0 {
+				continue
+			}
+			merged := e.Transmons[e.AncHost[p.ID]].HasCavity
+			if merged && !e.Colocated(p.ID, q) {
+				t.Errorf("d=%d plaquette %d: step-0 data %d not colocated", d, i, q)
+			}
+		}
+	}
+}
+
+// Hook safety under the Compact orders: the last two data of a Z plaquette
+// share a column; the last two data of an X plaquette share a row.
+func TestCompactHookSafety(t *testing.T) {
+	for _, d := range []int{3, 5, 7} {
+		c := mustCode(t, d)
+		for i := range c.Plaquettes {
+			p := &c.Plaquettes[i]
+			a, b := c.CompactDataStep(p, 2), c.CompactDataStep(p, 3)
+			if a < 0 || b < 0 {
+				continue
+			}
+			pa, pb := c.Data[a], c.Data[b]
+			if p.Type == PlaqZ && pa.X != pb.X {
+				t.Errorf("d=%d: Z plaquette %d compact hook pair %v,%v not column-aligned", d, i, pa, pb)
+			}
+			if p.Type == PlaqX && pa.Y != pb.Y {
+				t.Errorf("d=%d: X plaquette %d compact hook pair %v,%v not row-aligned", d, i, pa, pb)
+			}
+		}
+	}
+}
+
+// No data qubit is addressed by two plaquettes in the same sub-step of the
+// cyclic schedule.
+func TestCompactNoDataDoubleBooking(t *testing.T) {
+	for _, d := range []int{3, 5, 7, 9} {
+		c := mustCode(t, d)
+		for sub := 0; sub < 8; sub++ {
+			used := map[int]int{}
+			for i := range c.Plaquettes {
+				p := &c.Plaquettes[i]
+				for s := 0; s < 4; s++ {
+					if subStepOfUse(p, s) != sub {
+						continue
+					}
+					q := c.CompactDataStep(p, s)
+					if q < 0 {
+						continue
+					}
+					if prev, dup := used[q]; dup {
+						t.Fatalf("d=%d sub-step %d: data %d used by plaquettes %d and %d", d, sub, q, prev, i)
+					}
+					used[q] = i
+				}
+			}
+		}
+	}
+}
+
+// A plaquette's non-colocated data must be hosted by transmons whose own
+// duty window does not cover the sub-step of use — otherwise the host could
+// not be loaded. This is the availability property the A/B/C/D phasing
+// exists to provide.
+func TestCompactHostAvailability(t *testing.T) {
+	for _, d := range []int{3, 5, 7, 9} {
+		c := mustCode(t, d)
+		e, err := NewEmbedding(Compact, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inDuty := func(g CompactGroup, sub int) bool {
+			first, last := CompactDutyWindow(g)
+			for s := first; s <= last; s++ {
+				if s%8 == sub {
+					return true
+				}
+			}
+			return false
+		}
+		for i := range c.Plaquettes {
+			p := &c.Plaquettes[i]
+			for s := 0; s < 4; s++ {
+				q := c.CompactDataStep(p, s)
+				if q < 0 || e.Colocated(p.ID, q) {
+					continue
+				}
+				host := e.Transmons[e.DataHost[q]]
+				if host.AncillaFor < 0 {
+					continue // standalone data transmon, never an ancilla
+				}
+				hostGroup := CompactGroupOf(&c.Plaquettes[host.AncillaFor])
+				sub := subStepOfUse(p, s)
+				if inDuty(hostGroup, sub) {
+					t.Fatalf("d=%d: plaquette %d step %d needs data %d hosted by group-%v transmon during its duty (sub-step %d)",
+						d, i, s, q, hostGroup, sub)
+				}
+			}
+		}
+	}
+}
+
+// The pipelining dividend stated in the file comment: every bulk data
+// qubit's three non-colocated uses are consecutive sub-steps (mod 8), so one
+// load/store pair per round serves all of them.
+func TestCompactBulkUsesConsecutive(t *testing.T) {
+	c := mustCode(t, 7)
+	e, err := NewEmbedding(Compact, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uses := make(map[int][]int)
+	for i := range c.Plaquettes {
+		p := &c.Plaquettes[i]
+		for s := 0; s < 4; s++ {
+			q := c.CompactDataStep(p, s)
+			if q < 0 || e.Colocated(p.ID, q) {
+				continue
+			}
+			uses[q] = append(uses[q], subStepOfUse(p, s))
+		}
+	}
+	for q, subs := range uses {
+		pos := c.Data[q]
+		bulk := pos.X > 1 && pos.X < 2*c.Distance-1 && pos.Y > 1 && pos.Y < 2*c.Distance-1
+		if !bulk {
+			continue
+		}
+		if len(subs) != 3 {
+			t.Fatalf("bulk data %d has %d non-colocated uses, want 3", q, len(subs))
+		}
+		// Check the three sub-steps are consecutive modulo 8.
+		ok := false
+		for start := 0; start < 8; start++ {
+			if contains(subs, start) && contains(subs, (start+1)%8) && contains(subs, (start+2)%8) {
+				ok = true
+			}
+		}
+		if !ok {
+			t.Errorf("bulk data %d uses at sub-steps %v are not consecutive", q, subs)
+		}
+	}
+}
+
+func contains(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

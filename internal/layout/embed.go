@@ -1,0 +1,251 @@
+package layout
+
+import "fmt"
+
+// EmbeddingKind selects how a surface-code patch is mapped onto hardware.
+type EmbeddingKind uint8
+
+// The three hardware mappings evaluated in the paper.
+const (
+	// Baseline2D is the conventional architecture: one transmon per data
+	// qubit and one per ancilla, no memory (Fig. 2).
+	Baseline2D EmbeddingKind = iota
+	// Natural stores each data qubit in a cavity under its own transmon;
+	// ancilla transmons have no cavities (§III-A, Fig. 1).
+	Natural
+	// Compact merges each Z ancilla with its upper-right data transmon and
+	// each X ancilla with its lower-left data transmon, halving the
+	// transmon count (§III-C, Fig. 7).
+	Compact
+)
+
+func (k EmbeddingKind) String() string {
+	switch k {
+	case Baseline2D:
+		return "baseline-2d"
+	case Natural:
+		return "natural"
+	default:
+		return "compact"
+	}
+}
+
+// Transmon is one physical transmon in an embedding.
+type Transmon struct {
+	ID        int
+	Pos       Coord
+	HasCavity bool
+	// HostsData is the data id whose home cavity hangs off this transmon,
+	// or -1. In Baseline2D it is the data id living permanently in the
+	// transmon itself.
+	HostsData int
+	// AncillaFor is the plaquette id this transmon serves as measurement
+	// ancilla for, or -1.
+	AncillaFor int
+}
+
+// Embedding maps a Code onto transmons and cavities.
+type Embedding struct {
+	Kind      EmbeddingKind
+	Code      *Code
+	Transmons []Transmon
+	// DataHost[d] is the transmon id whose cavity (or body, for baseline)
+	// holds data qubit d.
+	DataHost []int
+	// AncHost[p] is the transmon id acting as plaquette p's ancilla.
+	AncHost []int
+}
+
+// NewEmbedding builds the embedding of code c for the given kind.
+func NewEmbedding(kind EmbeddingKind, c *Code) (*Embedding, error) {
+	switch kind {
+	case Baseline2D, Natural:
+		return newSeparateAncillaEmbedding(kind, c), nil
+	case Compact:
+		return newCompactEmbedding(c)
+	default:
+		return nil, fmt.Errorf("layout: unknown embedding kind %d", kind)
+	}
+}
+
+// newSeparateAncillaEmbedding covers Baseline2D and Natural, which share the
+// same site plan (one transmon per data and per ancilla); they differ only
+// in whether data live in attached cavities (Natural) or in the transmons
+// themselves (Baseline2D).
+func newSeparateAncillaEmbedding(kind EmbeddingKind, c *Code) *Embedding {
+	e := &Embedding{
+		Kind:     kind,
+		Code:     c,
+		DataHost: make([]int, len(c.Data)),
+		AncHost:  make([]int, len(c.Plaquettes)),
+	}
+	for d, pos := range c.Data {
+		e.DataHost[d] = len(e.Transmons)
+		e.Transmons = append(e.Transmons, Transmon{
+			ID:         len(e.Transmons),
+			Pos:        pos,
+			HasCavity:  kind == Natural,
+			HostsData:  d,
+			AncillaFor: -1,
+		})
+	}
+	for _, p := range c.Plaquettes {
+		e.AncHost[p.ID] = len(e.Transmons)
+		e.Transmons = append(e.Transmons, Transmon{
+			ID:         len(e.Transmons),
+			Pos:        p.Ancilla,
+			HasCavity:  false,
+			HostsData:  -1,
+			AncillaFor: p.ID,
+		})
+	}
+	return e
+}
+
+// compactMergePartner returns the data position a plaquette's ancilla merges
+// with under the Compact rule: Z ancillas absorb their upper-right data,
+// X ancillas their lower-left data. The opposite pairings are what preserve
+// 4-way grid connectivity (Fig. 7b).
+func compactMergePartner(p *Plaquette) Coord {
+	if p.Type == PlaqZ {
+		return p.Ancilla.Add(+1, +1)
+	}
+	return p.Ancilla.Add(-1, -1)
+}
+
+func newCompactEmbedding(c *Code) (*Embedding, error) {
+	e := &Embedding{
+		Kind:     Compact,
+		Code:     c,
+		DataHost: make([]int, len(c.Data)),
+		AncHost:  make([]int, len(c.Plaquettes)),
+	}
+	for i := range e.DataHost {
+		e.DataHost[i] = -1
+	}
+	for i := range e.AncHost {
+		e.AncHost[i] = -1
+	}
+	// Pass 1: merged ancilla+data transmons at the ancilla site.
+	for i := range c.Plaquettes {
+		p := &c.Plaquettes[i]
+		partner := c.DataIndex(compactMergePartner(p))
+		if partner < 0 {
+			continue // boundary ancilla with no partner; handled in pass 3
+		}
+		if e.DataHost[partner] >= 0 {
+			return nil, fmt.Errorf("layout: data %d claimed by two ancillas", partner)
+		}
+		id := len(e.Transmons)
+		e.Transmons = append(e.Transmons, Transmon{
+			ID: id, Pos: p.Ancilla, HasCavity: true,
+			HostsData: partner, AncillaFor: p.ID,
+		})
+		e.DataHost[partner] = id
+		e.AncHost[p.ID] = id
+	}
+	// Pass 2: data qubits not absorbed by any ancilla keep their own
+	// transmon+cavity.
+	for d, pos := range c.Data {
+		if e.DataHost[d] >= 0 {
+			continue
+		}
+		id := len(e.Transmons)
+		e.Transmons = append(e.Transmons, Transmon{
+			ID: id, Pos: pos, HasCavity: true,
+			HostsData: d, AncillaFor: -1,
+		})
+		e.DataHost[d] = id
+	}
+	// Pass 3: unmerged boundary ancillas get bare transmons (no cavity).
+	for i := range c.Plaquettes {
+		p := &c.Plaquettes[i]
+		if e.AncHost[p.ID] >= 0 {
+			continue
+		}
+		id := len(e.Transmons)
+		e.Transmons = append(e.Transmons, Transmon{
+			ID: id, Pos: p.Ancilla, HasCavity: false,
+			HostsData: -1, AncillaFor: p.ID,
+		})
+		e.AncHost[p.ID] = id
+	}
+	// Sanity: syndrome-extraction partners must stay within reach of the
+	// short-range couplers the paper assumes (at most two lattice units).
+	for i := range c.Plaquettes {
+		p := &c.Plaquettes[i]
+		at := e.Transmons[e.AncHost[p.ID]].Pos
+		for _, d := range p.DataIdx {
+			if d < 0 {
+				continue
+			}
+			ht := e.Transmons[e.DataHost[d]].Pos
+			if abs(ht.X-at.X) > 2 || abs(ht.Y-at.Y) > 2 {
+				return nil, fmt.Errorf("layout: plaquette %d data %d host %v too far from ancilla %v", p.ID, d, ht, at)
+			}
+		}
+	}
+	return e, nil
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// NumTransmons returns the number of transmons in the embedding.
+func (e *Embedding) NumTransmons() int { return len(e.Transmons) }
+
+// NumCavities returns the number of attached cavities.
+func (e *Embedding) NumCavities() int {
+	n := 0
+	for _, t := range e.Transmons {
+		if t.HasCavity {
+			n++
+		}
+	}
+	return n
+}
+
+// Colocated reports whether data qubit d lives in the cavity attached to the
+// very transmon serving as plaquette p's ancilla. Such data interact with
+// the ancilla through a direct transmon-mode gate and never need loading.
+func (e *Embedding) Colocated(p, d int) bool {
+	return e.AncHost[p] == e.DataHost[d]
+}
+
+// Resources summarizes hardware cost, the quantity compared in Table II.
+type Resources struct {
+	Transmons   int
+	Cavities    int
+	CavityDepth int // modes per cavity (k)
+	// LogicalQubits is how many logical qubits the hardware stores: k per
+	// stack for the memory embeddings, 1 per patch for the baseline.
+	LogicalQubits int
+}
+
+// TotalQubits counts every two-level system: transmons plus k modes per
+// cavity, matching the "total qubits" column of Table II.
+func (r Resources) TotalQubits() int { return r.Transmons + r.Cavities*r.CavityDepth }
+
+// EmbeddingResources returns the hardware cost of one distance-d patch under
+// the given embedding with cavity depth k.
+func EmbeddingResources(kind EmbeddingKind, d, k int) Resources {
+	switch kind {
+	case Baseline2D:
+		return Resources{Transmons: 2*d*d - 1, Cavities: 0, CavityDepth: 0, LogicalQubits: 1}
+	case Natural:
+		return Resources{Transmons: 2*d*d - 1, Cavities: d * d, CavityDepth: k, LogicalQubits: k}
+	default: // Compact
+		return Resources{Transmons: d*d + d - 1, Cavities: d * d, CavityDepth: k, LogicalQubits: k}
+	}
+}
+
+// Baseline2DPatchesResources returns the cost of a contiguous region of n
+// distance-d patches on a conventional 2D grid: (2*n*d^2 - 1) transmons.
+// This is the accounting behind the Fast/Small rows of Table II.
+func Baseline2DPatchesResources(n, d int) Resources {
+	return Resources{Transmons: 2*n*d*d - 1, LogicalQubits: n}
+}

@@ -1,0 +1,172 @@
+package layout
+
+import "testing"
+
+func mustEmbedding(t *testing.T, kind EmbeddingKind, d int) *Embedding {
+	t.Helper()
+	c := mustCode(t, d)
+	e, err := NewEmbedding(kind, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// The paper's headline resource claim (§I, §VIII): the smallest Compact
+// instance needs only 11 transmons and 9 cavities for k logical qubits.
+func TestCompactSmallestInstance(t *testing.T) {
+	e := mustEmbedding(t, Compact, 3)
+	if got := e.NumTransmons(); got != 11 {
+		t.Errorf("Compact d=3: %d transmons, want 11", got)
+	}
+	if got := e.NumCavities(); got != 9 {
+		t.Errorf("Compact d=3: %d cavities, want 9", got)
+	}
+}
+
+// Table II: VQubits (natural) = 49 transmons + 25 cavities; VQubits
+// (compact) = 29 transmons + 25 cavities; with k=10 the totals are 299 and
+// 279 qubits. Fast Lattice = 1499 transmons (30 patches), Small = 549 (11).
+func TestTableIIResourceCounts(t *testing.T) {
+	nat := EmbeddingResources(Natural, 5, 10)
+	if nat.Transmons != 49 || nat.Cavities != 25 || nat.TotalQubits() != 299 {
+		t.Errorf("Natural d=5 k=10: got %+v (total %d)", nat, nat.TotalQubits())
+	}
+	cmp := EmbeddingResources(Compact, 5, 10)
+	if cmp.Transmons != 29 || cmp.Cavities != 25 || cmp.TotalQubits() != 279 {
+		t.Errorf("Compact d=5 k=10: got %+v (total %d)", cmp, cmp.TotalQubits())
+	}
+	fast := Baseline2DPatchesResources(30, 5)
+	if fast.Transmons != 1499 {
+		t.Errorf("Fast Lattice (30 patches, d=5): %d transmons, want 1499", fast.Transmons)
+	}
+	small := Baseline2DPatchesResources(11, 5)
+	if small.Transmons != 549 {
+		t.Errorf("Small Lattice (11 patches, d=5): %d transmons, want 549", small.Transmons)
+	}
+}
+
+// The embedding structs must agree with the closed-form resource formulas.
+func TestEmbeddingMatchesFormulas(t *testing.T) {
+	for _, d := range []int{3, 5, 7, 9} {
+		for _, kind := range []EmbeddingKind{Baseline2D, Natural, Compact} {
+			e := mustEmbedding(t, kind, d)
+			r := EmbeddingResources(kind, d, 10)
+			if e.NumTransmons() != r.Transmons {
+				t.Errorf("%v d=%d: embedding has %d transmons, formula says %d", kind, d, e.NumTransmons(), r.Transmons)
+			}
+			if e.NumCavities() != r.Cavities {
+				t.Errorf("%v d=%d: embedding has %d cavities, formula says %d", kind, d, e.NumCavities(), r.Cavities)
+			}
+		}
+	}
+}
+
+// The paper's savings claims: Natural saves ~k transmons per logical qubit
+// (10x at k=10) and Compact saves ~2x more.
+func TestTransmonSavingsClaims(t *testing.T) {
+	d, k := 5, 10
+	base := EmbeddingResources(Baseline2D, d, 0)
+	nat := EmbeddingResources(Natural, d, k)
+	cmp := EmbeddingResources(Compact, d, k)
+
+	baselinePerLogical := float64(base.Transmons)
+	natPerLogical := float64(nat.Transmons) / float64(k)
+	cmpPerLogical := float64(cmp.Transmons) / float64(k)
+
+	if ratio := baselinePerLogical / natPerLogical; ratio < 9 || ratio > 11 {
+		t.Errorf("Natural transmon saving = %.2fx, want ~10x", ratio)
+	}
+	if ratio := natPerLogical / cmpPerLogical; ratio < 1.5 || ratio > 2.1 {
+		t.Errorf("Compact extra saving = %.2fx, want ~2x", ratio)
+	}
+}
+
+func TestEmbeddingInvariants(t *testing.T) {
+	for _, d := range []int{3, 5, 7} {
+		for _, kind := range []EmbeddingKind{Baseline2D, Natural, Compact} {
+			e := mustEmbedding(t, kind, d)
+			c := e.Code
+			// Every data qubit has exactly one host; every plaquette has
+			// exactly one ancilla transmon; hosts are consistent with the
+			// transmon records.
+			for q := range c.Data {
+				h := e.DataHost[q]
+				if h < 0 || h >= len(e.Transmons) {
+					t.Fatalf("%v d=%d: data %d has invalid host %d", kind, d, q, h)
+				}
+				if e.Transmons[h].HostsData != q {
+					t.Fatalf("%v d=%d: host mismatch for data %d", kind, d, q)
+				}
+				if kind != Baseline2D && !e.Transmons[h].HasCavity {
+					t.Fatalf("%v d=%d: data %d hosted by cavity-less transmon", kind, d, q)
+				}
+			}
+			for p := range c.Plaquettes {
+				h := e.AncHost[p]
+				if h < 0 || e.Transmons[h].AncillaFor != p {
+					t.Fatalf("%v d=%d: ancilla host mismatch for plaquette %d", kind, d, p)
+				}
+			}
+			// No two data share a host cavity/slot.
+			seen := make(map[int]bool)
+			for q := range c.Data {
+				if seen[e.DataHost[q]] {
+					t.Fatalf("%v d=%d: two data share host %d", kind, d, e.DataHost[q])
+				}
+				seen[e.DataHost[q]] = true
+			}
+		}
+	}
+}
+
+// In Compact, exactly one data qubit per merged plaquette is colocated with
+// its ancilla (reachable with a direct transmon-mode gate); in Natural and
+// Baseline2D none are.
+func TestColocation(t *testing.T) {
+	for _, d := range []int{3, 5} {
+		e := mustEmbedding(t, Compact, d)
+		merged := 0
+		for p := range e.Code.Plaquettes {
+			n := 0
+			for _, q := range e.Code.Plaquettes[p].DataIdx {
+				if q >= 0 && e.Colocated(p, q) {
+					n++
+				}
+			}
+			if n > 1 {
+				t.Fatalf("Compact d=%d: plaquette %d colocated with %d data", d, p, n)
+			}
+			if n == 1 {
+				merged++
+			}
+		}
+		if want := e.Code.NumPlaquettes() - (d - 1); merged != want {
+			t.Errorf("Compact d=%d: %d merged plaquettes, want %d", d, merged, want)
+		}
+
+		nat := mustEmbedding(t, Natural, d)
+		for p := range nat.Code.Plaquettes {
+			for _, q := range nat.Code.Plaquettes[p].DataIdx {
+				if q >= 0 && nat.Colocated(p, q) {
+					t.Fatalf("Natural d=%d: unexpected colocation", d)
+				}
+			}
+		}
+	}
+}
+
+func TestCompactUnmergedAncillaCount(t *testing.T) {
+	for _, d := range []int{3, 5, 7, 9} {
+		e := mustEmbedding(t, Compact, d)
+		bare := 0
+		for _, tr := range e.Transmons {
+			if !tr.HasCavity {
+				bare++
+			}
+		}
+		if bare != d-1 {
+			t.Errorf("Compact d=%d: %d bare ancilla transmons, want %d", d, bare, d-1)
+		}
+	}
+}

@@ -1,0 +1,184 @@
+package layout
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/pauli"
+)
+
+// Property: for any valid distance, the full stabilizer group machinery
+// holds — counts, commutation, logical anticommutation, embedding formula
+// agreement for all three embeddings.
+func TestCodePropertiesQuick(t *testing.T) {
+	f := func(seed uint8) bool {
+		d := 3 + 2*int(seed%5) // 3,5,7,9,11
+		c, err := NewRotated(d)
+		if err != nil {
+			return false
+		}
+		if c.NumData() != d*d || c.NumPlaquettes() != d*d-1 {
+			return false
+		}
+		lz := logicalOperator(c, c.LogicalZ, pauli.Z)
+		lx := logicalOperator(c, c.LogicalX, pauli.X)
+		if lz.Commutes(lx) {
+			return false
+		}
+		for i := range c.Plaquettes {
+			op := plaquetteOperator(c, &c.Plaquettes[i])
+			if !op.Commutes(lz) || !op.Commutes(lx) {
+				return false
+			}
+		}
+		for _, kind := range []EmbeddingKind{Baseline2D, Natural, Compact} {
+			e, err := NewEmbedding(kind, c)
+			if err != nil {
+				return false
+			}
+			r := EmbeddingResources(kind, d, 10)
+			if e.NumTransmons() != r.Transmons || e.NumCavities() != r.Cavities {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The stabilizer group must have full rank d^2-1: no generator is a product
+// of the others. Verified by symplectic Gaussian elimination.
+func TestStabilizerIndependence(t *testing.T) {
+	for _, d := range []int{3, 5, 7} {
+		c := mustCode(t, d)
+		// Build binary symplectic vectors (x|z) per generator.
+		n := c.NumData()
+		rows := make([][]byte, 0, c.NumPlaquettes())
+		for i := range c.Plaquettes {
+			op := plaquetteOperator(c, &c.Plaquettes[i])
+			v := make([]byte, 2*n)
+			for q, p := range op {
+				if p.XBit() {
+					v[q] = 1
+				}
+				if p.ZBit() {
+					v[n+q] = 1
+				}
+			}
+			rows = append(rows, v)
+		}
+		rank := 0
+		for col := 0; col < 2*n && rank < len(rows); col++ {
+			pivot := -1
+			for r := rank; r < len(rows); r++ {
+				if rows[r][col] == 1 {
+					pivot = r
+					break
+				}
+			}
+			if pivot < 0 {
+				continue
+			}
+			rows[rank], rows[pivot] = rows[pivot], rows[rank]
+			for r := 0; r < len(rows); r++ {
+				if r != rank && rows[r][col] == 1 {
+					for cc := 0; cc < 2*n; cc++ {
+						rows[r][cc] ^= rows[rank][cc]
+					}
+				}
+			}
+			rank++
+		}
+		if rank != d*d-1 {
+			t.Errorf("d=%d: stabilizer rank %d, want %d", d, rank, d*d-1)
+		}
+	}
+}
+
+// Logical operators are minimal-weight representatives: no stabilizer
+// product can reduce logical Z below weight d. (Checked indirectly: logical
+// Z times any single stabilizer has weight >= d.)
+func TestLogicalMinimality(t *testing.T) {
+	c := mustCode(t, 5)
+	lz := logicalOperator(c, c.LogicalZ, pauli.Z)
+	for i := range c.Plaquettes {
+		op := plaquetteOperator(c, &c.Plaquettes[i])
+		prod := lz.Clone()
+		prod.MulInto(op)
+		if prod.Weight() < c.Distance {
+			t.Errorf("logical Z * plaquette %d has weight %d < d", i, prod.Weight())
+		}
+	}
+}
+
+func TestRender(t *testing.T) {
+	for _, kind := range []EmbeddingKind{Baseline2D, Natural, Compact} {
+		e := mustEmbedding(t, kind, 3)
+		s := e.Render()
+		if !strings.Contains(s, "distance 3") {
+			t.Errorf("%v: render missing header", kind)
+		}
+		if kind == Compact {
+			if !strings.Contains(s, "Z") || !strings.Contains(s, "X") {
+				t.Error("compact render must show merged transmons")
+			}
+			// d-1 bare ancillas remain.
+			if strings.Count(s, "z")+strings.Count(s, "x") < 2 {
+				t.Error("compact render must show the unmerged boundary ancillas")
+			}
+		}
+		if kind == Baseline2D && strings.Contains(strings.Split(s, "\n")[1], "Z") {
+			t.Error("baseline render must not show merged transmons")
+		}
+	}
+}
+
+func TestCompactScheduleTable(t *testing.T) {
+	// Every (group, step) pair appears exactly once in the schedule.
+	seen := map[GroupStep]bool{}
+	for _, sub := range CompactSchedule {
+		for _, gs := range sub {
+			if seen[gs] {
+				t.Fatalf("duplicate schedule entry %+v", gs)
+			}
+			seen[gs] = true
+		}
+	}
+	if len(seen) != 16 {
+		t.Fatalf("schedule covers %d entries, want 16", len(seen))
+	}
+	for _, g := range []CompactGroup{GroupA, GroupB, GroupC, GroupD} {
+		first, last := CompactDutyWindow(g)
+		if last-first != 3 {
+			t.Errorf("group %v duty window [%d,%d] is not 4 contiguous steps", g, first, last)
+		}
+		for s := 0; s < 4; s++ {
+			if got := CompactStepOf(g, s); got != first+s {
+				t.Errorf("CompactStepOf(%v,%d) = %d, want %d", g, s, got, first+s)
+			}
+		}
+	}
+}
+
+func TestCompactGroupOf(t *testing.T) {
+	c := mustCode(t, 5)
+	counts := map[CompactGroup]int{}
+	for i := range c.Plaquettes {
+		p := &c.Plaquettes[i]
+		g := CompactGroupOf(p)
+		counts[g]++
+		// Z plaquettes land in A/B, X in C/D.
+		isZ := p.Type == PlaqZ
+		if isZ != (g == GroupA || g == GroupB) {
+			t.Fatalf("plaquette %d type %v assigned group %v", i, p.Type, g)
+		}
+	}
+	for g, n := range counts {
+		if n == 0 {
+			t.Errorf("group %v empty", g)
+		}
+	}
+}

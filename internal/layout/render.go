@@ -1,0 +1,49 @@
+package layout
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Render draws the embedding as ASCII art in the paper's Fig. 2/7 style:
+// 'D' marks a data transmon, 'z'/'x' mark Z/X measure ancillas, 'Z'/'X'
+// mark Compact's merged ancilla+data transmons (cavity attached), and '.'
+// marks empty lattice sites.
+func (e *Embedding) Render() string {
+	d := e.Code.Distance
+	grid := make([][]byte, 2*d+1)
+	for y := range grid {
+		grid[y] = []byte(strings.Repeat(".", 2*d+1))
+	}
+	for _, tr := range e.Transmons {
+		var c byte
+		switch {
+		case tr.AncillaFor >= 0 && tr.HasCavity:
+			c = 'Z'
+			if e.Code.Plaquettes[tr.AncillaFor].Type == PlaqX {
+				c = 'X'
+			}
+		case tr.AncillaFor >= 0:
+			c = 'z'
+			if e.Code.Plaquettes[tr.AncillaFor].Type == PlaqX {
+				c = 'x'
+			}
+		default:
+			c = 'D'
+		}
+		grid[tr.Pos.Y][tr.Pos.X] = c
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s embedding, distance %d (%d transmons, %d cavities)\n",
+		e.Kind, d, e.NumTransmons(), e.NumCavities())
+	// Print with y increasing upward, like the figures.
+	for y := 2 * d; y >= 0; y-- {
+		for x := 0; x <= 2*d; x++ {
+			b.WriteByte(grid[y][x])
+			b.WriteByte(' ')
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString("D data transmon | z/x bare Z/X ancilla | Z/X merged ancilla+cavity | . empty\n")
+	return b.String()
+}

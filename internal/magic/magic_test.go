@@ -1,0 +1,115 @@
+package magic
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/hardware"
+	"repro/internal/layout"
+)
+
+// Fig. 13a: with 100 patches, Fast produces ~0.56, Small ~0.83, and VQubits
+// ~1.01 T states per timestep — 1.82x and 1.22x in VQubits' favor.
+func TestFigure13aRates(t *testing.T) {
+	fast := FastLattice.RateWithPatches(100)
+	small := SmallLattice.RateWithPatches(100)
+	vq := VQubits.RateWithPatches(100)
+
+	if math.Abs(fast-100.0/30.0/6.0) > 1e-12 {
+		t.Errorf("fast rate = %v", fast)
+	}
+	if math.Abs(small-100.0/11.0/11.0) > 1e-12 {
+		t.Errorf("small rate = %v", small)
+	}
+	if math.Abs(vq-100.0/99.0) > 1e-12 {
+		t.Errorf("vqubits rate = %v", vq)
+	}
+
+	if r := vq / fast; math.Abs(r-1.82) > 0.01 {
+		t.Errorf("VQubits/Fast = %.3f, paper says 1.82x", r)
+	}
+	if r := vq / small; math.Abs(r-1.22) > 0.01 {
+		t.Errorf("VQubits/Small = %.3f, paper says 1.22x", r)
+	}
+}
+
+// Fig. 13b: space to get one T state per timestep.
+func TestFigure13bSpace(t *testing.T) {
+	if got := FastLattice.PatchesForOneTPerStep(); math.Abs(got-180) > 1e-9 {
+		t.Errorf("fast space = %v, want 180", got)
+	}
+	if got := SmallLattice.PatchesForOneTPerStep(); math.Abs(got-121) > 1e-9 {
+		t.Errorf("small space = %v, want 121", got)
+	}
+	if got := VQubits.PatchesForOneTPerStep(); math.Abs(got-99) > 1e-9 {
+		t.Errorf("vqubits space = %v, want 99", got)
+	}
+}
+
+// Table II at d=5, k=10.
+func TestTableII(t *testing.T) {
+	d, k := 5, 10
+
+	fast := FastLattice.Resources(d, k)
+	if fast.Transmons != 1499 || fast.TotalQubits() != 1499 {
+		t.Errorf("Fast Lattice: %+v", fast)
+	}
+	small := SmallLattice.Resources(d, k)
+	if small.Transmons != 549 {
+		t.Errorf("Small Lattice: %+v", small)
+	}
+
+	// Table II lists the single-patch VQubits footprint.
+	natural := VQubitsSolo.Resources(d, k)
+	if natural.Transmons != 49 || natural.Cavities != 25 || natural.TotalQubits() != 299 {
+		t.Errorf("VQubits natural: transmons=%d cavities=%d total=%d, want 49/25/299",
+			natural.Transmons, natural.Cavities, natural.TotalQubits())
+	}
+	compact := VQubitsSolo.WithEmbedding(layout.Compact, "VQubits (compact)").Resources(d, k)
+	if compact.Transmons != 29 || compact.Cavities != 25 || compact.TotalQubits() != 279 {
+		t.Errorf("VQubits compact: transmons=%d cavities=%d total=%d, want 29/25/279",
+			compact.Transmons, compact.Cavities, compact.TotalQubits())
+	}
+}
+
+func TestSoloVsPairConsistency(t *testing.T) {
+	// Lock-step pairs beat two independent solo circuits.
+	if 2*VQubits.RatePerPatch() <= 2*VQubitsSolo.RatePerPatch() {
+		t.Error("pairs must outperform solo circuits")
+	}
+	if VQubits.SpeedupOver(VQubitsSolo) <= 1 {
+		t.Error("speedup accounting inverted")
+	}
+}
+
+func TestCircuitCounts(t *testing.T) {
+	c := Circuit15to1Counts()
+	if c.Initializations != 16 || c.CNOTs != 35 || c.Measurements != 15 {
+		t.Errorf("15-to-1 counts %+v do not match §VII", c)
+	}
+}
+
+// The mechanism-level schedule on the VLQ machine must complete the full
+// operation inventory in an order-of-magnitude-compatible number of
+// timesteps (the paper reports 110 for its hand-scheduled version).
+func TestEstimateVQubitsSchedule(t *testing.T) {
+	est, err := EstimateVQubitsSchedule(hardware.Default(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Stats.TransversalCNOTs != 35 {
+		t.Errorf("schedule ran %d transversal CNOTs, want 35", est.Stats.TransversalCNOTs)
+	}
+	if est.Stats.Measurements != 15 {
+		t.Errorf("schedule ran %d measurements, want 15", est.Stats.Measurements)
+	}
+	if est.Stats.Preparations != 16 {
+		t.Errorf("schedule ran %d initializations, want 16", est.Stats.Preparations)
+	}
+	if est.Timesteps < 35 || est.Timesteps > 220 {
+		t.Errorf("schedule took %d timesteps; implausible vs the paper's 110", est.Timesteps)
+	}
+	if est.Stats.MaxStalenessSeen > hardware.Default().CavityDepth+6 {
+		t.Errorf("refresh deadline violated during distillation: %d", est.Stats.MaxStalenessSeen)
+	}
+}

@@ -1,0 +1,294 @@
+// Package montecarlo estimates logical error rates by sampling detector
+// error models and decoding each shot, reproducing the paper's §V threshold
+// experiments (Fig. 11) and §VI sensitivity studies (Fig. 12).
+//
+// Each trial is one round of the experiment defined by internal/extract:
+// sample the detector error model, decode the fired detectors, and compare
+// the decoder's observable prediction with the sampled truth. The logical
+// error rate is failures/trials, with a binomial standard error.
+package montecarlo
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"repro/internal/decoder"
+	"repro/internal/dem"
+	"repro/internal/extract"
+	"repro/internal/hardware"
+)
+
+// DecoderKind selects the decoder used for trials.
+type DecoderKind string
+
+// Available decoders. UF is the workhorse; MWPM is exact matching with a
+// transparent fallback to union-find on oversized event clusters.
+const (
+	UF   DecoderKind = "uf"
+	MWPM DecoderKind = "mwpm"
+)
+
+// Config describes one Monte-Carlo point.
+type Config struct {
+	Scheme   extract.Scheme
+	Distance int
+	Rounds   int // 0 => Distance
+	Basis    extract.Basis
+	Params   hardware.Params
+	Trials   int
+	Seed     int64
+	Workers  int // 0 => GOMAXPROCS
+	Decoder  DecoderKind
+	// ChargeGapIdle forwards to extract.Config: include the cavity
+	// serialization gaps as storage noise (Fig. 12 mode).
+	ChargeGapIdle bool
+}
+
+// Result is the outcome of one Monte-Carlo point.
+type Result struct {
+	Config    Config
+	Trials    int
+	Failures  int
+	Fallbacks int // MWPM trials that fell back to union-find
+	// Mechanisms and DetectorCount describe the underlying model.
+	Mechanisms    int
+	DetectorCount int
+}
+
+// Rate returns the logical error rate.
+func (r Result) Rate() float64 {
+	if r.Trials == 0 {
+		return 0
+	}
+	return float64(r.Failures) / float64(r.Trials)
+}
+
+// StdErr returns the binomial standard error of the rate.
+func (r Result) StdErr() float64 {
+	if r.Trials == 0 {
+		return 0
+	}
+	p := r.Rate()
+	return math.Sqrt(p * (1 - p) / float64(r.Trials))
+}
+
+// Run executes one Monte-Carlo point.
+func Run(cfg Config) (Result, error) {
+	if cfg.Trials <= 0 {
+		return Result{}, fmt.Errorf("montecarlo: trials must be positive")
+	}
+	if cfg.Decoder == "" {
+		cfg.Decoder = UF
+	}
+	exp, err := extract.Build(extract.Config{
+		Scheme: cfg.Scheme, Distance: cfg.Distance, Rounds: cfg.Rounds,
+		Basis: cfg.Basis, Params: cfg.Params,
+		ChargeGapIdle: cfg.ChargeGapIdle,
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	model, err := dem.Build(exp)
+	if err != nil {
+		return Result{}, err
+	}
+	graph, err := model.DecodingGraph()
+	if err != nil {
+		return Result{}, err
+	}
+
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > cfg.Trials {
+		workers = cfg.Trials
+	}
+
+	type tally struct {
+		failures, fallbacks int
+		err                 error
+	}
+	tallies := make([]tally, workers)
+	var wg sync.WaitGroup
+	per := cfg.Trials / workers
+	extra := cfg.Trials % workers
+	for w := 0; w < workers; w++ {
+		trials := per
+		if w < extra {
+			trials++
+		}
+		wg.Add(1)
+		go func(w, trials int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(w)*1_000_003))
+			sampler := model.NewSampler()
+			uf := decoder.NewUnionFind(graph)
+			var mw *decoder.MWPM
+			if cfg.Decoder == MWPM {
+				mw = decoder.NewMWPM(graph)
+			}
+			for n := 0; n < trials; n++ {
+				events, truth := sampler.Sample(rng)
+				var pred bool
+				var derr error
+				if mw != nil {
+					pred, derr = mw.Decode(events)
+					if derr != nil {
+						tallies[w].fallbacks++
+						pred, derr = uf.Decode(events)
+					}
+				} else {
+					pred, derr = uf.Decode(events)
+				}
+				if derr != nil {
+					tallies[w].err = derr
+					return
+				}
+				if pred != truth {
+					tallies[w].failures++
+				}
+			}
+		}(w, trials)
+	}
+	wg.Wait()
+
+	res := Result{
+		Config:        cfg,
+		Trials:        cfg.Trials,
+		Mechanisms:    model.Stats.Mechanisms,
+		DetectorCount: model.NumDets,
+	}
+	for _, t := range tallies {
+		if t.err != nil {
+			return Result{}, t.err
+		}
+		res.Failures += t.failures
+		res.Fallbacks += t.fallbacks
+	}
+	return res, nil
+}
+
+// SweepPoint is one (distance, physical rate) cell of a threshold sweep.
+type SweepPoint struct {
+	Distance int
+	Phys     float64
+	Result   Result
+}
+
+// ThresholdSweep runs the Fig. 11 experiment for one scheme: logical error
+// rate over a grid of physical error rates and code distances. The physical
+// rate parameterizes all gate error sources through Params.ScaledGatesTo;
+// coherence times stay at their Table I values (see that method's comment).
+func ThresholdSweep(scheme extract.Scheme, distances []int, physRates []float64, base hardware.Params, trials int, seed int64, dec DecoderKind) ([]SweepPoint, error) {
+	var out []SweepPoint
+	for _, d := range distances {
+		for _, p := range physRates {
+			res, err := Run(Config{
+				Scheme:   scheme,
+				Distance: d,
+				Basis:    extract.BasisZ,
+				Params:   base.ScaledGatesTo(p),
+				Trials:   trials,
+				Seed:     seed + int64(d)*7919 + int64(p*1e9),
+				Decoder:  dec,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("sweep %v d=%d p=%g: %w", scheme, d, p, err)
+			}
+			out = append(out, SweepPoint{Distance: d, Phys: p, Result: res})
+		}
+	}
+	return out, nil
+}
+
+// EstimateThreshold finds the crossing point of the logical-error curves for
+// consecutive distances: below threshold larger d gives lower logical error,
+// above it gives higher. It interpolates each sign change of
+// rate(d2)-rate(d1) in log-p and averages the crossings. Returns 0 if no
+// crossing is bracketed by the sweep.
+func EstimateThreshold(points []SweepPoint) float64 {
+	byDist := map[int]map[float64]float64{}
+	var dists []int
+	var rates []float64
+	seenD := map[int]bool{}
+	seenP := map[float64]bool{}
+	for _, pt := range points {
+		if byDist[pt.Distance] == nil {
+			byDist[pt.Distance] = map[float64]float64{}
+		}
+		byDist[pt.Distance][pt.Phys] = pt.Result.Rate()
+		if !seenD[pt.Distance] {
+			seenD[pt.Distance] = true
+			dists = append(dists, pt.Distance)
+		}
+		if !seenP[pt.Phys] {
+			seenP[pt.Phys] = true
+			rates = append(rates, pt.Phys)
+		}
+	}
+	sortInts(dists)
+	sortFloats(rates)
+
+	var crossings []float64
+	for di := 0; di+1 < len(dists); di++ {
+		d1, d2 := dists[di], dists[di+1]
+		for pi := 0; pi+1 < len(rates); pi++ {
+			pa, pb := rates[pi], rates[pi+1]
+			ga := byDist[d2][pa] - byDist[d1][pa]
+			gb := byDist[d2][pb] - byDist[d1][pb]
+			if ga == 0 && gb == 0 {
+				continue
+			}
+			if ga <= 0 && gb > 0 {
+				// Linear interpolation of the gap in log p.
+				f := 0.5
+				if gb != ga {
+					f = -ga / (gb - ga)
+				}
+				crossings = append(crossings, math.Exp(math.Log(pa)+f*(math.Log(pb)-math.Log(pa))))
+			}
+		}
+	}
+	if len(crossings) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, c := range crossings {
+		s += c
+	}
+	return s / float64(len(crossings))
+}
+
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+func sortFloats(xs []float64) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// DefaultPhysRates returns a log-spaced grid of physical error rates
+// bracketing the paper's thresholds (~0.008-0.009).
+func DefaultPhysRates(n int) []float64 {
+	if n < 2 {
+		n = 2
+	}
+	lo, hi := math.Log(2e-3), math.Log(2e-2)
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Exp(lo + (hi-lo)*float64(i)/float64(n-1))
+	}
+	return out
+}

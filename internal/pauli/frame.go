@@ -1,0 +1,100 @@
+package pauli
+
+// Frame is a Pauli error frame over a register of qubits: the accumulated
+// Pauli error relative to the ideal (noiseless) state. Clifford gates
+// conjugate the frame; measurements consult it to decide whether the recorded
+// outcome is flipped. This is the core of circuit-level stabilizer noise
+// simulation: because all gates in syndrome extraction are Clifford and all
+// injected errors are Pauli, the full quantum state never needs simulating.
+type Frame struct {
+	ps Str
+}
+
+// NewFrame returns an all-identity frame over n qubits.
+func NewFrame(n int) *Frame { return &Frame{ps: NewStr(n)} }
+
+// Len returns the number of qubits tracked by the frame.
+func (f *Frame) Len() int { return len(f.ps) }
+
+// Reset clears the frame back to the identity without reallocating.
+func (f *Frame) Reset() {
+	for i := range f.ps {
+		f.ps[i] = I
+	}
+}
+
+// Get returns the current Pauli on qubit q.
+func (f *Frame) Get(q int) Pauli { return f.ps[q] }
+
+// Inject multiplies Pauli p into the frame at qubit q (a new error occurring
+// at this point in the circuit).
+func (f *Frame) Inject(q int, p Pauli) { f.ps[q] ^= p }
+
+// Clear zeroes the frame on qubit q. Used by reset operations: a qubit that
+// is re-prepared in |0> discards any accumulated error except for the bit
+// flip the reset itself may suffer (injected separately by the noise model).
+func (f *Frame) Clear(q int) { f.ps[q] = I }
+
+// XBit reports whether the frame on q has an X component; this is the bit
+// that flips a Z-basis measurement of q.
+func (f *Frame) XBit(q int) bool { return f.ps[q].XBit() }
+
+// ZBit reports whether the frame on q has a Z component; this is the bit
+// that flips an X-basis measurement of q.
+func (f *Frame) ZBit(q int) bool { return f.ps[q].ZBit() }
+
+// H propagates the frame through a Hadamard on q: X <-> Z (Y maps to Y).
+func (f *Frame) H(q int) {
+	p := f.ps[q]
+	f.ps[q] = p>>1&1 | p&1<<1 // swap the two bits
+}
+
+// S propagates the frame through a phase gate on q: X -> Y, Y -> X, Z -> Z.
+func (f *Frame) S(q int) {
+	p := f.ps[q]
+	if p.XBit() {
+		f.ps[q] = p ^ Z
+	}
+}
+
+// CNOT propagates the frame through a CNOT with control c and target t:
+// X on the control copies onto the target; Z on the target copies onto the
+// control.
+func (f *Frame) CNOT(c, t int) {
+	pc, pt := f.ps[c], f.ps[t]
+	if pc.XBit() {
+		pt ^= X
+	}
+	if f.ps[t].ZBit() {
+		pc ^= Z
+	}
+	f.ps[c], f.ps[t] = pc, pt
+}
+
+// CZ propagates the frame through a controlled-Z between a and b:
+// X on either qubit deposits a Z on the other.
+func (f *Frame) CZ(a, b int) {
+	pa, pb := f.ps[a], f.ps[b]
+	if f.ps[a].XBit() {
+		pb ^= Z
+	}
+	if f.ps[b].XBit() {
+		pa ^= Z
+	}
+	f.ps[a], f.ps[b] = pa, pb
+}
+
+// SWAP exchanges the frame entries of a and b. Load/store operations between
+// a transmon and a cavity mode are iSWAP-like transfers; at the frame level
+// they exchange the accumulated errors of the two slots (the iSWAP's extra
+// single-qubit phases are absorbed into the error channel attached to the
+// operation).
+func (f *Frame) SWAP(a, b int) {
+	f.ps[a], f.ps[b] = f.ps[b], f.ps[a]
+}
+
+// Snapshot copies the frame contents into dst (which must have length
+// f.Len()), for recording or debugging.
+func (f *Frame) Snapshot(dst Str) {
+	copy(dst, f.ps)
+}

@@ -1,0 +1,160 @@
+// Package pauli implements the single- and multi-qubit Pauli algebra used
+// throughout the simulator: the four Pauli operators in the compact
+// (x-bit, z-bit) representation, commutation tests, products, and the
+// Heisenberg-picture conjugation rules for the Clifford gates that appear in
+// surface-code syndrome extraction circuits.
+//
+// Signs are deliberately not tracked at this level. Error-frame simulation
+// and matching-based decoding only ever need the *support* of a Pauli
+// operator (which qubits carry an X component, which carry a Z component);
+// global phases and operator signs never influence syndrome bits. The exact
+// tableau simulator in internal/stab tracks signs where they matter.
+package pauli
+
+import "strings"
+
+// Pauli is a single-qubit Pauli operator encoded in two bits: bit 0 is the
+// X component and bit 1 is the Z component. The zero value is the identity,
+// so fresh error frames are all-identity without initialization.
+type Pauli uint8
+
+// The four single-qubit Pauli operators. Y carries both an X and a Z
+// component (Y = iXZ), which is exactly how the surface code treats it: a Y
+// error trips both the Z-check and X-check graphs.
+const (
+	I Pauli = 0b00
+	X Pauli = 0b01
+	Z Pauli = 0b10
+	Y Pauli = 0b11
+)
+
+// All lists the non-identity Paulis, in the order used when enumerating
+// uniform one-qubit depolarizing channels.
+var All = [3]Pauli{X, Y, Z}
+
+// XBit reports whether p has an X component (p is X or Y).
+func (p Pauli) XBit() bool { return p&X != 0 }
+
+// ZBit reports whether p has a Z component (p is Z or Y).
+func (p Pauli) ZBit() bool { return p&Z != 0 }
+
+// Mul returns the product of two Paulis up to phase: the component-wise XOR.
+func (p Pauli) Mul(q Pauli) Pauli { return p ^ q }
+
+// Commutes reports whether p and q commute. Two single-qubit Paulis
+// anticommute exactly when both are non-identity and different.
+func (p Pauli) Commutes(q Pauli) bool {
+	x1, z1 := p&X != 0, p&Z != 0
+	x2, z2 := q&X != 0, q&Z != 0
+	// Symplectic product: <p,q> = x1*z2 + z1*x2 (mod 2).
+	a := x1 && z2
+	b := z1 && x2
+	return a == b
+}
+
+// String returns "I", "X", "Y" or "Z".
+func (p Pauli) String() string {
+	switch p {
+	case I:
+		return "I"
+	case X:
+		return "X"
+	case Y:
+		return "Y"
+	default:
+		return "Z"
+	}
+}
+
+// Parse converts a letter to a Pauli. It accepts upper or lower case and
+// reports ok=false for any other input.
+func Parse(c byte) (p Pauli, ok bool) {
+	switch c {
+	case 'I', 'i':
+		return I, true
+	case 'X', 'x':
+		return X, true
+	case 'Y', 'y':
+		return Y, true
+	case 'Z', 'z':
+		return Z, true
+	}
+	return I, false
+}
+
+// Str is a multi-qubit Pauli string (one Pauli per qubit), sign ignored.
+// The zero-length Str is the scalar identity.
+type Str []Pauli
+
+// NewStr returns the identity Pauli string on n qubits.
+func NewStr(n int) Str { return make(Str, n) }
+
+// ParseStr parses a textual Pauli string such as "XIZZY".
+func ParseStr(s string) (Str, bool) {
+	out := make(Str, len(s))
+	for i := 0; i < len(s); i++ {
+		p, ok := Parse(s[i])
+		if !ok {
+			return nil, false
+		}
+		out[i] = p
+	}
+	return out, true
+}
+
+// Clone returns an independent copy of s.
+func (s Str) Clone() Str {
+	out := make(Str, len(s))
+	copy(out, s)
+	return out
+}
+
+// IsIdentity reports whether every site of s is I.
+func (s Str) IsIdentity() bool {
+	for _, p := range s {
+		if p != I {
+			return false
+		}
+	}
+	return true
+}
+
+// Weight returns the number of non-identity sites.
+func (s Str) Weight() int {
+	w := 0
+	for _, p := range s {
+		if p != I {
+			w++
+		}
+	}
+	return w
+}
+
+// MulInto multiplies s by t in place (component-wise XOR, phase ignored).
+// The strings must have equal length.
+func (s Str) MulInto(t Str) {
+	for i, p := range t {
+		s[i] ^= p
+	}
+}
+
+// Commutes reports whether s and t commute as operators.
+func (s Str) Commutes(t Str) bool {
+	anti := false
+	for i, p := range s {
+		if !p.Commutes(t[i]) {
+			anti = !anti
+		}
+	}
+	return !anti
+}
+
+// String renders s as a letter string, e.g. "XIZZY".
+func (s Str) String() string {
+	var b strings.Builder
+	b.Grow(len(s))
+	for _, p := range s {
+		b.WriteString(p.String())
+	}
+	return b.String()
+}

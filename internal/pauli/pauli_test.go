@@ -1,0 +1,290 @@
+package pauli
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPauliBits(t *testing.T) {
+	cases := []struct {
+		p    Pauli
+		x, z bool
+	}{
+		{I, false, false},
+		{X, true, false},
+		{Z, false, true},
+		{Y, true, true},
+	}
+	for _, c := range cases {
+		if c.p.XBit() != c.x || c.p.ZBit() != c.z {
+			t.Errorf("%v: got bits (%v,%v), want (%v,%v)", c.p, c.p.XBit(), c.p.ZBit(), c.x, c.z)
+		}
+	}
+}
+
+func TestPauliMulTable(t *testing.T) {
+	// Products up to phase.
+	want := map[[2]Pauli]Pauli{
+		{X, X}: I, {Y, Y}: I, {Z, Z}: I,
+		{X, Y}: Z, {Y, X}: Z,
+		{X, Z}: Y, {Z, X}: Y,
+		{Y, Z}: X, {Z, Y}: X,
+	}
+	for ab, w := range want {
+		if got := ab[0].Mul(ab[1]); got != w {
+			t.Errorf("%v*%v = %v, want %v", ab[0], ab[1], got, w)
+		}
+	}
+	for _, p := range []Pauli{I, X, Y, Z} {
+		if p.Mul(I) != p || I.Mul(p) != p {
+			t.Errorf("identity law failed for %v", p)
+		}
+	}
+}
+
+func TestPauliCommutes(t *testing.T) {
+	for _, p := range []Pauli{I, X, Y, Z} {
+		for _, q := range []Pauli{I, X, Y, Z} {
+			want := p == I || q == I || p == q
+			if got := p.Commutes(q); got != want {
+				t.Errorf("Commutes(%v,%v) = %v, want %v", p, q, got, want)
+			}
+		}
+	}
+}
+
+func TestParseAndString(t *testing.T) {
+	for _, p := range []Pauli{I, X, Y, Z} {
+		got, ok := Parse(p.String()[0])
+		if !ok || got != p {
+			t.Errorf("round-trip failed for %v", p)
+		}
+	}
+	if _, ok := Parse('Q'); ok {
+		t.Error("Parse('Q') should fail")
+	}
+	s, ok := ParseStr("XIZZY")
+	if !ok || s.String() != "XIZZY" {
+		t.Errorf("ParseStr round-trip: got %q ok=%v", s.String(), ok)
+	}
+	if _, ok := ParseStr("XQ"); ok {
+		t.Error("ParseStr with invalid letter should fail")
+	}
+}
+
+func TestStrWeightAndIdentity(t *testing.T) {
+	s, _ := ParseStr("IXIYZ")
+	if s.Weight() != 3 {
+		t.Errorf("weight = %d, want 3", s.Weight())
+	}
+	if s.IsIdentity() {
+		t.Error("IXIYZ is not identity")
+	}
+	if !NewStr(4).IsIdentity() {
+		t.Error("NewStr should be identity")
+	}
+}
+
+func TestStrCommutes(t *testing.T) {
+	// XX and ZZ commute (two anticommuting sites); XI and ZI anticommute.
+	xx, _ := ParseStr("XX")
+	zz, _ := ParseStr("ZZ")
+	xi, _ := ParseStr("XI")
+	zi, _ := ParseStr("ZI")
+	if !xx.Commutes(zz) {
+		t.Error("XX and ZZ must commute")
+	}
+	if xi.Commutes(zi) {
+		t.Error("XI and ZI must anticommute")
+	}
+}
+
+// Property: Str multiplication is associative and self-inverse, and the
+// symplectic form is bilinear: Commutes(a*b, c) == Commutes(a,c) XOR-combined
+// with Commutes(b,c).
+func TestStrProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	gen := func(n int) Str {
+		s := NewStr(n)
+		for i := range s {
+			s[i] = Pauli(rng.Intn(4))
+		}
+		return s
+	}
+	f := func(seed int64) bool {
+		n := 1 + int(seed&7)
+		a, b, c := gen(n), gen(n), gen(n)
+		ab := a.Clone()
+		ab.MulInto(b)
+		// self inverse
+		aa := a.Clone()
+		aa.MulInto(a)
+		if !aa.IsIdentity() {
+			return false
+		}
+		// bilinearity of commutation
+		want := a.Commutes(c) == b.Commutes(c)
+		return ab.Commutes(c) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFrameGatePropagation(t *testing.T) {
+	// Conjugation rules spot-checked against textbook identities.
+	f := NewFrame(2)
+
+	// H: X <-> Z
+	f.Inject(0, X)
+	f.H(0)
+	if f.Get(0) != Z {
+		t.Errorf("HXH = %v, want Z", f.Get(0))
+	}
+	f.H(0)
+	if f.Get(0) != X {
+		t.Errorf("HZH = %v, want X", f.Get(0))
+	}
+	f.Clear(0)
+
+	// H fixes Y (up to sign).
+	f.Inject(0, Y)
+	f.H(0)
+	if f.Get(0) != Y {
+		t.Errorf("HYH = %v, want Y", f.Get(0))
+	}
+	f.Clear(0)
+
+	// S: X -> Y -> X, Z fixed.
+	f.Inject(0, X)
+	f.S(0)
+	if f.Get(0) != Y {
+		t.Errorf("SXS' = %v, want Y", f.Get(0))
+	}
+	f.S(0)
+	if f.Get(0) != X {
+		t.Errorf("SYS' = %v, want X", f.Get(0))
+	}
+	f.Clear(0)
+
+	// CNOT: Xc -> XcXt, Zt -> ZcZt, Xt and Zc fixed.
+	f.Inject(0, X)
+	f.CNOT(0, 1)
+	if f.Get(0) != X || f.Get(1) != X {
+		t.Errorf("CNOT X(c) -> %v%v, want XX", f.Get(0), f.Get(1))
+	}
+	f.Reset()
+	f.Inject(1, Z)
+	f.CNOT(0, 1)
+	if f.Get(0) != Z || f.Get(1) != Z {
+		t.Errorf("CNOT Z(t) -> %v%v, want ZZ", f.Get(0), f.Get(1))
+	}
+	f.Reset()
+	f.Inject(1, X)
+	f.CNOT(0, 1)
+	if f.Get(0) != I || f.Get(1) != X {
+		t.Errorf("CNOT X(t) -> %v%v, want IX", f.Get(0), f.Get(1))
+	}
+	f.Reset()
+	f.Inject(0, Z)
+	f.CNOT(0, 1)
+	if f.Get(0) != Z || f.Get(1) != I {
+		t.Errorf("CNOT Z(c) -> %v%v, want ZI", f.Get(0), f.Get(1))
+	}
+	f.Reset()
+
+	// CZ: X(a) -> X(a)Z(b).
+	f.Inject(0, X)
+	f.CZ(0, 1)
+	if f.Get(0) != X || f.Get(1) != Z {
+		t.Errorf("CZ X(a) -> %v%v, want XZ", f.Get(0), f.Get(1))
+	}
+	f.Reset()
+
+	// SWAP.
+	f.Inject(0, Y)
+	f.SWAP(0, 1)
+	if f.Get(0) != I || f.Get(1) != Y {
+		t.Errorf("SWAP -> %v%v, want IY", f.Get(0), f.Get(1))
+	}
+}
+
+// Property: CNOT propagation agrees with explicit symplectic conjugation for
+// all 16 two-qubit Paulis, and applying the same gate twice is the identity
+// map on frames (CNOT, CZ, SWAP, H are involutions).
+func TestFrameInvolutions(t *testing.T) {
+	for p := 0; p < 16; p++ {
+		f := NewFrame(2)
+		f.Inject(0, Pauli(p&3))
+		f.Inject(1, Pauli(p>>2))
+		orig0, orig1 := f.Get(0), f.Get(1)
+
+		f.CNOT(0, 1)
+		f.CNOT(0, 1)
+		if f.Get(0) != orig0 || f.Get(1) != orig1 {
+			t.Errorf("CNOT^2 not identity for %v%v", orig0, orig1)
+		}
+		f.CZ(0, 1)
+		f.CZ(0, 1)
+		if f.Get(0) != orig0 || f.Get(1) != orig1 {
+			t.Errorf("CZ^2 not identity for %v%v", orig0, orig1)
+		}
+		f.H(0)
+		f.H(0)
+		if f.Get(0) != orig0 {
+			t.Errorf("H^2 not identity for %v", orig0)
+		}
+	}
+}
+
+// Commutation preservation: Clifford conjugation preserves the symplectic
+// form, so propagating two frames through the same gate sequence preserves
+// whether they commute.
+func TestFrameSymplecticInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for iter := 0; iter < 100; iter++ {
+		n := 4
+		a, b := NewStr(n), NewStr(n)
+		for i := 0; i < n; i++ {
+			a[i] = Pauli(rng.Intn(4))
+			b[i] = Pauli(rng.Intn(4))
+		}
+		fa, fb := NewFrame(n), NewFrame(n)
+		for i := 0; i < n; i++ {
+			fa.Inject(i, a[i])
+			fb.Inject(i, b[i])
+		}
+		before := a.Commutes(b)
+		for g := 0; g < 20; g++ {
+			switch rng.Intn(4) {
+			case 0:
+				q := rng.Intn(n)
+				fa.H(q)
+				fb.H(q)
+			case 1:
+				q := rng.Intn(n)
+				fa.S(q)
+				fb.S(q)
+			case 2:
+				c, t := rng.Intn(n), rng.Intn(n)
+				if c != t {
+					fa.CNOT(c, t)
+					fb.CNOT(c, t)
+				}
+			case 3:
+				x, y := rng.Intn(n), rng.Intn(n)
+				if x != y {
+					fa.CZ(x, y)
+					fb.CZ(x, y)
+				}
+			}
+		}
+		sa, sb := NewStr(n), NewStr(n)
+		fa.Snapshot(sa)
+		fb.Snapshot(sb)
+		if sa.Commutes(sb) != before {
+			t.Fatalf("symplectic form not preserved (iter %d)", iter)
+		}
+	}
+}

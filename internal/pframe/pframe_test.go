@@ -1,0 +1,255 @@
+package pframe
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/extract"
+	"repro/internal/hardware"
+	"repro/internal/pauli"
+	"repro/internal/stab"
+)
+
+// quietParams returns hardware parameters with all error sources disabled
+// (T1 so large that idle error underflows to exactly zero).
+func quietParams() hardware.Params {
+	p := hardware.Default()
+	p.PGate1, p.PGate2, p.PGateTM, p.PLoadStore, p.PMeasure, p.PReset = 0, 0, 0, 0, 0, 0
+	p.T1Transmon, p.T1Cavity = 1e18, 1e18
+	return p
+}
+
+func buildExp(t *testing.T, scheme extract.Scheme, d int, params hardware.Params) *extract.Experiment {
+	t.Helper()
+	e, err := extract.Build(extract.Config{Scheme: scheme, Distance: d, Basis: extract.BasisZ, Params: params})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestNoiselessSampleAllZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, scheme := range extract.Schemes {
+		e := buildExp(t, scheme, 3, quietParams())
+		s := NewSampler(e.Circ)
+		flips := s.Sample(rng)
+		for i, f := range flips {
+			if f {
+				t.Fatalf("%v: measurement %d flipped in noiseless run", scheme, i)
+			}
+		}
+	}
+}
+
+// tableauRunWithFault replays the circuit on the exact simulator, injecting
+// the given fault, and returns the outcomes. rng must be seeded identically
+// across runs so that random-outcome draws align; injected Pauli errors
+// never change which outcomes are random, only their signs.
+func tableauRunWithFault(e *extract.Experiment, f *Fault, seed int64) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	tab := stab.New(e.Circ.NumSlots)
+	out := make([]byte, e.Circ.NumMeas)
+	for mi := range e.Circ.Moments {
+		for oi := range e.Circ.Moments[mi].Ops {
+			op := &e.Circ.Moments[mi].Ops[oi]
+			flipThis := false
+			switch op.Kind {
+			case circuit.OpReset:
+				tab.Reset(op.A, rng)
+			case circuit.OpH:
+				tab.H(op.A)
+			case circuit.OpCNOT:
+				tab.CNOT(op.A, op.B)
+			case circuit.OpLoad:
+				tab.Reset(op.A, rng)
+				tab.SWAP(op.A, op.B)
+			case circuit.OpStore:
+				tab.Reset(op.B, rng)
+				tab.SWAP(op.A, op.B)
+			case circuit.OpMeasureZ:
+				o, _ := tab.MeasureZ(op.A, rng)
+				if f != nil && f.Moment == mi && f.Op == oi && f.FlipMeas {
+					flipThis = true
+				}
+				if flipThis {
+					o ^= 1
+				}
+				out[op.MeasIdx] = o
+			}
+			if f != nil && f.Moment == mi && f.Op == oi && !f.FlipMeas {
+				tab.ApplyPauli(op.A, f.PA)
+				if op.Kind.TwoQubit() {
+					tab.ApplyPauli(op.B, f.PB)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Single-fault propagation must agree with the exact simulator for every
+// kind of fault in the most intricate schedule (Compact, with loads, stores
+// and transmon-mode gates).
+//
+// Individual measurement flips are not well-defined observables when an
+// outcome is intrinsically random (the error only re-labels equally likely
+// branches), so the comparison is made on the quantities the decoder
+// actually consumes: detector parities and the logical observable, both of
+// which are deterministic in any single-fault run. Quiescence guarantees
+// their clean values are 0, so the dirty run's parities must equal the
+// propagator's predicted flips exactly.
+func TestPropagateMatchesTableau(t *testing.T) {
+	e := buildExp(t, extract.CompactAllAtOnce, 3, hardware.Default())
+	faults := AllFaults(e.Circ)
+	if len(faults) == 0 {
+		t.Fatal("no faults enumerated")
+	}
+	prop := NewPropagator(e.Circ)
+	rng := rand.New(rand.NewSource(21))
+
+	parity := func(meas []int, flipped map[int]bool) bool {
+		v := false
+		for _, m := range meas {
+			if flipped[m] {
+				v = !v
+			}
+		}
+		return v
+	}
+
+	for trial := 0; trial < 250; trial++ {
+		wf := faults[rng.Intn(len(faults))]
+		out := tableauRunWithFault(e, &wf.Fault, int64(1000+trial))
+		outSet := map[int]bool{}
+		for m, v := range out {
+			if v == 1 {
+				outSet[m] = true
+			}
+		}
+		got := prop.Propagate(wf.Fault)
+		gotSet := map[int]bool{}
+		for _, m := range got {
+			gotSet[m] = true
+		}
+		for di, det := range e.Detectors {
+			// Dirty detector value (clean value is 0 by quiescence).
+			want := parity(det.Meas, outSet)
+			if gotPar := parity(det.Meas, gotSet); gotPar != want {
+				t.Fatalf("fault %+v: detector %d predicted %v, tableau says %v", wf.Fault, di, gotPar, want)
+			}
+		}
+		if gotObs, wantObs := parity(e.Observable, gotSet), parity(e.Observable, outSet); gotObs != wantObs {
+			t.Fatalf("fault %+v: observable predicted %v, tableau says %v", wf.Fault, gotObs, wantObs)
+		}
+	}
+}
+
+// With only measurement noise, detector fire rates have closed forms:
+// a 1-record detector fires with probability p, a 2-record detector with
+// 2p(1-p). The perfect final readout keeps closure detectors at p.
+func TestSamplerMeasurementErrorStatistics(t *testing.T) {
+	p := quietParams()
+	p.PMeasure = 0.25
+	e := buildExp(t, extract.Baseline, 3, p)
+	s := NewSampler(e.Circ)
+	rng := rand.New(rand.NewSource(99))
+
+	const trials = 20000
+	fires := make([]int, len(e.Detectors))
+	for n := 0; n < trials; n++ {
+		flips := s.Sample(rng)
+		for di, det := range e.Detectors {
+			v := false
+			for _, m := range det.Meas {
+				v = v != flips[m]
+			}
+			if v {
+				fires[di]++
+			}
+		}
+	}
+	for di, det := range e.Detectors {
+		rate := float64(fires[di]) / trials
+		var want float64
+		records := 0
+		for range det.Meas {
+			records++
+		}
+		// Closure detectors include perfect (P=0) data readouts, so only
+		// the single syndrome record can flip.
+		switch {
+		case det.Round == 1 || det.Round == e.Config.Distance+1:
+			want = p.PMeasure
+		default:
+			want = 2 * p.PMeasure * (1 - p.PMeasure)
+		}
+		if math.Abs(rate-want) > 0.02 {
+			t.Errorf("detector %d (round %d, %d records): rate %.3f, want %.3f", di, det.Round, records, rate, want)
+		}
+	}
+}
+
+// Sampler and AllFaults agree on the set of noisy operations: a circuit
+// sampled with every probability forced to 1 must flip something on every
+// sample (smoke check for channels being wired).
+func TestAllFaultsEnumerationShape(t *testing.T) {
+	e := buildExp(t, extract.NaturalInterleaved, 3, hardware.Default())
+	faults := AllFaults(e.Circ)
+	kinds := map[circuit.OpKind]int{}
+	for mi := range e.Circ.Moments {
+		for _, op := range e.Circ.Moments[mi].Ops {
+			if op.P > 0 {
+				kinds[op.Kind]++
+			}
+		}
+	}
+	want := kinds[circuit.OpReset] + kinds[circuit.OpMeasureZ] +
+		3*(kinds[circuit.OpH]+kinds[circuit.OpIdle]) +
+		15*(kinds[circuit.OpCNOT]+kinds[circuit.OpLoad]+kinds[circuit.OpStore])
+	if len(faults) != want {
+		t.Errorf("%d faults enumerated, want %d", len(faults), want)
+	}
+	for _, wf := range faults {
+		if wf.P <= 0 || wf.P > 1 {
+			t.Fatalf("fault with probability %g", wf.P)
+		}
+	}
+}
+
+// Propagating the same fault twice must be idempotent (buffer reuse safety).
+func TestPropagatorBufferReuse(t *testing.T) {
+	e := buildExp(t, extract.Baseline, 3, hardware.Default())
+	prop := NewPropagator(e.Circ)
+	faults := AllFaults(e.Circ)
+	f := faults[len(faults)/2].Fault
+	first := append([]int(nil), prop.Propagate(f)...)
+	// Interleave with a different fault.
+	prop.Propagate(faults[0].Fault)
+	second := append([]int(nil), prop.Propagate(f)...)
+	if len(first) != len(second) {
+		t.Fatalf("flip count changed across calls: %v vs %v", first, second)
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("flips changed across calls: %v vs %v", first, second)
+		}
+	}
+}
+
+// Frame-level gate identities hold inside the sampler's applyOp as well.
+func TestApplyOpLoadStoreSemantics(t *testing.T) {
+	frame := []pauli.Pauli{pauli.I, pauli.Y}
+	load := circuit.Op{Kind: circuit.OpLoad, A: 0, B: 1}
+	applyOp(frame, &load)
+	if frame[0] != pauli.Y || frame[1] != pauli.I {
+		t.Errorf("load: frame = %v", frame)
+	}
+	store := circuit.Op{Kind: circuit.OpStore, A: 0, B: 1}
+	applyOp(frame, &store)
+	if frame[0] != pauli.I || frame[1] != pauli.Y {
+		t.Errorf("store: frame = %v", frame)
+	}
+}

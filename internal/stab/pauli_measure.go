@@ -1,0 +1,84 @@
+package stab
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/pauli"
+)
+
+// basisToZ conjugates qubit q so that the given single-qubit Pauli becomes
+// Z, returning the inverse conjugation as a closure.
+func (t *Tableau) basisToZ(q int, p pauli.Pauli) func() {
+	switch p {
+	case pauli.X:
+		t.H(q)
+		return func() { t.H(q) }
+	case pauli.Y:
+		// S† then H maps Y -> X -> Z.
+		t.S(q)
+		t.S(q)
+		t.S(q)
+		t.H(q)
+		return func() {
+			t.H(q)
+			t.S(q)
+		}
+	default:
+		return func() {}
+	}
+}
+
+// measurePauliVia conjugates op to a single-qubit Z measurement: each site
+// is rotated into the Z basis and the parities folded onto the first site
+// with CNOTs. run performs the actual measurement of that site; the
+// conjugation is undone before returning.
+func (t *Tableau) measurePauliVia(op pauli.Str, run func(q int) error) error {
+	if len(op) != t.n {
+		return fmt.Errorf("stab: operator length %d != %d qubits", len(op), t.n)
+	}
+	var sites []int
+	for q, p := range op {
+		if p != pauli.I {
+			sites = append(sites, q)
+		}
+	}
+	if len(sites) == 0 {
+		return fmt.Errorf("stab: cannot measure the identity")
+	}
+	var undo []func()
+	for _, q := range sites {
+		undo = append(undo, t.basisToZ(q, op[q]))
+	}
+	head := sites[0]
+	for _, q := range sites[1:] {
+		t.CNOT(q, head)
+	}
+	err := run(head)
+	for i := len(sites) - 1; i >= 1; i-- {
+		t.CNOT(sites[i], head)
+	}
+	for i := len(undo) - 1; i >= 0; i-- {
+		undo[i]()
+	}
+	return err
+}
+
+// MeasurePauli measures the multi-qubit Pauli operator op projectively,
+// returning the outcome (0 for +1, 1 for -1) and whether it was random.
+func (t *Tableau) MeasurePauli(op pauli.Str, rng *rand.Rand) (outcome byte, random bool, err error) {
+	err = t.measurePauliVia(op, func(q int) error {
+		outcome, random = t.MeasureZ(q, rng)
+		return nil
+	})
+	return outcome, random, err
+}
+
+// MeasurePauliForced measures op and collapses a random outcome to want; it
+// fails if the outcome is deterministic and contradicts want. Used to
+// prepare code states with chosen stabilizer and logical eigenvalues.
+func (t *Tableau) MeasurePauliForced(op pauli.Str, want byte) error {
+	return t.measurePauliVia(op, func(q int) error {
+		return t.MeasureZForced(q, want)
+	})
+}

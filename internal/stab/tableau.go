@@ -1,0 +1,391 @@
+// Package stab implements an exact stabilizer-state simulator using the
+// Aaronson–Gottesman tableau representation (arXiv:quant-ph/0406196).
+//
+// The simulator tracks n-qubit stabilizer states through Clifford gates and
+// Pauli measurements with full sign bookkeeping. It is the repository's
+// ground-truth oracle: syndrome-extraction circuits are checked against it
+// for quiescence (repeated extraction yields repeated outcomes), and the
+// transversal CNOT of the 2.5D architecture is verified against the ideal
+// logical CNOT by process tomography (internal/tomo).
+package stab
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/pauli"
+)
+
+// Tableau is a stabilizer state on n qubits. Rows 0..n-1 are destabilizer
+// generators, rows n..2n-1 are stabilizer generators. The initial state is
+// |0...0>: destabilizers X_i, stabilizers Z_i.
+type Tableau struct {
+	n  int
+	nw int // words per row half (x or z block)
+	// Row i occupies x[i*nw:(i+1)*nw] and z[i*nw:(i+1)*nw]. There is one
+	// extra scratch row at index 2n used by measurement and expectation.
+	x, z []uint64
+	r    []uint8 // sign bit per row (0 => +1, 1 => -1)
+}
+
+// New returns the tableau for |0>^n.
+func New(n int) *Tableau {
+	if n <= 0 {
+		panic("stab: qubit count must be positive")
+	}
+	nw := (n + 63) / 64
+	t := &Tableau{
+		n:  n,
+		nw: nw,
+		x:  make([]uint64, (2*n+1)*nw),
+		z:  make([]uint64, (2*n+1)*nw),
+		r:  make([]uint8, 2*n+1),
+	}
+	for i := 0; i < n; i++ {
+		t.setX(i, i, true)   // destabilizer i = X_i
+		t.setZ(n+i, i, true) // stabilizer i = Z_i
+	}
+	return t
+}
+
+// N returns the number of qubits.
+func (t *Tableau) N() int { return t.n }
+
+func (t *Tableau) xbit(row, q int) bool { return t.x[row*t.nw+q/64]>>(uint(q)%64)&1 != 0 }
+func (t *Tableau) zbit(row, q int) bool { return t.z[row*t.nw+q/64]>>(uint(q)%64)&1 != 0 }
+
+func (t *Tableau) setX(row, q int, v bool) {
+	idx, m := row*t.nw+q/64, uint64(1)<<(uint(q)%64)
+	if v {
+		t.x[idx] |= m
+	} else {
+		t.x[idx] &^= m
+	}
+}
+
+func (t *Tableau) setZ(row, q int, v bool) {
+	idx, m := row*t.nw+q/64, uint64(1)<<(uint(q)%64)
+	if v {
+		t.z[idx] |= m
+	} else {
+		t.z[idx] &^= m
+	}
+}
+
+// H applies a Hadamard to qubit q.
+func (t *Tableau) H(q int) {
+	for row := 0; row < 2*t.n; row++ {
+		xb, zb := t.xbit(row, q), t.zbit(row, q)
+		if xb && zb {
+			t.r[row] ^= 1
+		}
+		t.setX(row, q, zb)
+		t.setZ(row, q, xb)
+	}
+}
+
+// S applies the phase gate (sqrt Z) to qubit q.
+func (t *Tableau) S(q int) {
+	for row := 0; row < 2*t.n; row++ {
+		xb, zb := t.xbit(row, q), t.zbit(row, q)
+		if xb && zb {
+			t.r[row] ^= 1
+		}
+		t.setZ(row, q, zb != xb)
+	}
+}
+
+// CNOT applies a controlled-NOT with control c and target tq.
+func (t *Tableau) CNOT(c, tq int) {
+	if c == tq {
+		panic("stab: CNOT control equals target")
+	}
+	for row := 0; row < 2*t.n; row++ {
+		xc, zc := t.xbit(row, c), t.zbit(row, c)
+		xt, zt := t.xbit(row, tq), t.zbit(row, tq)
+		if xc && zt && (xt == zc) {
+			t.r[row] ^= 1
+		}
+		t.setX(row, tq, xt != xc)
+		t.setZ(row, c, zc != zt)
+	}
+}
+
+// X applies a Pauli X to qubit q.
+func (t *Tableau) X(q int) {
+	for row := 0; row < 2*t.n; row++ {
+		if t.zbit(row, q) {
+			t.r[row] ^= 1
+		}
+	}
+}
+
+// Z applies a Pauli Z to qubit q.
+func (t *Tableau) Z(q int) {
+	for row := 0; row < 2*t.n; row++ {
+		if t.xbit(row, q) {
+			t.r[row] ^= 1
+		}
+	}
+}
+
+// Y applies a Pauli Y to qubit q.
+func (t *Tableau) Y(q int) {
+	for row := 0; row < 2*t.n; row++ {
+		if t.xbit(row, q) != t.zbit(row, q) {
+			t.r[row] ^= 1
+		}
+	}
+}
+
+// SWAP exchanges qubits a and b.
+func (t *Tableau) SWAP(a, b int) {
+	if a == b {
+		return
+	}
+	for row := 0; row < 2*t.n; row++ {
+		xa, za := t.xbit(row, a), t.zbit(row, a)
+		xb, zb := t.xbit(row, b), t.zbit(row, b)
+		t.setX(row, a, xb)
+		t.setZ(row, a, zb)
+		t.setX(row, b, xa)
+		t.setZ(row, b, za)
+	}
+}
+
+// ApplyPauli applies the Pauli p to qubit q as a gate.
+func (t *Tableau) ApplyPauli(q int, p pauli.Pauli) {
+	switch p {
+	case pauli.X:
+		t.X(q)
+	case pauli.Y:
+		t.Y(q)
+	case pauli.Z:
+		t.Z(q)
+	}
+}
+
+// g returns the exponent of i contributed by multiplying single-qubit Pauli
+// (x1,z1) by (x2,z2), per Aaronson–Gottesman.
+func g(x1, z1, x2, z2 bool) int {
+	switch {
+	case !x1 && !z1:
+		return 0
+	case x1 && z1: // Y
+		return b2i(z2) - b2i(x2)
+	case x1 && !z1: // X
+		return b2i(z2) * (2*b2i(x2) - 1)
+	default: // Z
+		return b2i(x2) * (1 - 2*b2i(z2))
+	}
+}
+
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// rowsum sets row h to row h * row i, with correct sign tracking.
+func (t *Tableau) rowsum(h, i int) {
+	sum := 2*int(t.r[h]) + 2*int(t.r[i])
+	for q := 0; q < t.n; q++ {
+		sum += g(t.xbit(i, q), t.zbit(i, q), t.xbit(h, q), t.zbit(h, q))
+	}
+	hOff, iOff := h*t.nw, i*t.nw
+	for w := 0; w < t.nw; w++ {
+		t.x[hOff+w] ^= t.x[iOff+w]
+		t.z[hOff+w] ^= t.z[iOff+w]
+	}
+	sum = ((sum % 4) + 4) % 4
+	if sum == 2 {
+		t.r[h] = 1
+	} else {
+		t.r[h] = 0
+	}
+}
+
+func (t *Tableau) zeroRow(row int) {
+	off := row * t.nw
+	for w := 0; w < t.nw; w++ {
+		t.x[off+w] = 0
+		t.z[off+w] = 0
+	}
+	t.r[row] = 0
+}
+
+// MeasureZ measures qubit q in the Z basis. If the outcome is not determined
+// by the state, rng supplies the coin flip (rng may be nil only if the
+// outcome is deterministic). It returns the outcome bit and whether the
+// outcome was random.
+func (t *Tableau) MeasureZ(q int, rng *rand.Rand) (outcome byte, random bool) {
+	n := t.n
+	p := -1
+	for row := n; row < 2*n; row++ {
+		if t.xbit(row, q) {
+			p = row
+			break
+		}
+	}
+	if p >= 0 {
+		// Random outcome.
+		for row := 0; row < 2*n; row++ {
+			if row != p && t.xbit(row, q) {
+				t.rowsum(row, p)
+			}
+		}
+		// Destabilizer p-n := old stabilizer p.
+		copy(t.x[(p-n)*t.nw:(p-n+1)*t.nw], t.x[p*t.nw:(p+1)*t.nw])
+		copy(t.z[(p-n)*t.nw:(p-n+1)*t.nw], t.z[p*t.nw:(p+1)*t.nw])
+		t.r[p-n] = t.r[p]
+		t.zeroRow(p)
+		t.setZ(p, q, true)
+		if rng == nil {
+			panic("stab: random measurement outcome requires rng")
+		}
+		out := byte(rng.Intn(2))
+		t.r[p] = out
+		return out, true
+	}
+	// Deterministic outcome: accumulate into the scratch row.
+	scratch := 2 * n
+	t.zeroRow(scratch)
+	for i := 0; i < n; i++ {
+		if t.xbit(i, q) {
+			t.rowsum(scratch, i+n)
+		}
+	}
+	return t.r[scratch], false
+}
+
+// MeasureZForced measures qubit q in the Z basis and, if the outcome is
+// random, collapses it to want. It returns an error if the outcome was
+// deterministic and differs from want. Used to prepare code states with
+// chosen syndrome signs.
+func (t *Tableau) MeasureZForced(q int, want byte) error {
+	n := t.n
+	p := -1
+	for row := n; row < 2*n; row++ {
+		if t.xbit(row, q) {
+			p = row
+			break
+		}
+	}
+	if p >= 0 {
+		for row := 0; row < 2*n; row++ {
+			if row != p && t.xbit(row, q) {
+				t.rowsum(row, p)
+			}
+		}
+		copy(t.x[(p-n)*t.nw:(p-n+1)*t.nw], t.x[p*t.nw:(p+1)*t.nw])
+		copy(t.z[(p-n)*t.nw:(p-n+1)*t.nw], t.z[p*t.nw:(p+1)*t.nw])
+		t.r[p-n] = t.r[p]
+		t.zeroRow(p)
+		t.setZ(p, q, true)
+		t.r[p] = want
+		return nil
+	}
+	scratch := 2 * n
+	t.zeroRow(scratch)
+	for i := 0; i < n; i++ {
+		if t.xbit(i, q) {
+			t.rowsum(scratch, i+n)
+		}
+	}
+	if t.r[scratch] != want {
+		return fmt.Errorf("stab: deterministic outcome %d on qubit %d, cannot force %d", t.r[scratch], q, want)
+	}
+	return nil
+}
+
+// Reset projects qubit q to |0>: it measures Z_q and applies X if needed.
+func (t *Tableau) Reset(q int, rng *rand.Rand) {
+	out, _ := t.MeasureZ(q, rng)
+	if out == 1 {
+		t.X(q)
+	}
+}
+
+// ExpectationSign describes the expectation value of a Pauli operator on a
+// stabilizer state: +1, -1, or 0 (unbiased / random).
+type ExpectationSign int
+
+// Expectation values of a Pauli operator on a stabilizer state.
+const (
+	ExpZero  ExpectationSign = 0  // operator anticommutes with a stabilizer
+	ExpPlus  ExpectationSign = 1  // +operator is in the stabilizer group
+	ExpMinus ExpectationSign = -1 // -operator is in the stabilizer group
+)
+
+// Expectation returns the expectation value of the Pauli string op (with
+// implicit + sign) in the current state.
+func (t *Tableau) Expectation(op pauli.Str) ExpectationSign {
+	if len(op) != t.n {
+		panic("stab: operator length mismatch")
+	}
+	n := t.n
+	// If op anticommutes with any stabilizer generator the expectation is 0.
+	for row := n; row < 2*n; row++ {
+		if !t.rowCommutes(row, op) {
+			return ExpZero
+		}
+	}
+	// Otherwise op (up to sign) is a product of stabilizer generators. The
+	// combination is read off the destabilizers: generator i participates
+	// iff op anticommutes with destabilizer i.
+	scratch := 2 * n
+	t.zeroRow(scratch)
+	for i := 0; i < n; i++ {
+		if !t.rowCommutes(i, op) {
+			t.rowsum(scratch, i+n)
+		}
+	}
+	// scratch must now equal op site-wise; otherwise op is not in the group
+	// (impossible for a pure stabilizer state if it commutes with all
+	// generators, so treat as an internal error).
+	for q := 0; q < n; q++ {
+		wantX, wantZ := op[q].XBit(), op[q].ZBit()
+		if t.xbit(scratch, q) != wantX || t.zbit(scratch, q) != wantZ {
+			panic("stab: commuting operator not reconstructed from stabilizers")
+		}
+	}
+	if t.r[scratch] == 0 {
+		return ExpPlus
+	}
+	return ExpMinus
+}
+
+// rowCommutes reports whether tableau row `row` commutes with op.
+func (t *Tableau) rowCommutes(row int, op pauli.Str) bool {
+	anti := false
+	for q, p := range op {
+		if p == pauli.I {
+			continue
+		}
+		rx, rz := t.xbit(row, q), t.zbit(row, q)
+		px, pz := p.XBit(), p.ZBit()
+		if (rx && pz) != (rz && px) {
+			anti = !anti
+		}
+	}
+	return !anti
+}
+
+// StabilizerRow returns stabilizer generator i (0 <= i < n) as a Pauli
+// string plus its sign bit.
+func (t *Tableau) StabilizerRow(i int) (pauli.Str, byte) {
+	row := t.n + i
+	s := pauli.NewStr(t.n)
+	for q := 0; q < t.n; q++ {
+		var p pauli.Pauli
+		if t.xbit(row, q) {
+			p |= pauli.X
+		}
+		if t.zbit(row, q) {
+			p |= pauli.Z
+		}
+		s[q] = p
+	}
+	return s, t.r[row]
+}

@@ -1,0 +1,282 @@
+package stab
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/pauli"
+)
+
+func expectOp(t *testing.T, tab *Tableau, op string, want ExpectationSign) {
+	t.Helper()
+	s, ok := pauli.ParseStr(op)
+	if !ok {
+		t.Fatalf("bad op %q", op)
+	}
+	if got := tab.Expectation(s); got != want {
+		t.Errorf("<%s> = %v, want %v", op, got, want)
+	}
+}
+
+func TestInitialState(t *testing.T) {
+	tab := New(3)
+	expectOp(t, tab, "ZII", ExpPlus)
+	expectOp(t, tab, "IZI", ExpPlus)
+	expectOp(t, tab, "ZZZ", ExpPlus)
+	expectOp(t, tab, "XII", ExpZero)
+	out, random := tab.MeasureZ(0, nil)
+	if out != 0 || random {
+		t.Errorf("measuring |0>: got (%d,%v)", out, random)
+	}
+}
+
+func TestBellPair(t *testing.T) {
+	tab := New(2)
+	tab.H(0)
+	tab.CNOT(0, 1)
+	expectOp(t, tab, "XX", ExpPlus)
+	expectOp(t, tab, "ZZ", ExpPlus)
+	expectOp(t, tab, "YY", ExpMinus)
+	expectOp(t, tab, "ZI", ExpZero)
+
+	// Measuring both qubits must give correlated outcomes.
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 20; i++ {
+		b := New(2)
+		b.H(0)
+		b.CNOT(0, 1)
+		o1, r1 := b.MeasureZ(0, rng)
+		o2, r2 := b.MeasureZ(1, rng)
+		if !r1 || r2 {
+			t.Fatalf("expected first outcome random, second deterministic; got %v %v", r1, r2)
+		}
+		if o1 != o2 {
+			t.Fatalf("Bell pair outcomes disagree: %d vs %d", o1, o2)
+		}
+	}
+}
+
+func TestPauliGatesFlipSigns(t *testing.T) {
+	tab := New(1)
+	tab.X(0)
+	expectOp(t, tab, "Z", ExpMinus)
+	tab.X(0)
+	expectOp(t, tab, "Z", ExpPlus)
+
+	tab.H(0) // |+>
+	expectOp(t, tab, "X", ExpPlus)
+	tab.Z(0) // |->
+	expectOp(t, tab, "X", ExpMinus)
+	tab.Y(0) // Y|-> ~ |+>
+	expectOp(t, tab, "X", ExpPlus)
+}
+
+func TestSGate(t *testing.T) {
+	tab := New(1)
+	tab.H(0) // |+>
+	tab.S(0) // |+i>
+	expectOp(t, tab, "Y", ExpPlus)
+	tab.S(0) // S^2 = Z: back to |->
+	expectOp(t, tab, "X", ExpMinus)
+}
+
+func TestSWAP(t *testing.T) {
+	tab := New(2)
+	tab.X(0) // |10>
+	tab.SWAP(0, 1)
+	expectOp(t, tab, "ZI", ExpPlus)
+	expectOp(t, tab, "IZ", ExpMinus)
+}
+
+func TestGHZ(t *testing.T) {
+	n := 5
+	tab := New(n)
+	tab.H(0)
+	for i := 1; i < n; i++ {
+		tab.CNOT(0, i)
+	}
+	expectOp(t, tab, "XXXXX", ExpPlus)
+	expectOp(t, tab, "ZZIII", ExpPlus)
+	expectOp(t, tab, "ZIIIZ", ExpPlus)
+	expectOp(t, tab, "ZIIII", ExpZero)
+	// All Z outcomes of a GHZ state must be equal (00000 or 11111).
+	rng := rand.New(rand.NewSource(3))
+	sawOne := false
+	for rep := 0; rep < 30; rep++ {
+		g := New(n)
+		g.H(0)
+		for i := 1; i < n; i++ {
+			g.CNOT(0, i)
+		}
+		first, random := g.MeasureZ(0, rng)
+		if !random {
+			t.Fatal("first GHZ measurement must be random")
+		}
+		for q := 1; q < n; q++ {
+			o, r := g.MeasureZ(q, rng)
+			if r {
+				t.Fatal("subsequent GHZ measurements must be deterministic")
+			}
+			if o != first {
+				t.Fatalf("GHZ outcomes differ: qubit %d gave %d, first gave %d", q, o, first)
+			}
+		}
+		if first == 1 {
+			sawOne = true
+		}
+	}
+	if !sawOne {
+		t.Error("GHZ never collapsed to |1...1> in 30 tries; rng plumbing suspect")
+	}
+}
+
+func TestMeasureZForced(t *testing.T) {
+	tab := New(1)
+	tab.H(0)
+	if err := tab.MeasureZForced(0, 1); err != nil {
+		t.Fatalf("forcing random outcome: %v", err)
+	}
+	expectOp(t, tab, "Z", ExpMinus)
+	// Now deterministic: forcing the wrong value must error.
+	if err := tab.MeasureZForced(0, 0); err == nil {
+		t.Fatal("forcing contradictory deterministic outcome must fail")
+	}
+	if err := tab.MeasureZForced(0, 1); err != nil {
+		t.Fatalf("forcing the actual deterministic outcome: %v", err)
+	}
+}
+
+func TestReset(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	tab := New(2)
+	tab.H(0)
+	tab.CNOT(0, 1)
+	tab.Reset(0, rng)
+	expectOp(t, tab, "ZI", ExpPlus)
+}
+
+// Repetition-code style check: measuring the same commuting parity twice must
+// agree (quiescence at the tableau level).
+func TestParityMeasurementRepeatability(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for rep := 0; rep < 25; rep++ {
+		// 3 data + 1 ancilla; random data state via random Cliffords.
+		tab := New(4)
+		for g := 0; g < 30; g++ {
+			switch rng.Intn(3) {
+			case 0:
+				tab.H(rng.Intn(3))
+			case 1:
+				tab.S(rng.Intn(3))
+			case 2:
+				a, b := rng.Intn(3), rng.Intn(3)
+				if a != b {
+					tab.CNOT(a, b)
+				}
+			}
+		}
+		measure := func() byte {
+			tab.Reset(3, rng)
+			tab.CNOT(0, 3)
+			tab.CNOT(1, 3)
+			out, _ := tab.MeasureZ(3, rng)
+			return out
+		}
+		first := measure()
+		for i := 0; i < 3; i++ {
+			if got := measure(); got != first {
+				t.Fatalf("rep %d: parity changed from %d to %d", rep, first, got)
+			}
+		}
+	}
+}
+
+// Frame-vs-tableau consistency: injecting a Pauli error before a measurement
+// flips the tableau outcome exactly when the frame predicts it.
+func TestFramePredictionMatchesTableau(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for rep := 0; rep < 50; rep++ {
+		n := 4
+		// Build a random Clifford circuit as a gate list.
+		type gate struct{ kind, a, b int }
+		var gates []gate
+		for g := 0; g < 15; g++ {
+			switch rng.Intn(3) {
+			case 0:
+				gates = append(gates, gate{0, rng.Intn(n), 0})
+			case 1:
+				gates = append(gates, gate{1, rng.Intn(n), 0})
+			case 2:
+				a, b := rng.Intn(n), rng.Intn(n)
+				if a != b {
+					gates = append(gates, gate{2, a, b})
+				}
+			}
+		}
+		errQ, errP := rng.Intn(n), pauli.All[rng.Intn(3)]
+
+		run := func(inject bool) byte {
+			tab := New(n)
+			// Fixed preparation so outcomes are deterministic: |0..0>.
+			if inject {
+				tab.ApplyPauli(errQ, errP)
+			}
+			for _, g := range gates {
+				switch g.kind {
+				case 0:
+					tab.H(g.a)
+				case 1:
+					tab.S(g.a)
+				case 2:
+					tab.CNOT(g.a, g.b)
+				}
+			}
+			out, random := tab.MeasureZ(0, rand.New(rand.NewSource(99)))
+			if random {
+				return 2 // marker: skip random cases
+			}
+			return out
+		}
+		clean := run(false)
+		dirty := run(true)
+		if clean == 2 || dirty == 2 {
+			continue
+		}
+		// Frame prediction.
+		f := pauli.NewFrame(n)
+		f.Inject(errQ, errP)
+		for _, g := range gates {
+			switch g.kind {
+			case 0:
+				f.H(g.a)
+			case 1:
+				f.S(g.a)
+			case 2:
+				f.CNOT(g.a, g.b)
+			}
+		}
+		wantFlip := f.XBit(0)
+		if (clean != dirty) != wantFlip {
+			t.Fatalf("rep %d: frame predicts flip=%v, tableau says %d->%d", rep, wantFlip, clean, dirty)
+		}
+	}
+}
+
+func TestStabilizerRow(t *testing.T) {
+	tab := New(2)
+	tab.H(0)
+	tab.CNOT(0, 1)
+	// The stabilizer group of a Bell pair is generated by XX and ZZ; check
+	// the rows generate it (each row must commute with both and be nontrivial).
+	xx, _ := pauli.ParseStr("XX")
+	zz, _ := pauli.ParseStr("ZZ")
+	for i := 0; i < 2; i++ {
+		row, _ := tab.StabilizerRow(i)
+		if row.IsIdentity() {
+			t.Fatal("stabilizer row is identity")
+		}
+		if !row.Commutes(xx) || !row.Commutes(zz) {
+			t.Fatalf("stabilizer row %v does not commute with group", row)
+		}
+	}
+}

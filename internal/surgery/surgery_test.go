@@ -1,0 +1,108 @@
+package surgery
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/pauli"
+	"repro/internal/stab"
+)
+
+func TestTimestepCosts(t *testing.T) {
+	if CostCNOTSurgery != 6 || CostCNOTTransversal != 1 {
+		t.Fatal("paper costs: surgery CNOT 6 timesteps, transversal 1")
+	}
+	if SpeedupTransversalVsSurgery() != 6 {
+		t.Fatalf("speedup = %v, want 6x", SpeedupTransversalVsSurgery())
+	}
+	if CostTransversalWithMove != 2 {
+		t.Fatal("transversal CNOT with one move costs 2 timesteps (§III-B)")
+	}
+}
+
+// The measurement-based CNOT must act exactly like a CNOT on all stabilizer
+// inputs. Verify Heisenberg action on the generators by preparing eigenstates
+// and checking the mapped operator's expectation: CNOT(c→t) maps
+// X(c) -> X(c)X(t), Z(t) -> Z(c)Z(t), X(t) -> X(t), Z(c) -> Z(c).
+func TestCNOTByMeasurementHeisenberg(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	cases := []struct {
+		prep  func(tab *stab.Tableau) // prepare +1 eigenstate of input op
+		check string                  // expected stabilizer after CNOT, qubits (c,t,a)
+	}{
+		{func(tab *stab.Tableau) { tab.H(0) }, "XXI"}, // X(c) -> X(c)X(t)
+		{func(tab *stab.Tableau) {}, "ZII"},           // Z(c) fixed (prep |0>_c)
+		{func(tab *stab.Tableau) { tab.H(1) }, "IXI"}, // X(t) fixed
+		{func(tab *stab.Tableau) {}, "ZZI"},           // Z(t) -> Z(c)Z(t): prep |00>, check joint
+	}
+	for i, tc := range cases {
+		for rep := 0; rep < 20; rep++ {
+			tab := stab.New(3)
+			tc.prep(tab)
+			if err := CNOTByMeasurement(tab, 0, 1, 2, rng); err != nil {
+				t.Fatal(err)
+			}
+			op, _ := pauli.ParseStr(tc.check)
+			if got := tab.Expectation(op); got != stab.ExpPlus {
+				t.Fatalf("case %d rep %d: <%s> = %v, want +1", i, rep, tc.check, got)
+			}
+		}
+	}
+}
+
+// Functional check on computational basis states: CNOT flips the target iff
+// the control is |1>.
+func TestCNOTByMeasurementTruthTable(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for _, c := range []byte{0, 1} {
+		for _, tt := range []byte{0, 1} {
+			for rep := 0; rep < 10; rep++ {
+				tab := stab.New(3)
+				if c == 1 {
+					tab.X(0)
+				}
+				if tt == 1 {
+					tab.X(1)
+				}
+				if err := CNOTByMeasurement(tab, 0, 1, 2, rng); err != nil {
+					t.Fatal(err)
+				}
+				oc, _ := tab.MeasureZ(0, rng)
+				ot, _ := tab.MeasureZ(1, rng)
+				if oc != c || ot != c^tt {
+					t.Fatalf("input |%d%d>: got |%d%d>, want |%d%d>", c, tt, oc, ot, c, c^tt)
+				}
+			}
+		}
+	}
+}
+
+// Entangling check: CNOT on |+0> must yield a Bell pair.
+func TestCNOTByMeasurementCreatesBell(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for rep := 0; rep < 10; rep++ {
+		tab := stab.New(3)
+		tab.H(0)
+		if err := CNOTByMeasurement(tab, 0, 1, 2, rng); err != nil {
+			t.Fatal(err)
+		}
+		xx, _ := pauli.ParseStr("XXI")
+		zz, _ := pauli.ParseStr("ZZI")
+		if tab.Expectation(xx) != stab.ExpPlus || tab.Expectation(zz) != stab.ExpPlus {
+			t.Fatal("output is not the Bell pair")
+		}
+	}
+}
+
+func TestCNOTByMeasurementValidation(t *testing.T) {
+	tab := stab.New(3)
+	if err := CNOTByMeasurement(tab, 0, 0, 1, nil); err == nil {
+		t.Error("coincident qubits must fail")
+	}
+}
+
+func TestOpKindString(t *testing.T) {
+	if OpCNOTTransversal.String() != "cnot-transversal" {
+		t.Error("op kind names wired wrong")
+	}
+}

@@ -1,0 +1,107 @@
+package tomo
+
+import (
+	"testing"
+
+	"repro/internal/pauli"
+	"repro/internal/stab"
+)
+
+func TestVerifyTransversalCNOT(t *testing.T) {
+	for _, d := range []int{3, 5} {
+		rep, err := VerifyTransversalCNOT(d)
+		if err != nil {
+			t.Fatalf("d=%d: %v", d, err)
+		}
+		if !rep.AllOK {
+			for _, c := range rep.Checks {
+				if !c.OK {
+					t.Errorf("d=%d: tomography check failed: %s", d, c.Name)
+				}
+			}
+			if !rep.StabilizersOK {
+				t.Errorf("d=%d: code stabilizers not preserved", d)
+			}
+		}
+		if len(rep.Checks) < 5 {
+			t.Errorf("d=%d: only %d checks ran", d, len(rep.Checks))
+		}
+	}
+}
+
+// Negative control: a deliberately wrong circuit (CNOT direction reversed)
+// must fail tomography — guards against vacuous passes.
+func TestTomographyCatchesWrongCircuit(t *testing.T) {
+	ps, err := newPatchSpace(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := stab.New(ps.nslots)
+	for i := range ps.code.Plaquettes {
+		for _, target := range []bool{false, true} {
+			if err := tab.MeasurePauliForced(ps.stabilizer(&ps.code.Plaquettes[i], target), 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Prepare |+0>: Xc = +1, Zt = +1.
+	for _, name := range []string{"Xc", "Zt"} {
+		op, err := ps.logical(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tab.MeasurePauliForced(op, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Reversed circuit: target patch loaded as control.
+	for q := 0; q < ps.code.NumData(); q++ {
+		tab.SWAP(ps.transmon[q], ps.modeT[q])
+		tab.CNOT(ps.transmon[q], ps.modeC[q])
+		tab.SWAP(ps.transmon[q], ps.modeT[q])
+	}
+	// A correct CNOT(c->t) on |+0> yields Xc*Xt stabilized; the reversed
+	// circuit must not.
+	op, err := ps.product([]string{"Xc", "Xt"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Expectation(op) == stab.ExpPlus {
+		t.Fatal("reversed circuit passed the Xc*Xt check; tomography is vacuous")
+	}
+}
+
+func TestMeasurePauliHelpers(t *testing.T) {
+	// GHZ via forced measurements: force XXX = +1 on |000>, then ZZI and
+	// IZZ remain +1 and XXX is +1.
+	tab := stab.New(3)
+	xxx, _ := pauli.ParseStr("XXX")
+	if err := tab.MeasurePauliForced(xxx, 0); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []string{"ZZI", "IZZ", "XXX"} {
+		op, _ := pauli.ParseStr(s)
+		if got := tab.Expectation(op); got != stab.ExpPlus {
+			t.Errorf("<%s> = %v after forcing XXX", s, got)
+		}
+	}
+	// Forcing a contradictory deterministic outcome must fail.
+	zzi, _ := pauli.ParseStr("ZZI")
+	if err := tab.MeasurePauliForced(zzi, 1); err == nil {
+		t.Error("contradictory forced outcome must fail")
+	}
+	// Measuring the identity is rejected.
+	id := pauli.NewStr(3)
+	if _, _, err := tab.MeasurePauli(id, nil); err == nil {
+		t.Error("identity measurement must fail")
+	}
+	// Y-basis round trip: prepare |+i> by forcing Y, check expectation.
+	tab2 := stab.New(1)
+	y, _ := pauli.ParseStr("Y")
+	if err := tab2.MeasurePauliForced(y, 0); err != nil {
+		t.Fatal(err)
+	}
+	if tab2.Expectation(y) != stab.ExpPlus {
+		t.Error("forced Y eigenstate not stabilized by Y")
+	}
+}

@@ -1,0 +1,262 @@
+// Package vlq is the public API of a from-scratch Go reproduction of
+// "Virtualized Logical Qubits: A 2.5D Architecture for Error-Corrected
+// Quantum Computing" (Duckering, Baker, Schuster, Chong — MICRO 2020,
+// arXiv:2009.01982).
+//
+// The library spans the full system the paper describes:
+//
+//   - rotated-surface-code geometry and the Natural/Compact hardware
+//     embeddings with their resource accounting (Fig. 1/2/7/8, Table II);
+//   - gate-level syndrome-extraction circuits for the five evaluated setups
+//     (Baseline 2D; Natural and Compact, each All-at-once or Interleaved,
+//     including the pipelined Fig. 10 schedule) with circuit-level Pauli
+//     noise from the Table I hardware model;
+//   - detector-error-model extraction, union-find and exact
+//     minimum-weight-matching decoders, and a parallel Monte-Carlo engine
+//     for thresholds (Fig. 11) and sensitivity studies (Fig. 12);
+//   - the virtualized-logical-qubit machine: virtual/physical addressing,
+//     load/store paging, DRAM-like refresh scheduling, qubit movement, and
+//     transversal-CNOT vs lattice-surgery operation latencies (§III);
+//   - magic-state distillation throughput/footprint models (Fig. 13);
+//   - exact stabilizer-tableau verification, including process tomography
+//     of the transversal CNOT on full logical patches (§III-B).
+//
+// Quickstart:
+//
+//	res, err := vlq.RunMonteCarlo(vlq.MonteCarloConfig{
+//		Scheme:   vlq.CompactInterleaved,
+//		Distance: 3,
+//		Params:   vlq.DefaultHardware().ScaledGatesTo(2e-3),
+//		Trials:   10_000,
+//	})
+//
+// See examples/ for runnable scenarios and bench_test.go for the harness
+// that regenerates every table and figure of the paper's evaluation.
+package vlq
+
+import (
+	"repro/internal/core"
+	"repro/internal/decoder"
+	"repro/internal/dem"
+	"repro/internal/extract"
+	"repro/internal/hardware"
+	"repro/internal/layout"
+	"repro/internal/magic"
+	"repro/internal/montecarlo"
+	"repro/internal/surgery"
+	"repro/internal/tomo"
+)
+
+// Hardware model (Table I).
+type (
+	// HardwareParams is the device model: Table I coherence times and gate
+	// durations plus per-operation Pauli error probabilities.
+	HardwareParams = hardware.Params
+	// PhysicalAddr identifies a stack of transmons (a physical address).
+	PhysicalAddr = hardware.PhysicalAddr
+	// VirtualAddr is a logical qubit's resting place: stack plus cavity mode.
+	VirtualAddr = hardware.VirtualAddr
+)
+
+// DefaultHardware returns the Table I starting-point hardware model.
+func DefaultHardware() HardwareParams { return hardware.Default() }
+
+// PRef is the paper's typical operating point (2e-3) used in §VI.
+const PRef = hardware.PRef
+
+// Surface-code geometry and embeddings.
+type (
+	// Code is a distance-d rotated surface code patch.
+	Code = layout.Code
+	// Embedding maps a Code onto transmons and cavities.
+	Embedding = layout.Embedding
+	// EmbeddingKind selects Baseline2D, Natural, or Compact.
+	EmbeddingKind = layout.EmbeddingKind
+	// Resources summarizes hardware cost (the Table II quantities).
+	Resources = layout.Resources
+)
+
+// Embedding kinds.
+const (
+	Baseline2DEmbedding = layout.Baseline2D
+	NaturalEmbedding    = layout.Natural
+	CompactEmbedding    = layout.Compact
+)
+
+// NewRotatedCode constructs the distance-d rotated surface code.
+func NewRotatedCode(d int) (*Code, error) { return layout.NewRotated(d) }
+
+// NewEmbedding maps code c onto hardware under the given embedding kind.
+func NewEmbedding(kind EmbeddingKind, c *Code) (*Embedding, error) {
+	return layout.NewEmbedding(kind, c)
+}
+
+// EmbeddingResources returns the hardware cost of one distance-d patch with
+// cavity depth k.
+func EmbeddingResources(kind EmbeddingKind, d, k int) Resources {
+	return layout.EmbeddingResources(kind, d, k)
+}
+
+// Baseline2DPatchesResources is the cost of n contiguous baseline patches.
+func Baseline2DPatchesResources(n, d int) Resources {
+	return layout.Baseline2DPatchesResources(n, d)
+}
+
+// Syndrome-extraction experiments.
+type (
+	// Scheme is one of the five evaluated extraction setups.
+	Scheme = extract.Scheme
+	// Basis selects the memory experiment (Z or X).
+	Basis = extract.Basis
+	// ExperimentConfig describes an experiment to build.
+	ExperimentConfig = extract.Config
+	// Experiment is a built noisy memory experiment with detectors and a
+	// logical observable.
+	Experiment = extract.Experiment
+)
+
+// The five extraction schemes of Fig. 11.
+const (
+	Baseline           = extract.Baseline
+	NaturalAllAtOnce   = extract.NaturalAllAtOnce
+	NaturalInterleaved = extract.NaturalInterleaved
+	CompactAllAtOnce   = extract.CompactAllAtOnce
+	CompactInterleaved = extract.CompactInterleaved
+)
+
+// Memory experiment bases.
+const (
+	BasisZ = extract.BasisZ
+	BasisX = extract.BasisX
+)
+
+// Schemes lists all five setups in Fig. 11 order.
+var Schemes = extract.Schemes
+
+// BuildExperiment constructs a memory experiment.
+func BuildExperiment(cfg ExperimentConfig) (*Experiment, error) { return extract.Build(cfg) }
+
+// Detector error models and decoders.
+type (
+	// DetectorModel is the merged fault model of an experiment.
+	DetectorModel = dem.Model
+	// DecodingGraph is the weighted matching graph decoders consume.
+	DecodingGraph = dem.Graph
+	// Decoder predicts the logical observable from fired detectors.
+	Decoder = decoder.Decoder
+)
+
+// BuildDetectorModel enumerates and merges the experiment's faults.
+func BuildDetectorModel(e *Experiment) (*DetectorModel, error) { return dem.Build(e) }
+
+// NewUnionFindDecoder returns the weighted union-find decoder.
+func NewUnionFindDecoder(g *DecodingGraph) Decoder { return decoder.NewUnionFind(g) }
+
+// NewMWPMDecoder returns the exact minimum-weight perfect-matching decoder.
+func NewMWPMDecoder(g *DecodingGraph) Decoder { return decoder.NewMWPM(g) }
+
+// Monte-Carlo engine (Fig. 11 / Fig. 12).
+type (
+	// MonteCarloConfig describes one logical-error-rate measurement.
+	MonteCarloConfig = montecarlo.Config
+	// MonteCarloResult is its outcome.
+	MonteCarloResult = montecarlo.Result
+	// SweepPoint is one cell of a threshold sweep.
+	SweepPoint = montecarlo.SweepPoint
+	// SensitivityPanel identifies one Fig. 12 study.
+	SensitivityPanel = montecarlo.Panel
+	// SensitivityPoint is one cell of a sensitivity sweep.
+	SensitivityPoint = montecarlo.SensitivityPoint
+	// DecoderKind selects the trial decoder ("uf" or "mwpm").
+	DecoderKind = montecarlo.DecoderKind
+)
+
+// Decoder kinds for Monte-Carlo trials.
+const (
+	DecodeUnionFind = montecarlo.UF
+	DecodeMWPM      = montecarlo.MWPM
+)
+
+// SensitivityPanels lists the seven Fig. 12 panels.
+var SensitivityPanels = montecarlo.Panels
+
+// RunMonteCarlo measures one logical error rate.
+func RunMonteCarlo(cfg MonteCarloConfig) (MonteCarloResult, error) { return montecarlo.Run(cfg) }
+
+// ThresholdSweep runs a Fig. 11 grid for one scheme.
+func ThresholdSweep(scheme Scheme, distances []int, physRates []float64, base HardwareParams, trials int, seed int64, dec DecoderKind) ([]SweepPoint, error) {
+	return montecarlo.ThresholdSweep(scheme, distances, physRates, base, trials, seed, dec)
+}
+
+// EstimateThreshold interpolates the crossing point of a sweep.
+func EstimateThreshold(points []SweepPoint) float64 { return montecarlo.EstimateThreshold(points) }
+
+// DefaultPhysRates returns a log grid bracketing the threshold region.
+func DefaultPhysRates(n int) []float64 { return montecarlo.DefaultPhysRates(n) }
+
+// SensitivitySweep runs one Fig. 12 panel on Compact-Interleaved.
+func SensitivitySweep(panel SensitivityPanel, values []float64, distances []int, trials int, seed int64) ([]SensitivityPoint, error) {
+	return montecarlo.SensitivitySweep(panel, values, distances, trials, seed)
+}
+
+// OperatingPoint returns the §VI baseline parameters (all gate errors 2e-3).
+func OperatingPoint() HardwareParams { return montecarlo.OperatingPoint() }
+
+// The VLQ machine (the paper's core contribution).
+type (
+	// Machine is a virtualized-logical-qubit machine.
+	Machine = core.Machine
+	// MachineConfig describes one.
+	MachineConfig = core.Config
+	// MachineStats is its schedule accounting.
+	MachineStats = core.Stats
+	// QubitID names an allocated logical qubit.
+	QubitID = core.QubitID
+)
+
+// NewMachine builds a VLQ machine.
+func NewMachine(cfg MachineConfig) (*Machine, error) { return core.New(cfg) }
+
+// Logical operation latencies in timesteps (rounds of d EC cycles).
+const (
+	CostCNOTSurgery     = surgery.CostCNOTSurgery
+	CostCNOTTransversal = surgery.CostCNOTTransversal
+	CostMove            = surgery.CostMove
+)
+
+// Magic-state distillation (§VII).
+type (
+	// DistillationProtocol is one Fig. 13 contender.
+	DistillationProtocol = magic.Protocol
+)
+
+// The §VII protocols.
+var (
+	FastLattice  = magic.FastLattice
+	SmallLattice = magic.SmallLattice
+	VQubits      = magic.VQubits
+	VQubitsSolo  = magic.VQubitsSolo
+)
+
+// DistillationProtocols lists the Fig. 13 contenders.
+var DistillationProtocols = magic.Protocols
+
+// Circuit15to1Counts returns the §VII 15-to-1 operation inventory.
+func Circuit15to1Counts() magic.Distill15to1Counts { return magic.Circuit15to1Counts() }
+
+// EstimateVQubitsSchedule runs the 15-to-1 dataflow on a VLQ machine.
+func EstimateVQubitsSchedule(params HardwareParams, d int) (magic.ScheduleEstimate, error) {
+	return magic.EstimateVQubitsSchedule(params, d)
+}
+
+// Process tomography (§III-B).
+type (
+	// TomographyReport is the transversal-CNOT verification result.
+	TomographyReport = tomo.Report
+)
+
+// VerifyTransversalCNOT runs stabilizer process tomography of the
+// transversal CNOT on two full distance-d patches sharing one stack.
+func VerifyTransversalCNOT(d int) (*TomographyReport, error) {
+	return tomo.VerifyTransversalCNOT(d)
+}
