@@ -4,8 +4,9 @@
 //
 // Monte-Carlo volume is tunable without recompiling:
 //
-//	VLQ_TRIALS    trials per data point (default 1500; paper used 2,000,000)
-//	VLQ_MAXDIST   largest code distance in sweeps (default 7; paper used 11)
+//	VLQ_TRIALS        trials per data point (default 1500; paper used 2,000,000)
+//	VLQ_MAXDIST       largest code distance in sweeps (default 7; paper used 11)
+//	VLQ_SWEEP_TRIALS  trials per cell in BenchmarkSweepRow (default 400)
 //
 // Run everything with:
 //
@@ -14,10 +15,12 @@ package vlq
 
 import (
 	"fmt"
+	"math"
 	"os"
 	"strconv"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/circuit"
 	"repro/internal/extract"
@@ -356,6 +359,70 @@ func BenchmarkAblation_SchedulingOverhead(b *testing.B) {
 		for _, r := range rows {
 			fmt.Println(r)
 		}
+	})
+}
+
+// --- Engine speedup: batched sweep vs the pre-refactor scalar path -------------
+
+// BenchmarkSweepRow times a 3-distance x 8-rate Compact-Interleaved
+// threshold sweep row on the batched engine (structure cache + word-packed
+// batch sampling + allocation-free batch decoding), then once runs the same
+// row on the retained pre-refactor scalar path (fresh model build per cell,
+// one RNG draw per mechanism per shot) and reports the wall-clock speedup
+// and the statistical consistency of the two rate estimates.
+func BenchmarkSweepRow(b *testing.B) {
+	trials := envInt("VLQ_SWEEP_TRIALS", 400)
+	ds := []int{3, 5, 7}
+	rates := montecarlo.DefaultPhysRates(8)
+	scheme := extract.CompactInterleaved
+	const seed = 11
+
+	var pts []montecarlo.SweepPoint
+	var newDur time.Duration
+	for i := 0; i < b.N; i++ {
+		engine := montecarlo.NewEngine() // cold cache each iteration: full row cost
+		start := time.Now()
+		var err error
+		pts, err = engine.ThresholdSweep(scheme, ds, rates, hardware.Default(), trials, seed, montecarlo.UF, montecarlo.SweepOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		newDur = time.Since(start)
+	}
+	b.StopTimer()
+
+	printTableOnce(b, func() {
+		start := time.Now()
+		var refPts []montecarlo.SweepPoint
+		for _, d := range ds {
+			for _, p := range rates {
+				res, err := montecarlo.RunReference(montecarlo.Config{
+					Scheme: scheme, Distance: d, Basis: extract.BasisZ,
+					Params: hardware.Default().ScaledGatesTo(p), Trials: trials,
+					Seed: seed + int64(d)*7919 + int64(p*1e9), Decoder: montecarlo.UF,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				refPts = append(refPts, montecarlo.SweepPoint{Distance: d, Phys: p, Result: res})
+			}
+		}
+		refDur := time.Since(start)
+
+		inconsistent := 0
+		for i := range pts {
+			a, r := pts[i].Result, refPts[i].Result
+			if diff := math.Abs(a.Rate() - r.Rate()); diff > 3*(a.StdErr()+r.StdErr()) {
+				inconsistent++
+				b.Errorf("d=%d p=%.4g: batched %.4f vs reference %.4f differ beyond 3 sigma",
+					pts[i].Distance, pts[i].Phys, a.Rate(), r.Rate())
+			}
+		}
+		speedup := float64(refDur) / float64(newDur)
+		fmt.Printf("\nSweep row — %s, %d distances x %d rates, %d trials/cell:\n", scheme, len(ds), len(rates), trials)
+		fmt.Printf("  batched engine:  %v\n", newDur)
+		fmt.Printf("  scalar reference: %v\n", refDur)
+		fmt.Printf("  speedup: %.1fx (target >= 5x); %d/%d cells outside 3 sigma\n", speedup, inconsistent, len(pts))
 	})
 }
 

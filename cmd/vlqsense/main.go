@@ -23,7 +23,8 @@ func main() {
 	distances := flag.String("distances", "3,5", "comma-separated code distances")
 	values := flag.String("values", "", "comma-separated parameter values (default: paper's range)")
 	nvalues := flag.Int("nvalues", 5, "number of grid values when -values is empty")
-	trials := flag.Int("trials", 3000, "Monte-Carlo trials per point")
+	trials := flag.Int("trials", 3000, "Monte-Carlo trials per point (a cap when -target-failures is set)")
+	target := flag.Int("target-failures", 0, "end each point once this many failures accumulate (0 = fixed trial count)")
 	seed := flag.Int64("seed", 1, "random seed")
 	csv := flag.Bool("csv", false, "emit CSV instead of a table")
 	flag.Parse()
@@ -42,6 +43,9 @@ func main() {
 	if *csv {
 		fmt.Println("panel,value,distance,logical_rate,stderr,trials")
 	}
+	// One engine for the whole invocation: probability and coherence-time
+	// panels share one structure per distance.
+	engine := montecarlo.NewEngine()
 	for _, pn := range panels {
 		vals := pn.DefaultValues(*nvalues)
 		if *values != "" {
@@ -49,7 +53,7 @@ func main() {
 				fatal(err)
 			}
 		}
-		pts, err := montecarlo.SensitivitySweep(pn, vals, ds, *trials, *seed)
+		pts, err := engine.SensitivitySweep(pn, vals, ds, *trials, *seed, montecarlo.SweepOptions{TargetFailures: *target})
 		if err != nil {
 			fatal(err)
 		}

@@ -25,7 +25,8 @@ func main() {
 	distances := flag.String("distances", "3,5,7", "comma-separated code distances")
 	rates := flag.String("rates", "", "comma-separated physical error rates (default: log grid)")
 	nrates := flag.Int("nrates", 6, "number of grid rates when -rates is empty")
-	trials := flag.Int("trials", 4000, "Monte-Carlo trials per point")
+	trials := flag.Int("trials", 4000, "Monte-Carlo trials per point (a cap when -target-failures is set)")
+	target := flag.Int("target-failures", 0, "end each point once this many failures accumulate (0 = fixed trial count)")
 	seed := flag.Int64("seed", 1, "random seed")
 	dec := flag.String("decoder", "uf", "decoder: uf or mwpm")
 	csv := flag.Bool("csv", false, "emit CSV instead of a table")
@@ -55,8 +56,12 @@ func main() {
 	if *csv {
 		fmt.Println("scheme,distance,phys_rate,logical_rate,stderr,trials")
 	}
+	// One engine for the whole invocation: every (scheme, distance) builds
+	// its circuit and fault structure once, shared across all rates.
+	engine := montecarlo.NewEngine()
 	for _, sch := range schemes {
-		pts, err := montecarlo.ThresholdSweep(sch, ds, ps, hardware.Default(), *trials, *seed, montecarlo.DecoderKind(*dec))
+		pts, err := engine.ThresholdSweep(sch, ds, ps, hardware.Default(), *trials, *seed,
+			montecarlo.DecoderKind(*dec), montecarlo.SweepOptions{TargetFailures: *target})
 		if err != nil {
 			fatal(err)
 		}

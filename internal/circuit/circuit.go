@@ -127,6 +127,35 @@ func (c *Circuit) NumOps() int {
 	return n
 }
 
+// OpProbs gathers every op's error probability in global op order (moments
+// in sequence, ops within each moment), appending to dst. The global op
+// index is the shared coordinate system between a circuit's noise
+// annotation and the structural fault model built from it (internal/dem).
+func (c *Circuit) OpProbs(dst []float64) []float64 {
+	for i := range c.Moments {
+		for j := range c.Moments[i].Ops {
+			dst = append(dst, c.Moments[i].Ops[j].P)
+		}
+	}
+	return dst
+}
+
+// SetOpProbs overwrites every op's error probability from ps, indexed in
+// global op order. len(ps) must equal NumOps.
+func (c *Circuit) SetOpProbs(ps []float64) error {
+	if len(ps) != c.NumOps() {
+		return fmt.Errorf("circuit: SetOpProbs got %d probabilities for %d ops", len(ps), c.NumOps())
+	}
+	k := 0
+	for i := range c.Moments {
+		for j := range c.Moments[i].Ops {
+			c.Moments[i].Ops[j].P = ps[k]
+			k++
+		}
+	}
+	return nil
+}
+
 // Builder assembles a Circuit moment by moment, tracking slot occupancy so
 // idle noise lands only on slots that actually hold a qubit, and validating
 // that no slot is used twice within a moment.
@@ -286,8 +315,10 @@ func (b *Builder) Discard(q int) {
 }
 
 // End seals the current moment. idleProb, if non-nil, is consulted for every
-// occupied slot the moment did not touch; a positive return value emits an
-// OpIdle with that probability.
+// occupied slot the moment did not touch; any positive-duration moment emits
+// an OpIdle with the returned probability (even a zero one, so the circuit's
+// op structure depends only on durations, never on how small a coherence
+// time makes the idle error — zero-probability ops are inert everywhere).
 func (b *Builder) End(idleProb func(slot int, loc Loc, dur float64) float64) {
 	if !b.inMoment {
 		b.setErr("End without Begin")
@@ -299,7 +330,7 @@ func (b *Builder) End(idleProb func(slot int, loc Loc, dur float64) float64) {
 			if !b.occupied[q] || b.touched[q] {
 				continue
 			}
-			if p := idleProb(q, b.c.SlotLoc[q], m.Duration); p > 0 {
+			if p := idleProb(q, b.c.SlotLoc[q], m.Duration); p > 0 || m.Duration > 0 {
 				m.Ops = append(m.Ops, Op{Kind: OpIdle, A: q, B: q, P: p, MeasIdx: -1})
 			}
 		}

@@ -3,7 +3,7 @@ package decoder
 import (
 	"fmt"
 	"math"
-	"math/rand"
+	"math/rand/v2"
 	"testing"
 
 	"repro/internal/dem"
@@ -169,7 +169,7 @@ func TestSingleMechanismRoundTrip(t *testing.T) {
 // exact matcher; union-find is allowed a small slack.
 func TestDoubleMechanismRoundTrip(t *testing.T) {
 	m, g := circuitGraph(t, extract.Baseline, 5, 1e-3)
-	rng := rand.New(rand.NewSource(41))
+	rng := rand.New(rand.NewPCG(41, 0))
 	uf := NewUnionFind(g)
 	ex := NewExact(g)
 	bl := NewMWPM(g)
@@ -177,8 +177,8 @@ func TestDoubleMechanismRoundTrip(t *testing.T) {
 	parity := make([]bool, m.NumDets)
 	ufFail, exFail, blFail, total := 0, 0, 0, 0
 	for trial := 0; trial < 400; trial++ {
-		a := &m.Mechs[rng.Intn(len(m.Mechs))]
-		b := &m.Mechs[rng.Intn(len(m.Mechs))]
+		a := &m.Mechs[rng.IntN(len(m.Mechs))]
+		b := &m.Mechs[rng.IntN(len(m.Mechs))]
 		for i := range parity {
 			parity[i] = false
 		}
@@ -234,7 +234,7 @@ func TestMWPMAgreesWithExact(t *testing.T) {
 	ex := NewExact(g)
 	mw := NewMWPM(g)
 	s := m.NewSampler()
-	rng := rand.New(rand.NewSource(53))
+	rng := rand.New(rand.NewPCG(53, 0))
 	checked := 0
 	for trial := 0; trial < 2000; trial++ {
 		events, _ := s.Sample(rng)
@@ -264,7 +264,7 @@ func TestMWPMAgreesWithExact(t *testing.T) {
 func TestDecodeDeterminism(t *testing.T) {
 	m, g := circuitGraph(t, extract.NaturalInterleaved, 3, 5e-3)
 	s := m.NewSampler()
-	rng := rand.New(rand.NewSource(7))
+	rng := rand.New(rand.NewPCG(7, 0))
 	for _, d := range decoders(g) {
 		for trial := 0; trial < 50; trial++ {
 			events, _ := s.Sample(rng)

@@ -67,15 +67,57 @@ func (x *Exact) DecodeWithWeight(events []int) (bool, float64, error) {
 		bd[i] = x.dist[n]
 		bm[i] = x.mask[n]
 	}
-	members := make([]int, k)
-	for i := range members {
-		members[i] = i
-	}
-	obs, w := matchComponent(members, pd, pm, bd, bm)
+	obs, w := matchAll(k, pd, pm, bd, bm)
 	if math.IsInf(w, 1) {
 		return false, 0, fmt.Errorf("exact: no feasible matching")
 	}
 	return obs, w, nil
+}
+
+// matchAll runs the bitmask DP over all k events. Deliberately independent
+// of MWPM's component matcher so the two implementations cross-check each
+// other in tests.
+func matchAll(k int, pd [][]float64, pm [][]bool, bd []float64, bm []bool) (bool, float64) {
+	size := 1 << k
+	cost := make([]float64, size)
+	choice := make([]int8, size)
+	for s := 1; s < size; s++ {
+		cost[s] = math.Inf(1)
+		i := lowestBit(s)
+		rest := s &^ (1 << i)
+		if c := bd[i] + cost[rest]; c < cost[s] {
+			cost[s] = c
+			choice[s] = -1
+		}
+		for j := i + 1; j < k; j++ {
+			if rest&(1<<j) == 0 {
+				continue
+			}
+			c := pd[i][j] + cost[rest&^(1<<j)]
+			if c < cost[s] {
+				cost[s] = c
+				choice[s] = int8(j)
+			}
+		}
+	}
+	obs := false
+	s := size - 1
+	for s != 0 {
+		i := lowestBit(s)
+		if choice[s] == -1 {
+			if bm[i] {
+				obs = !obs
+			}
+			s &^= 1 << i
+			continue
+		}
+		j := int(choice[s])
+		if pm[i][j] {
+			obs = !obs
+		}
+		s &^= (1 << i) | (1 << j)
+	}
+	return obs, cost[size-1]
 }
 
 func lowestBit(s int) int {

@@ -1,0 +1,40 @@
+package decoder
+
+import "repro/internal/dem"
+
+// MWPMFallback is the paper-faithful production decoder: exact
+// minimum-weight perfect matching, transparently falling back to union-find
+// on the rare oversized event cluster (or any other MWPM failure). It
+// implements both Decoder and BatchDecoder and counts fallbacks, replacing
+// the ad-hoc fallback loop the Monte-Carlo engine used to carry.
+type MWPMFallback struct {
+	mw *MWPM
+	uf *UnionFind
+
+	// Fallbacks counts shots decoded by union-find instead of matching.
+	Fallbacks int64
+}
+
+// NewMWPMFallback builds the combined decoder over g.
+func NewMWPMFallback(g *dem.Graph) *MWPMFallback {
+	return &MWPMFallback{mw: NewMWPM(g), uf: NewUnionFind(g)}
+}
+
+// Name implements Decoder.
+func (f *MWPMFallback) Name() string { return "mwpm+uf" }
+
+// Decode implements Decoder.
+func (f *MWPMFallback) Decode(events []int) (bool, error) {
+	pred, err := f.mw.Decode(events)
+	if err == nil {
+		return pred, nil
+	}
+	f.Fallbacks++
+	return f.uf.Decode(events)
+}
+
+// DecodeBatch implements BatchDecoder. Zero per-shot heap allocations in
+// steady state.
+func (f *MWPMFallback) DecodeBatch(b *Batch, out []bool) error {
+	return decodeSerial(f, b, out)
+}

@@ -30,6 +30,18 @@ type MWPM struct {
 	dist []float64
 	mask []bool
 	heap distHeap
+
+	// Reusable per-decode buffers (grown to the largest event count seen):
+	// pairwise distances/masks are flat with stride k.
+	pd      []float64
+	pm      []bool
+	bd      []float64
+	bm      []bool
+	comp    []int
+	stack   []int
+	members []int
+	cost    []float64
+	choice  []int8
 }
 
 // NewMWPM builds an exact matching decoder over g.
@@ -52,52 +64,59 @@ func (x *MWPM) Decode(events []int) (bool, error) {
 	return obs, err
 }
 
+// grown returns s resized to n elements, reusing its backing array when the
+// capacity allows (contents are overwritten by the caller).
+func grown[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}
+
 // DecodeWithWeight additionally returns the total weight of the optimal
 // matching (used by equivalence tests, where observable predictions may
-// legitimately differ on exact weight ties).
+// legitimately differ on exact weight ties). All working storage is reused
+// across calls: zero per-shot heap allocations in steady state.
 func (x *MWPM) DecodeWithWeight(events []int) (bool, float64, error) {
 	k := len(events)
 	if k == 0 {
 		return false, 0, nil
 	}
 	n := x.g.NumNodes
-	pd := make([][]float64, k)
-	pm := make([][]bool, k)
-	bd := make([]float64, k)
-	bm := make([]bool, k)
+	x.pd = grown(x.pd, k*k)
+	x.pm = grown(x.pm, k*k)
+	x.bd = grown(x.bd, k)
+	x.bm = grown(x.bm, k)
 	for i, ev := range events {
 		dijkstra(x.g, ev, x.dist, x.mask, &x.heap)
-		pd[i] = make([]float64, k)
-		pm[i] = make([]bool, k)
 		for j, ev2 := range events {
-			pd[i][j] = x.dist[ev2]
-			pm[i][j] = x.mask[ev2]
+			x.pd[i*k+j] = x.dist[ev2]
+			x.pm[i*k+j] = x.mask[ev2]
 		}
-		bd[i] = x.dist[n]
-		bm[i] = x.mask[n]
+		x.bd[i] = x.dist[n]
+		x.bm[i] = x.mask[n]
 	}
 
 	// Prune dominated pairs and find connected components.
-	comp := make([]int, k)
-	for i := range comp {
-		comp[i] = -1
+	x.comp = grown(x.comp, k)
+	for i := range x.comp {
+		x.comp[i] = -1
 	}
-	var stack []int
 	ncomp := 0
-	useful := func(i, j int) bool { return pd[i][j] < bd[i]+bd[j] }
+	useful := func(i, j int) bool { return x.pd[i*k+j] < x.bd[i]+x.bd[j] }
 	for i := 0; i < k; i++ {
-		if comp[i] >= 0 {
+		if x.comp[i] >= 0 {
 			continue
 		}
-		comp[i] = ncomp
-		stack = append(stack[:0], i)
-		for len(stack) > 0 {
-			v := stack[len(stack)-1]
-			stack = stack[:len(stack)-1]
+		x.comp[i] = ncomp
+		x.stack = append(x.stack[:0], i)
+		for len(x.stack) > 0 {
+			v := x.stack[len(x.stack)-1]
+			x.stack = x.stack[:len(x.stack)-1]
 			for j := 0; j < k; j++ {
-				if comp[j] < 0 && useful(v, j) {
-					comp[j] = ncomp
-					stack = append(stack, j)
+				if x.comp[j] < 0 && useful(v, j) {
+					x.comp[j] = ncomp
+					x.stack = append(x.stack, j)
 				}
 			}
 		}
@@ -107,16 +126,16 @@ func (x *MWPM) DecodeWithWeight(events []int) (bool, float64, error) {
 	obs := false
 	total := 0.0
 	for c := 0; c < ncomp; c++ {
-		var members []int
+		x.members = x.members[:0]
 		for i := 0; i < k; i++ {
-			if comp[i] == c {
-				members = append(members, i)
+			if x.comp[i] == c {
+				x.members = append(x.members, i)
 			}
 		}
-		if len(members) > x.MaxComponent {
-			return false, 0, fmt.Errorf("mwpm: component of %d events exceeds MaxComponent=%d", len(members), x.MaxComponent)
+		if len(x.members) > x.MaxComponent {
+			return false, 0, fmt.Errorf("mwpm: component of %d events exceeds MaxComponent=%d", len(x.members), x.MaxComponent)
 		}
-		o, w := matchComponent(members, pd, pm, bd, bm)
+		o, w := x.matchComponent(k)
 		if math.IsInf(w, 1) {
 			return false, 0, fmt.Errorf("mwpm: infeasible component")
 		}
@@ -126,18 +145,22 @@ func (x *MWPM) DecodeWithWeight(events []int) (bool, float64, error) {
 	return obs, total, nil
 }
 
-// matchComponent runs the bitmask DP on one component.
-func matchComponent(members []int, pd [][]float64, pm [][]bool, bd []float64, bm []bool) (bool, float64) {
+// matchComponent runs the bitmask DP on the current x.members component;
+// stride is the event count of the enclosing decode (row length of x.pd).
+func (x *MWPM) matchComponent(stride int) (bool, float64) {
+	members := x.members
 	k := len(members)
 	size := 1 << k
-	cost := make([]float64, size)
-	choice := make([]int8, size)
+	x.cost = grown(x.cost, size)
+	x.choice = grown(x.choice, size)
+	cost, choice := x.cost, x.choice
+	cost[0] = 0 // reused buffer: the DP base case must be reset
 	for s := 1; s < size; s++ {
 		cost[s] = math.Inf(1)
 		i := lowestBit(s)
 		rest := s &^ (1 << i)
 		mi := members[i]
-		if c := bd[mi] + cost[rest]; c < cost[s] {
+		if c := x.bd[mi] + cost[rest]; c < cost[s] {
 			cost[s] = c
 			choice[s] = -1
 		}
@@ -145,7 +168,7 @@ func matchComponent(members []int, pd [][]float64, pm [][]bool, bd []float64, bm
 			if rest&(1<<j) == 0 {
 				continue
 			}
-			c := pd[mi][members[j]] + cost[rest&^(1<<j)]
+			c := x.pd[mi*stride+members[j]] + cost[rest&^(1<<j)]
 			if c < cost[s] {
 				cost[s] = c
 				choice[s] = int8(j)
@@ -158,14 +181,14 @@ func matchComponent(members []int, pd [][]float64, pm [][]bool, bd []float64, bm
 		i := lowestBit(s)
 		mi := members[i]
 		if choice[s] == -1 {
-			if bm[mi] {
+			if x.bm[mi] {
 				obs = !obs
 			}
 			s &^= 1 << i
 			continue
 		}
 		j := int(choice[s])
-		if pm[mi][members[j]] {
+		if x.pm[mi*stride+members[j]] {
 			obs = !obs
 		}
 		s &^= (1 << i) | (1 << j)

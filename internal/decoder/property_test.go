@@ -1,7 +1,7 @@
 package decoder
 
 import (
-	"math/rand"
+	"math/rand/v2"
 	"testing"
 	"testing/quick"
 
@@ -15,14 +15,14 @@ func TestEventOrderInvariance(t *testing.T) {
 	_, g := circuitGraph(t, extract.Baseline, 3, 5e-3)
 	uf := NewUnionFind(g)
 	mw := NewMWPM(g)
-	rng := rand.New(rand.NewSource(97))
+	rng := rand.New(rand.NewPCG(97, 0))
 
 	f := func(seed int64) bool {
-		r := rand.New(rand.NewSource(seed))
-		n := 2 + r.Intn(6)
+		r := rand.New(rand.NewPCG(uint64(seed), 0))
+		n := 2 + r.IntN(6)
 		events := map[int]bool{}
 		for len(events) < n {
-			events[r.Intn(g.NumNodes)] = true
+			events[r.IntN(g.NumNodes)] = true
 		}
 		var sorted []int
 		for e := range events {
@@ -52,13 +52,13 @@ func TestEventOrderInvariance(t *testing.T) {
 func TestUFAlwaysTerminates(t *testing.T) {
 	g := lineGraph(12, 1e-2)
 	uf := NewUnionFind(g)
-	rng := rand.New(rand.NewSource(3))
+	rng := rand.New(rand.NewPCG(3, 0))
 	for trial := 0; trial < 200; trial++ {
-		n := 1 + rng.Intn(8)
+		n := 1 + rng.IntN(8)
 		seen := map[int]bool{}
 		var events []int
 		for len(events) < n {
-			e := rng.Intn(12)
+			e := rng.IntN(12)
 			if !seen[e] {
 				seen[e] = true
 				events = append(events, e)

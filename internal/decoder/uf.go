@@ -13,25 +13,55 @@ import (
 // their defect parity is even or they touch the boundary. A peeling pass
 // over the grown support then selects the correction edges, whose logical
 // masks XOR into the observable prediction.
+//
+// All per-decode state is epoch-stamped: a node or edge is implicitly in
+// its default state unless its stamp matches the current decode, so a shot
+// costs time proportional to the grown region, not the graph size, and the
+// steady state allocates nothing.
 type UnionFind struct {
 	g   *dem.Graph
 	n   int     // real nodes; node n is the virtual boundary
 	cap []int64 // integer edge capacities from matching weights
+	// Flat edge endpoints (boundary mapped to node n) for cache-friendly
+	// access in the growth loop.
+	edgeU, edgeV []int32
 
-	// Reusable per-decode state.
-	grown    []int64
-	parent   []int32
-	rank     []int8
-	parity   []bool // defect parity per root
-	boundary []bool // root touches the virtual boundary
-	defect   []bool
-	seeded   []bool    // node's adjacency already added to its cluster
-	edgeList [][]int32 // per-root candidate growth edges
-	sat      []bool    // edge saturated (in the support)
-	visited  []bool
-	bfsOrder []int32
-	bfsEdge  []int32 // edge used to reach node in the forest
-	bfsPar   []int32
+	// Reusable per-decode state, valid only where the epoch matches.
+	epoch     uint64
+	nodeEpoch []uint64
+	edgeEpoch []uint64
+	grown     []int64
+	parent    []int32
+	rank      []int8
+	parity    []bool // defect parity per root
+	boundary  []bool // root touches the virtual boundary
+	defect    []bool
+	seeded    []bool    // node's adjacency already added to its cluster
+	edgeList  [][]int32 // per-root candidate growth edges
+	sat       []bool    // edge saturated (in the support)
+	visited   []bool
+	activeGen uint64
+	activeAt  []uint64 // last activeGen a root was collected in
+	bfsOrder  []int32
+	bfsEdge   []int32 // edge used to reach node in the forest
+	bfsPar    []int32
+	active    []int32
+	queue     []int32
+	satBound  []int32 // saturated boundary edges of this decode
+	events    []int   // current shot (caller-owned)
+	// Per-round growable-edge scratch: edge id plus the endpoint roots
+	// computed in the slack pass (valid in the grow pass until a merge).
+	growEdges []growEdge
+	// Cross-round per-edge root cache: valid while both cached nodes are
+	// still cluster roots (a merged root stops being its own parent), which
+	// turns the per-round re-resolution of stable edges into two loads.
+	edgeRA, edgeRB []int32
+	edgeRootEpoch  []uint64
+}
+
+type growEdge struct {
+	ei     int32
+	ra, rb int32
 }
 
 // capUnit converts float weights to integer capacities; chosen so relative
@@ -52,13 +82,26 @@ func NewUnionFind(g *dem.Graph) *UnionFind {
 		minW = 1
 	}
 	u.cap = make([]int64, len(g.Edges))
+	u.edgeU = make([]int32, len(g.Edges))
+	u.edgeV = make([]int32, len(g.Edges))
 	for i := range g.Edges {
 		c := int64(math.Round(g.Edges[i].W / minW * capScale))
 		if c < 1 {
 			c = 1
 		}
 		u.cap[i] = c
+		u.edgeU[i] = g.Edges[i].U
+		v := g.Edges[i].V
+		if v == dem.BoundaryNode {
+			v = int32(n)
+		}
+		u.edgeV[i] = v
 	}
+	u.edgeRA = make([]int32, len(g.Edges))
+	u.edgeRB = make([]int32, len(g.Edges))
+	u.edgeRootEpoch = make([]uint64, len(g.Edges))
+	u.nodeEpoch = make([]uint64, n+1)
+	u.edgeEpoch = make([]uint64, len(g.Edges))
 	u.grown = make([]int64, len(g.Edges))
 	u.parent = make([]int32, n+1)
 	u.rank = make([]int8, n+1)
@@ -69,6 +112,7 @@ func NewUnionFind(g *dem.Graph) *UnionFind {
 	u.edgeList = make([][]int32, n+1)
 	u.sat = make([]bool, len(g.Edges))
 	u.visited = make([]bool, n+1)
+	u.activeAt = make([]uint64, n+1)
 	u.bfsEdge = make([]int32, n+1)
 	u.bfsPar = make([]int32, n+1)
 	return u
@@ -77,7 +121,40 @@ func NewUnionFind(g *dem.Graph) *UnionFind {
 // Name implements Decoder.
 func (u *UnionFind) Name() string { return "union-find" }
 
+// DecodeBatch implements BatchDecoder. Zero per-shot heap allocations in
+// steady state.
+func (u *UnionFind) DecodeBatch(b *Batch, out []bool) error {
+	return decodeSerial(u, b, out)
+}
+
+// ensureNode lazily resets node v to its default state for this decode.
+func (u *UnionFind) ensureNode(v int32) {
+	if u.nodeEpoch[v] == u.epoch {
+		return
+	}
+	u.nodeEpoch[v] = u.epoch
+	u.parent[v] = v
+	u.rank[v] = 0
+	u.parity[v] = false
+	u.boundary[v] = v == int32(u.n)
+	u.defect[v] = false
+	u.seeded[v] = v == int32(u.n) // the virtual boundary has no adjacency
+	u.edgeList[v] = u.edgeList[v][:0]
+	u.visited[v] = false
+}
+
+// ensureEdge lazily resets edge ei's growth state for this decode.
+func (u *UnionFind) ensureEdge(ei int32) {
+	if u.edgeEpoch[ei] == u.epoch {
+		return
+	}
+	u.edgeEpoch[ei] = u.epoch
+	u.grown[ei] = 0
+	u.sat[ei] = false
+}
+
 func (u *UnionFind) find(v int32) int32 {
+	u.ensureNode(v)
 	for u.parent[v] != v {
 		u.parent[v] = u.parent[u.parent[v]]
 		v = u.parent[v]
@@ -85,15 +162,19 @@ func (u *UnionFind) find(v int32) int32 {
 	return v
 }
 
-// endpoint returns the decoding-graph endpoints of edge ei with the boundary
-// mapped to virtual node n.
+// endpoints returns the decoding-graph endpoints of edge ei with the
+// boundary mapped to virtual node n.
 func (u *UnionFind) endpoints(ei int32) (int32, int32) {
-	e := &u.g.Edges[ei]
-	v := e.V
-	if v == dem.BoundaryNode {
-		v = int32(u.n)
+	return u.edgeU[ei], u.edgeV[ei]
+}
+
+// seedAdjacency adds node v's incident edges to root r's candidate list,
+// resetting each edge's growth state on first sight this decode.
+func (u *UnionFind) seedAdjacency(r, v int32) {
+	for _, ei := range u.g.Adj[v] {
+		u.ensureEdge(ei)
+		u.edgeList[r] = append(u.edgeList[r], ei)
 	}
-	return e.U, v
 }
 
 // Decode implements Decoder.
@@ -105,51 +186,30 @@ func (u *UnionFind) Decode(events []int) (bool, error) {
 		return false, fmt.Errorf("union-find: odd event count with no boundary")
 	}
 	n := u.n
-	// Reset state (full reset keeps the code simple; decode cost is
-	// dominated by growth anyway).
-	for i := range u.grown {
-		u.grown[i] = 0
-		u.sat[i] = false
-	}
-	for v := 0; v <= n; v++ {
-		u.parent[v] = int32(v)
-		u.rank[v] = 0
-		u.parity[v] = false
-		u.boundary[v] = false
-		u.defect[v] = false
-		u.edgeList[v] = u.edgeList[v][:0]
-		u.visited[v] = false
-		u.seeded[v] = false
-	}
-	u.boundary[n] = true
-	u.seeded[n] = true // the virtual boundary has no adjacency list
+	u.epoch++
+	u.events = events
+	u.satBound = u.satBound[:0]
+	u.ensureNode(int32(n))
 	for _, d := range events {
+		u.ensureNode(int32(d))
 		u.defect[d] = true
 		u.parity[d] = true
 	}
 	// Seed candidate edge lists from defect clusters.
 	for _, d := range events {
-		u.edgeList[d] = append(u.edgeList[d], u.g.Adj[d]...)
+		u.seedAdjacency(int32(d), int32(d))
 		u.seeded[d] = true
 	}
 
-	active := make([]int32, 0, len(events))
+	u.active = u.active[:0]
 	refreshActive := func() {
-		active = active[:0]
+		u.activeGen++
+		u.active = u.active[:0]
 		for _, d := range events {
 			r := u.find(int32(d))
-			if u.parity[r] && !u.boundary[r] {
-				// Deduplicate roots.
-				dup := false
-				for _, a := range active {
-					if a == r {
-						dup = true
-						break
-					}
-				}
-				if !dup {
-					active = append(active, r)
-				}
+			if u.parity[r] && !u.boundary[r] && u.activeAt[r] != u.activeGen {
+				u.activeAt[r] = u.activeGen
+				u.active = append(u.active, r)
 			}
 		}
 	}
@@ -158,10 +218,10 @@ func (u *UnionFind) Decode(events []int) (bool, error) {
 		// A node joining a growing cluster contributes its own adjacency
 		// to the cluster's candidate growth edges exactly once.
 		for _, v := range [2]int32{a, b} {
+			u.ensureNode(v)
 			if !u.seeded[v] {
 				u.seeded[v] = true
-				rv := u.find(v)
-				u.edgeList[rv] = append(u.edgeList[rv], u.g.Adj[v]...)
+				u.seedAdjacency(u.find(v), v)
 			}
 		}
 		ra, rb := u.find(a), u.find(b)
@@ -181,7 +241,9 @@ func (u *UnionFind) Decode(events []int) (bool, error) {
 			u.edgeList[ra], u.edgeList[rb] = u.edgeList[rb], u.edgeList[ra]
 		}
 		u.edgeList[ra] = append(u.edgeList[ra], u.edgeList[rb]...)
-		u.edgeList[rb] = nil
+		// Keep rb's capacity for later decodes; rb is no longer a root, so
+		// its list is dead until its next epoch reset.
+		u.edgeList[rb] = u.edgeList[rb][:0]
 		return ra
 	}
 
@@ -190,23 +252,30 @@ func (u *UnionFind) Decode(events []int) (bool, error) {
 			return false, fmt.Errorf("union-find: growth failed to converge")
 		}
 		refreshActive()
-		if len(active) == 0 {
+		if len(u.active) == 0 {
 			break
 		}
-		// Minimum slack per growth unit across all candidate edges.
+		// Minimum slack per growth unit across all candidate edges. The
+		// growable edges (with their roots) are collected for the grow pass.
 		var minDelta int64 = math.MaxInt64
-		for _, r := range active {
+		u.growEdges = u.growEdges[:0]
+		for _, r := range u.active {
 			kept := u.edgeList[r][:0]
 			for _, ei := range u.edgeList[r] {
 				if u.sat[ei] {
 					continue
 				}
-				a, b := u.endpoints(ei)
-				ra, rb := u.find(a), u.find(b)
+				ra, rb := u.edgeRA[ei], u.edgeRB[ei]
+				if u.edgeRootEpoch[ei] != u.epoch || u.parent[ra] != ra || u.parent[rb] != rb {
+					a, b := u.endpoints(ei)
+					ra, rb = u.find(a), u.find(b)
+					u.edgeRA[ei], u.edgeRB[ei], u.edgeRootEpoch[ei] = ra, rb, u.epoch
+				}
 				if ra == rb {
 					continue // internal edge
 				}
 				kept = append(kept, ei)
+				u.growEdges = append(u.growEdges, growEdge{ei, ra, rb})
 				ends := int64(1)
 				other := rb
 				if ra != r {
@@ -225,25 +294,32 @@ func (u *UnionFind) Decode(events []int) (bool, error) {
 		if minDelta == math.MaxInt64 {
 			return false, fmt.Errorf("union-find: active cluster with no growable edges")
 		}
-		// Grow and merge.
-		for _, r := range active {
-			if u.find(r) != r {
-				continue // merged earlier this round
+		// Grow and merge. Cluster state is untouched between the passes, so
+		// the cached roots stay valid until the first merge; after that,
+		// re-resolve per edge. An edge shared by two active clusters appears
+		// twice in growEdges, so it grows by 2*minDelta per round, matching
+		// its halved slack above.
+		merged := false
+		for _, ge := range u.growEdges {
+			ei := ge.ei
+			if u.sat[ei] {
+				continue
 			}
-			for _, ei := range u.edgeList[r] {
-				if u.sat[ei] {
-					continue
-				}
+			if merged {
 				a, b := u.endpoints(ei)
 				if u.find(a) == u.find(b) {
 					continue
 				}
-				u.grown[ei] += minDelta
-				if u.grown[ei] >= u.cap[ei] {
-					u.grown[ei] = u.cap[ei]
-					u.sat[ei] = true
-					union(a, b)
+			}
+			u.grown[ei] += minDelta
+			if u.grown[ei] >= u.cap[ei] {
+				u.grown[ei] = u.cap[ei]
+				u.sat[ei] = true
+				if u.g.Edges[ei].V == dem.BoundaryNode {
+					u.satBound = append(u.satBound, ei)
 				}
+				union(ge.ra, ge.rb)
+				merged = true
 			}
 		}
 	}
@@ -251,40 +327,38 @@ func (u *UnionFind) Decode(events []int) (bool, error) {
 }
 
 // peel extracts a correction from the grown support and returns its logical
-// mask.
+// mask. Every node it can reach was touched by growth (saturated edges only
+// connect ensured nodes), so the epoch-stamped state is always valid here.
 func (u *UnionFind) peel() (bool, error) {
 	n := u.n
 	// Support adjacency: saturated edges only.
 	// BFS forest rooted at the boundary first, then any unvisited node.
 	u.bfsOrder = u.bfsOrder[:0]
-	var queue []int32
+	u.queue = u.queue[:0]
+	head := 0
 
 	push := func(v, parent, viaEdge int32) {
 		u.visited[v] = true
 		u.bfsPar[v] = parent
 		u.bfsEdge[v] = viaEdge
-		queue = append(queue, v)
+		u.queue = append(u.queue, v)
 		u.bfsOrder = append(u.bfsOrder, v)
 	}
 
 	expand := func(v int32) {
-		var adj []int32
 		if v == int32(n) {
-			// The boundary's incident saturated edges: scan all saturated
-			// boundary edges (cheap: boundary edges only).
-			for ei := range u.g.Edges {
-				if u.sat[ei] && u.g.Edges[ei].V == dem.BoundaryNode {
-					w := u.g.Edges[ei].U
-					if !u.visited[w] {
-						push(w, v, int32(ei))
-					}
+			// The boundary's incident saturated edges, recorded during
+			// growth.
+			for _, ei := range u.satBound {
+				w := u.g.Edges[ei].U
+				if !u.visited[w] {
+					push(w, v, ei)
 				}
 			}
 			return
 		}
-		adj = u.g.Adj[v]
-		for _, ei := range adj {
-			if !u.sat[ei] {
+		for _, ei := range u.g.Adj[v] {
+			if u.edgeEpoch[ei] != u.epoch || !u.sat[ei] {
 				continue
 			}
 			a, b := u.endpoints(ei)
@@ -300,21 +374,23 @@ func (u *UnionFind) peel() (bool, error) {
 
 	// Root at boundary.
 	push(int32(n), -1, -1)
-	for len(queue) > 0 {
-		v := queue[0]
-		queue = queue[1:]
+	for head < len(u.queue) {
+		v := u.queue[head]
+		head++
 		expand(v)
 	}
-	// Remaining components (clusters not touching the boundary).
-	for v := 0; v < n; v++ {
+	// Remaining components (clusters not touching the boundary): every
+	// defect is an event, so scanning the shot finds all of them.
+	for _, d := range u.events {
+		v := int32(d)
 		if u.visited[v] || !u.defect[v] {
 			continue
 		}
 		// BFS this component from v.
-		push(int32(v), -1, -1)
-		for len(queue) > 0 {
-			w := queue[0]
-			queue = queue[1:]
+		push(v, -1, -1)
+		for head < len(u.queue) {
+			w := u.queue[head]
+			head++
 			expand(w)
 		}
 	}

@@ -3,20 +3,32 @@
 // deterministically through the Pauli-frame simulator, and records which
 // detectors and whether the logical observable flip. Faults with identical
 // footprints merge into a single mechanism with XOR-combined probability.
-// This mirrors how Stim derives matchable models from circuits, and it gives
-// two things:
+// This mirrors how Stim derives matchable models from circuits.
 //
-//   - a fast Monte-Carlo sampler (flip each mechanism independently, XOR its
-//     footprint), statistically identical to gate-level frame sampling; and
-//   - the weighted decoding graph consumed by the union-find and
-//     minimum-weight-matching decoders, including hook edges and boundary
-//     edges, with per-edge logical masks.
+// The model is split into two halves, the way Stim separates fault
+// structure from fault probability:
+//
+//   - Structure (BuildStructure) is the expensive, probability-free half:
+//     merged mechanism footprints in flat CSR form, plus, per mechanism,
+//     the list of elementary fault branches (global op index + branch
+//     divisor) that feed it. It depends only on the circuit's gates and
+//     moments, so one Structure serves every noise scale of a sweep.
+//   - Reweight is the cheap half: given per-op error probabilities it
+//     produces a Model — per-mechanism probabilities ready for sampling and
+//     for decoding-graph extraction — without re-running fault propagation.
+//
+// Build bundles both for one-shot use. The Model offers two samplers: a
+// scalar Sampler (one shot per call) and a word-packed BatchSampler that
+// draws 64 shots per pass with geometric skip-sampling over rare
+// mechanisms, plus the weighted decoding graph consumed by the union-find
+// and minimum-weight-matching decoders (graph.go).
 package dem
 
 import (
 	"fmt"
 	"math"
-	"sort"
+	"math/rand/v2"
+	"slices"
 
 	"repro/internal/extract"
 	"repro/internal/pframe"
@@ -40,15 +52,73 @@ type BuildStats struct {
 	MultiDetFaults  int // faults with footprints larger than 2 (need decomposition)
 }
 
-// Model is the detector error model of one experiment.
+// Model is the detector error model of one experiment at one noise scale.
 type Model struct {
 	NumDets int
 	Mechs   []Mechanism
 	Stats   BuildStats
 }
 
-// Build constructs the model for experiment e.
-func Build(e *extract.Experiment) (*Model, error) {
+// Structure is the immutable, probability-free half of a detector error
+// model: the merged mechanism footprints and, per mechanism, the elementary
+// fault branches feeding it. Footprints and sources are stored in flat CSR
+// form. A Structure is built once per circuit structure and Reweighted for
+// every noise scale; it is safe for concurrent use.
+type Structure struct {
+	NumDets int
+	NumOps  int // ops of the source circuit (length of Reweight's input)
+
+	// Footprints: mechanism i flips dets[detOff[i]:detOff[i+1]] and, if
+	// obs[i], the logical observable.
+	dets   []int32
+	detOff []int32
+	obs    []bool
+
+	// Sources: mechanism i is fed by fault branches with probability
+	// probs[srcOp[k]]/srcDiv[k] for k in [srcOff[i], srcOff[i+1]), in fault
+	// enumeration order (so Reweight's XOR-fold reproduces a direct build
+	// bit for bit).
+	srcOp  []int32
+	srcDiv []float64
+	srcOff []int32
+
+	Stats BuildStats
+}
+
+// NumMechanisms returns the merged mechanism count.
+func (s *Structure) NumMechanisms() int { return len(s.detOff) - 1 }
+
+// Footprint returns mechanism i's detector footprint (shared backing; do
+// not modify) and observable mask.
+func (s *Structure) Footprint(i int) ([]int32, bool) {
+	return s.dets[s.detOff[i]:s.detOff[i+1]], s.obs[i]
+}
+
+// fnv1aFootprint hashes a sorted footprint plus observable mask.
+func fnv1aFootprint(dets []int32, obs bool) uint64 {
+	const offset64, prime64 = 14695981039346656037, 1099511628211
+	h := uint64(offset64)
+	for _, d := range dets {
+		u := uint32(d)
+		for s := 0; s < 32; s += 8 {
+			h ^= uint64(u >> s & 0xff)
+			h *= prime64
+		}
+	}
+	if obs {
+		h ^= 1
+	}
+	h *= prime64
+	return h
+}
+
+// BuildStructure enumerates and propagates every elementary fault of the
+// experiment's circuit (ops with a positive error probability) and merges
+// identical footprints into mechanisms, recording per-mechanism fault
+// sources instead of probabilities. Faults of ops annotated with zero
+// probability are not represented; build experiments with every relevant
+// noise class positive (hardware.Default is) if they are to be reweighted.
+func BuildStructure(e *extract.Experiment) (*Structure, error) {
 	ndet := len(e.Detectors)
 	// Invert detector definitions: measurement -> detectors containing it.
 	measDets := make([][]int32, e.Circ.NumMeas)
@@ -63,87 +133,149 @@ func Build(e *extract.Experiment) (*Model, error) {
 	}
 
 	prop := pframe.NewPropagator(e.Circ)
-	faults := pframe.AllFaults(e.Circ)
+	s := &Structure{NumDets: ndet, NumOps: e.Circ.NumOps()}
+	s.detOff = append(s.detOff, 0)
 
-	classes := make(map[string]*Mechanism)
-	var order []string // deterministic output order
+	buckets := make(map[uint64][]int32) // footprint hash -> mechanism indices
+	var srcs [][]int32                  // per-mechanism source indices into srcOp/srcDiv order
+	var srcOps []int32                  // source k: global op
+	var srcDivs []float64               // source k: branch divisor
 
 	detParity := make(map[int32]bool, 8)
-	model := &Model{NumDets: ndet}
-	model.Stats.Faults = len(faults)
+	var dets []int32
+	var faults []pframe.WeightedFault
 
-	for _, wf := range faults {
-		flips := prop.Propagate(wf.Fault)
-		clear(detParity)
-		obs := false
-		for _, m := range flips {
-			for _, d := range measDets[m] {
-				detParity[d] = !detParity[d]
-			}
-			if measObs[m] {
-				obs = !obs
-			}
-		}
-		dets := make([]int32, 0, len(detParity))
-		for d, v := range detParity {
-			if v {
-				dets = append(dets, d)
-			}
-		}
-		if len(dets) == 0 {
-			if obs {
-				model.Stats.UndetectableObs++
-			} else {
-				model.Stats.Harmless++
-			}
-			if !obs {
+	gid := int32(-1)
+	for mi := range e.Circ.Moments {
+		m := &e.Circ.Moments[mi]
+		for oi := range m.Ops {
+			gid++
+			op := &m.Ops[oi]
+			faults = pframe.FaultsOf(mi, oi, op, faults[:0])
+			if len(faults) == 0 {
 				continue
 			}
-		}
-		sort.Slice(dets, func(i, j int) bool { return dets[i] < dets[j] })
-		if len(dets) > model.Stats.MaxFootprint {
-			model.Stats.MaxFootprint = len(dets)
-		}
-		if len(dets) > 2 {
-			model.Stats.MultiDetFaults++
-		}
-		key := footprintKey(dets, obs)
-		if mech, ok := classes[key]; ok {
-			mech.P = xorProb(mech.P, wf.P)
-		} else {
-			classes[key] = &Mechanism{Dets: dets, Obs: obs, P: wf.P}
-			order = append(order, key)
+			div := float64(pframe.BranchCount(op.Kind))
+			for fi := range faults {
+				s.Stats.Faults++
+				flips := prop.Propagate(faults[fi].Fault)
+				clear(detParity)
+				obs := false
+				for _, meas := range flips {
+					for _, d := range measDets[meas] {
+						detParity[d] = !detParity[d]
+					}
+					if measObs[meas] {
+						obs = !obs
+					}
+				}
+				dets = dets[:0]
+				for d, v := range detParity {
+					if v {
+						dets = append(dets, d)
+					}
+				}
+				if len(dets) == 0 {
+					if obs {
+						s.Stats.UndetectableObs++
+					} else {
+						s.Stats.Harmless++
+						continue
+					}
+				}
+				slices.Sort(dets)
+				if len(dets) > s.Stats.MaxFootprint {
+					s.Stats.MaxFootprint = len(dets)
+				}
+				if len(dets) > 2 {
+					s.Stats.MultiDetFaults++
+				}
+
+				// Find or create the mechanism with this footprint.
+				h := fnv1aFootprint(dets, obs)
+				mech := int32(-1)
+				for _, cand := range buckets[h] {
+					if s.obs[cand] == obs && slices.Equal(s.dets[s.detOff[cand]:s.detOff[cand+1]], dets) {
+						mech = cand
+						break
+					}
+				}
+				if mech < 0 {
+					mech = int32(len(s.obs))
+					s.dets = append(s.dets, dets...)
+					s.detOff = append(s.detOff, int32(len(s.dets)))
+					s.obs = append(s.obs, obs)
+					srcs = append(srcs, nil)
+					buckets[h] = append(buckets[h], mech)
+				}
+				srcs[mech] = append(srcs[mech], int32(len(srcOps)))
+				srcOps = append(srcOps, gid)
+				srcDivs = append(srcDivs, div)
+			}
 		}
 	}
-	if model.Stats.UndetectableObs > 0 {
-		return nil, fmt.Errorf("dem: %d faults flip the observable without any detector", model.Stats.UndetectableObs)
+	if s.Stats.UndetectableObs > 0 {
+		return nil, fmt.Errorf("dem: %d faults flip the observable without any detector", s.Stats.UndetectableObs)
 	}
-	for _, k := range order {
-		model.Mechs = append(model.Mechs, *classes[k])
+
+	// Flatten sources to CSR in mechanism order.
+	s.srcOff = make([]int32, 1, len(srcs)+1)
+	s.srcOp = make([]int32, 0, len(srcOps))
+	s.srcDiv = make([]float64, 0, len(srcDivs))
+	for _, list := range srcs {
+		for _, k := range list {
+			s.srcOp = append(s.srcOp, srcOps[k])
+			s.srcDiv = append(s.srcDiv, srcDivs[k])
+		}
+		s.srcOff = append(s.srcOff, int32(len(s.srcOp)))
 	}
-	model.Stats.Mechanisms = len(model.Mechs)
-	return model, nil
+	s.Stats.Mechanisms = s.NumMechanisms()
+	return s, nil
 }
 
-func footprintKey(dets []int32, obs bool) string {
-	buf := make([]byte, 0, 4*len(dets)+1)
-	for _, d := range dets {
-		buf = append(buf, byte(d), byte(d>>8), byte(d>>16), byte(d>>24))
+// Reweight materializes the Model for one per-op probability assignment
+// (global op order, e.g. circuit.OpProbs or extract.NoiseProbs). Mechanism
+// footprints share the Structure's backing arrays; probabilities are
+// XOR-folded over each mechanism's sources in fault enumeration order, so
+// the result is bit-for-bit identical to a direct Build at the same
+// annotation.
+func (s *Structure) Reweight(probs []float64) (*Model, error) {
+	if len(probs) != s.NumOps {
+		return nil, fmt.Errorf("dem: Reweight got %d op probabilities, want %d", len(probs), s.NumOps)
 	}
-	if obs {
-		buf = append(buf, 1)
-	} else {
-		buf = append(buf, 0)
+	n := s.NumMechanisms()
+	m := &Model{NumDets: s.NumDets, Stats: s.Stats, Mechs: make([]Mechanism, n)}
+	for i := 0; i < n; i++ {
+		p := 0.0
+		for k := s.srcOff[i]; k < s.srcOff[i+1]; k++ {
+			p = xorProb(p, probs[s.srcOp[k]]/s.srcDiv[k])
+		}
+		m.Mechs[i] = Mechanism{
+			Dets: s.dets[s.detOff[i]:s.detOff[i+1]],
+			Obs:  s.obs[i],
+			P:    p,
+		}
 	}
-	return string(buf)
+	return m, nil
+}
+
+// Build constructs the model for experiment e at its current noise
+// annotation: BuildStructure + Reweight in one step.
+func Build(e *extract.Experiment) (*Model, error) {
+	s, err := BuildStructure(e)
+	if err != nil {
+		return nil, err
+	}
+	return s.Reweight(e.Circ.OpProbs(make([]float64, 0, e.Circ.NumOps())))
 }
 
 // xorProb combines two independent flip sources into the probability that an
 // odd number of them fires.
 func xorProb(a, b float64) float64 { return a*(1-b) + b*(1-a) }
 
-// Sampler draws detector-event samples directly from the model. Not safe for
-// concurrent use; create one per goroutine.
+// Sampler draws detector-event samples directly from the model, one shot
+// per call. Not safe for concurrent use; create one per goroutine. For bulk
+// sampling prefer BatchSampler.
 type Sampler struct {
 	m      *Model
 	parity []bool
@@ -157,7 +289,7 @@ func (m *Model) NewSampler() *Sampler {
 
 // Sample draws one shot: the list of fired detectors (sorted, reused buffer)
 // and whether the logical observable flipped.
-func (s *Sampler) Sample(rng interface{ Float64() float64 }) (events []int, obs bool) {
+func (s *Sampler) Sample(rng *rand.Rand) (events []int, obs bool) {
 	for i := range s.parity {
 		s.parity[i] = false
 	}

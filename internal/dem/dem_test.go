@@ -2,7 +2,7 @@ package dem
 
 import (
 	"math"
-	"math/rand"
+	"math/rand/v2"
 	"testing"
 
 	"repro/internal/extract"
@@ -63,7 +63,7 @@ func TestModelMatchesFrameSampling(t *testing.T) {
 		ref := make([]int, len(e.Detectors))
 		refObs := 0
 		fs := pframe.NewSampler(e.Circ)
-		rng := rand.New(rand.NewSource(31))
+		rng := rand.New(rand.NewPCG(31, 0))
 		for n := 0; n < trials; n++ {
 			flips := fs.Sample(rng)
 			for di, det := range e.Detectors {
@@ -88,7 +88,7 @@ func TestModelMatchesFrameSampling(t *testing.T) {
 		got := make([]int, m.NumDets)
 		gotObs := 0
 		ds := m.NewSampler()
-		rng2 := rand.New(rand.NewSource(32))
+		rng2 := rand.New(rand.NewPCG(32, 0))
 		for n := 0; n < trials; n++ {
 			events, o := ds.Sample(rng2)
 			for _, d := range events {

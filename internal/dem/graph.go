@@ -1,8 +1,9 @@
 package dem
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 )
 
 // BoundaryNode is the virtual node id used for single-detector (boundary)
@@ -125,11 +126,11 @@ func (m *Model) DecodingGraph() (*Graph, error) {
 	}
 
 	// Materialize edges.
-	sort.Slice(order, func(i, j int) bool {
-		if order[i].u != order[j].u {
-			return order[i].u < order[j].u
+	slices.SortFunc(order, func(a, b edgeKey) int {
+		if a.u != b.u {
+			return cmp.Compare(a.u, b.u)
 		}
-		return order[i].v < order[j].v
+		return cmp.Compare(a.v, b.v)
 	})
 	for _, k := range order {
 		c := acc[k]

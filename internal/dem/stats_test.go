@@ -2,7 +2,7 @@ package dem
 
 import (
 	"math"
-	"math/rand"
+	"math/rand/v2"
 	"testing"
 	"testing/quick"
 
@@ -15,7 +15,7 @@ func TestExpectedEventRate(t *testing.T) {
 	_, m := buildModel(t, extract.NaturalInterleaved, 3)
 	want := m.ExpectedEventRate()
 	s := m.NewSampler()
-	rng := rand.New(rand.NewSource(77))
+	rng := rand.New(rand.NewPCG(77, 0))
 	const trials = 20000
 	total := 0
 	for i := 0; i < trials; i++ {

@@ -155,6 +155,10 @@ type Experiment struct {
 	ModeSlot []int
 	// FinalMeas maps data id -> measurement index of its perfect readout.
 	FinalMeas []int
+
+	// noise is the per-op re-annotation recipe (global op order), derived
+	// once at build time.
+	noise []opNoise
 }
 
 // Build constructs the experiment for cfg.
@@ -183,6 +187,9 @@ func Build(cfg Config) (*Experiment, error) {
 		err = e.buildCompact()
 	}
 	if err != nil {
+		return nil, err
+	}
+	if err := e.classifyNoise(); err != nil {
 		return nil, err
 	}
 	return e, nil

@@ -6,14 +6,29 @@
 // sample the detector error model, decode the fired detectors, and compare
 // the decoder's observable prediction with the sampled truth. The logical
 // error rate is failures/trials, with a binomial standard error.
+//
+// The Engine is the batched production path. It caches the expensive,
+// noise-independent halves of a point — the structural circuit build and
+// the detector-error-model Structure — keyed by extract.StructuralKey, so a
+// threshold sweep builds each (scheme, distance) experiment once and merely
+// Reweights it per physical rate. Shots are drawn 64 at a time by the
+// word-packed dem.BatchSampler and decoded through decoder.BatchDecoder
+// with reusable buffers; workers use independent ChaCha8 streams. An
+// optional early-stop mode ends a point once a target failure count is
+// reached. RunReference preserves the pre-batching scalar path as the
+// benchmark baseline and statistical cross-check.
 package montecarlo
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
 	"fmt"
 	"math"
-	"math/rand"
+	"math/rand/v2"
 	"runtime"
+	"slices"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/decoder"
 	"repro/internal/dem"
@@ -45,12 +60,27 @@ type Config struct {
 	// ChargeGapIdle forwards to extract.Config: include the cavity
 	// serialization gaps as storage noise (Fig. 12 mode).
 	ChargeGapIdle bool
+	// TargetFailures, when positive, ends the point early once this many
+	// logical failures have accumulated across workers; Trials then acts as
+	// a cap and Result.Trials reports the shots actually taken. Early
+	// stopping trades the fixed-trial-count determinism for bounded
+	// relative error per point (the standard sequential-sampling mode for
+	// threshold sweeps).
+	TargetFailures int
+}
+
+func (cfg Config) extractConfig() extract.Config {
+	return extract.Config{
+		Scheme: cfg.Scheme, Distance: cfg.Distance, Rounds: cfg.Rounds,
+		Basis: cfg.Basis, Params: cfg.Params,
+		ChargeGapIdle: cfg.ChargeGapIdle,
+	}
 }
 
 // Result is the outcome of one Monte-Carlo point.
 type Result struct {
 	Config    Config
-	Trials    int
+	Trials    int // shots actually taken (< Config.Trials under early stop)
 	Failures  int
 	Fallbacks int // MWPM trials that fell back to union-find
 	// Mechanisms and DetectorCount describe the underlying model.
@@ -75,19 +105,223 @@ func (r Result) StdErr() float64 {
 	return math.Sqrt(p * (1 - p) / float64(r.Trials))
 }
 
-// Run executes one Monte-Carlo point.
-func Run(cfg Config) (Result, error) {
+// Engine runs Monte-Carlo points over a cache of circuit structures and
+// detector-error-model Structures. One Engine serves whole sweeps; it is
+// safe for concurrent use. The zero value is not usable — call NewEngine.
+type Engine struct {
+	mu     sync.Mutex
+	cache  map[extract.StructuralKey]*cacheEntry
+	builds atomic.Int64
+}
+
+type cacheEntry struct {
+	once sync.Once
+	exp  *extract.Experiment
+	st   *dem.Structure
+	err  error
+}
+
+// NewEngine returns an empty engine.
+func NewEngine() *Engine {
+	return &Engine{cache: make(map[extract.StructuralKey]*cacheEntry)}
+}
+
+// defaultEngine backs the package-level Run and sweep functions, so
+// repeated calls share structures exactly like an explicit Engine.
+var defaultEngine = NewEngine()
+
+// StructureBuilds reports how many experiment+Structure builds the engine
+// has performed — the hook that lets tests verify one build serves a whole
+// sweep row.
+func (en *Engine) StructureBuilds() int64 { return en.builds.Load() }
+
+// structure returns the cached (or freshly built) structural halves for
+// the configuration.
+func (en *Engine) structure(cfg extract.Config) (*cacheEntry, error) {
+	key := cfg.StructuralKey()
+	en.mu.Lock()
+	e, ok := en.cache[key]
+	if !ok {
+		e = &cacheEntry{}
+		en.cache[key] = e
+	}
+	en.mu.Unlock()
+	e.once.Do(func() {
+		en.builds.Add(1)
+		e.exp, e.err = extract.Build(cfg)
+		if e.err == nil {
+			e.st, e.err = dem.BuildStructure(e.exp)
+		}
+	})
+	return e, e.err
+}
+
+// workerSeed derives a 32-byte ChaCha8 seed for one worker stream. Hashing
+// (seed, worker) keeps streams independent for every worker count, unlike
+// the additive seed+w*constant scheme it replaces, which made streams of
+// nearby seeds collide across points.
+func workerSeed(seed int64, w int) [32]byte {
+	var buf [16]byte
+	binary.LittleEndian.PutUint64(buf[:8], uint64(seed))
+	binary.LittleEndian.PutUint64(buf[8:], uint64(w))
+	return sha256.Sum256(buf[:])
+}
+
+// Run executes one Monte-Carlo point on the engine.
+func (en *Engine) Run(cfg Config) (Result, error) {
 	if cfg.Trials <= 0 {
 		return Result{}, fmt.Errorf("montecarlo: trials must be positive")
 	}
-	if cfg.Decoder == "" {
+	switch cfg.Decoder {
+	case "":
 		cfg.Decoder = UF
+	case UF, MWPM:
+	default:
+		return Result{}, fmt.Errorf("montecarlo: unknown decoder %q (want %q or %q)", cfg.Decoder, UF, MWPM)
 	}
-	exp, err := extract.Build(extract.Config{
-		Scheme: cfg.Scheme, Distance: cfg.Distance, Rounds: cfg.Rounds,
-		Basis: cfg.Basis, Params: cfg.Params,
-		ChargeGapIdle: cfg.ChargeGapIdle,
-	})
+	entry, err := en.structure(cfg.extractConfig())
+	if err != nil {
+		return Result{}, err
+	}
+	var model *dem.Model
+	if probs, perr := entry.exp.NoiseProbs(cfg.Params, make([]float64, 0, entry.st.NumOps)); perr == nil {
+		model, err = entry.st.Reweight(probs)
+		if err != nil {
+			return Result{}, err
+		}
+	} else {
+		// The cached structure cannot serve these parameters — typically a
+		// noise class that was zero when the entry was built (absent from
+		// its fault set in a way the structural key cannot always see, e.g.
+		// idle error underflowing to zero under extreme coherence times).
+		// Build a dedicated, uncached model so the run still succeeds;
+		// repeated runs in this regime pay a rebuild each time.
+		exp, berr := extract.Build(cfg.extractConfig())
+		if berr != nil {
+			return Result{}, berr
+		}
+		en.builds.Add(1)
+		model, err = dem.Build(exp)
+		if err != nil {
+			return Result{}, err
+		}
+	}
+	graph, err := model.DecodingGraph()
+	if err != nil {
+		return Result{}, err
+	}
+
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > cfg.Trials {
+		workers = cfg.Trials
+	}
+
+	type tally struct {
+		trials, failures, fallbacks int
+		err                         error
+	}
+	tallies := make([]tally, workers)
+	var failTotal atomic.Int64 // early-stop coordination only
+	target := int64(cfg.TargetFailures)
+
+	var wg sync.WaitGroup
+	per := cfg.Trials / workers
+	extra := cfg.Trials % workers
+	for w := 0; w < workers; w++ {
+		trials := per
+		if w < extra {
+			trials++
+		}
+		wg.Add(1)
+		go func(w, trials int) {
+			defer wg.Done()
+			t := &tallies[w]
+			rng := rand.New(rand.NewChaCha8(workerSeed(cfg.Seed, w)))
+			bs := model.NewBatchSampler()
+			var dec decoder.BatchDecoder
+			var fb *decoder.MWPMFallback
+			if cfg.Decoder == MWPM {
+				fb = decoder.NewMWPMFallback(graph)
+				dec = fb
+			} else {
+				dec = decoder.NewUnionFind(graph)
+			}
+			var batch decoder.Batch
+			var out, truth [dem.BatchShots]bool
+			for t.trials < trials {
+				if target > 0 && failTotal.Load() >= target {
+					break
+				}
+				n := min(dem.BatchShots, trials-t.trials)
+				bs.SampleN(rng, n)
+				batch.Reset()
+				for s := 0; s < n; s++ {
+					events, obs := bs.Shot(s)
+					batch.Add(events)
+					truth[s] = obs
+				}
+				if err := dec.DecodeBatch(&batch, out[:n]); err != nil {
+					t.err = err
+					return
+				}
+				fails := 0
+				for s := 0; s < n; s++ {
+					if out[s] != truth[s] {
+						fails++
+					}
+				}
+				t.trials += n
+				t.failures += fails
+				if target > 0 && fails > 0 {
+					failTotal.Add(int64(fails))
+				}
+			}
+			if fb != nil {
+				t.fallbacks = int(fb.Fallbacks)
+			}
+		}(w, trials)
+	}
+	wg.Wait()
+
+	res := Result{
+		Config:        cfg,
+		Mechanisms:    model.Stats.Mechanisms,
+		DetectorCount: model.NumDets,
+	}
+	for _, t := range tallies {
+		if t.err != nil {
+			return Result{}, t.err
+		}
+		res.Trials += t.trials
+		res.Failures += t.failures
+		res.Fallbacks += t.fallbacks
+	}
+	return res, nil
+}
+
+// Run executes one Monte-Carlo point on the shared default engine.
+func Run(cfg Config) (Result, error) { return defaultEngine.Run(cfg) }
+
+// RunReference executes one Monte-Carlo point on the pre-batching scalar
+// engine: a fresh experiment and detector-model build per call, one RNG
+// draw per mechanism per shot, and per-shot decoding with the ad-hoc MWPM
+// fallback loop. Retained as the benchmark baseline (BenchmarkSweepRow) and
+// as the statistical reference for engine-equivalence tests.
+func RunReference(cfg Config) (Result, error) {
+	if cfg.Trials <= 0 {
+		return Result{}, fmt.Errorf("montecarlo: trials must be positive")
+	}
+	switch cfg.Decoder {
+	case "":
+		cfg.Decoder = UF
+	case UF, MWPM:
+	default:
+		return Result{}, fmt.Errorf("montecarlo: unknown decoder %q (want %q or %q)", cfg.Decoder, UF, MWPM)
+	}
+	exp, err := extract.Build(cfg.extractConfig())
 	if err != nil {
 		return Result{}, err
 	}
@@ -124,7 +358,7 @@ func Run(cfg Config) (Result, error) {
 		wg.Add(1)
 		go func(w, trials int) {
 			defer wg.Done()
-			rng := rand.New(rand.NewSource(cfg.Seed + int64(w)*1_000_003))
+			rng := rand.New(rand.NewPCG(uint64(cfg.Seed), uint64(w)*1_000_003))
 			sampler := model.NewSampler()
 			uf := decoder.NewUnionFind(graph)
 			var mw *decoder.MWPM
@@ -179,22 +413,31 @@ type SweepPoint struct {
 	Result   Result
 }
 
+// SweepOptions tunes a threshold sweep beyond the required grid.
+type SweepOptions struct {
+	// TargetFailures enables early stopping per cell (see Config).
+	TargetFailures int
+}
+
 // ThresholdSweep runs the Fig. 11 experiment for one scheme: logical error
 // rate over a grid of physical error rates and code distances. The physical
 // rate parameterizes all gate error sources through Params.ScaledGatesTo;
 // coherence times stay at their Table I values (see that method's comment).
-func ThresholdSweep(scheme extract.Scheme, distances []int, physRates []float64, base hardware.Params, trials int, seed int64, dec DecoderKind) ([]SweepPoint, error) {
+// Each distance's experiment and model structure are built once and reused
+// across the whole physical-rate row.
+func (en *Engine) ThresholdSweep(scheme extract.Scheme, distances []int, physRates []float64, base hardware.Params, trials int, seed int64, dec DecoderKind, opts SweepOptions) ([]SweepPoint, error) {
 	var out []SweepPoint
 	for _, d := range distances {
 		for _, p := range physRates {
-			res, err := Run(Config{
-				Scheme:   scheme,
-				Distance: d,
-				Basis:    extract.BasisZ,
-				Params:   base.ScaledGatesTo(p),
-				Trials:   trials,
-				Seed:     seed + int64(d)*7919 + int64(p*1e9),
-				Decoder:  dec,
+			res, err := en.Run(Config{
+				Scheme:         scheme,
+				Distance:       d,
+				Basis:          extract.BasisZ,
+				Params:         base.ScaledGatesTo(p),
+				Trials:         trials,
+				Seed:           seed + int64(d)*7919 + int64(p*1e9),
+				Decoder:        dec,
+				TargetFailures: opts.TargetFailures,
 			})
 			if err != nil {
 				return nil, fmt.Errorf("sweep %v d=%d p=%g: %w", scheme, d, p, err)
@@ -203,6 +446,11 @@ func ThresholdSweep(scheme extract.Scheme, distances []int, physRates []float64,
 		}
 	}
 	return out, nil
+}
+
+// ThresholdSweep runs a Fig. 11 grid on the shared default engine.
+func ThresholdSweep(scheme extract.Scheme, distances []int, physRates []float64, base hardware.Params, trials int, seed int64, dec DecoderKind) ([]SweepPoint, error) {
+	return defaultEngine.ThresholdSweep(scheme, distances, physRates, base, trials, seed, dec, SweepOptions{})
 }
 
 // EstimateThreshold finds the crossing point of the logical-error curves for
@@ -230,8 +478,8 @@ func EstimateThreshold(points []SweepPoint) float64 {
 			rates = append(rates, pt.Phys)
 		}
 	}
-	sortInts(dists)
-	sortFloats(rates)
+	slices.Sort(dists)
+	slices.Sort(rates)
 
 	var crossings []float64
 	for di := 0; di+1 < len(dists); di++ {
@@ -261,22 +509,6 @@ func EstimateThreshold(points []SweepPoint) float64 {
 		s += c
 	}
 	return s / float64(len(crossings))
-}
-
-func sortInts(xs []int) {
-	for i := 1; i < len(xs); i++ {
-		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
-			xs[j], xs[j-1] = xs[j-1], xs[j]
-		}
-	}
-}
-
-func sortFloats(xs []float64) {
-	for i := 1; i < len(xs); i++ {
-		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
-			xs[j], xs[j-1] = xs[j-1], xs[j]
-		}
-	}
 }
 
 // DefaultPhysRates returns a log-spaced grid of physical error rates

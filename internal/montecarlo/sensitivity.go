@@ -105,8 +105,11 @@ type SensitivityPoint struct {
 
 // SensitivitySweep runs one panel over the given values and distances on
 // Compact-Interleaved (the paper's §VI target: "the most efficient physical
-// qubit mapping and subject to a wide variety of errors").
-func SensitivitySweep(panel Panel, values []float64, distances []int, trials int, seed int64) ([]SensitivityPoint, error) {
+// qubit mapping and subject to a wide variety of errors"). Panels varying
+// only error probabilities or coherence times reuse one cached structure
+// per distance; panels varying durations or cavity size rebuild per value
+// (their circuits genuinely differ).
+func (en *Engine) SensitivitySweep(panel Panel, values []float64, distances []int, trials int, seed int64, opts SweepOptions) ([]SensitivityPoint, error) {
 	base := OperatingPoint()
 	var out []SensitivityPoint
 	for _, d := range distances {
@@ -115,14 +118,15 @@ func SensitivitySweep(panel Panel, values []float64, distances []int, trials int
 			if err != nil {
 				return nil, err
 			}
-			res, err := Run(Config{
-				Scheme:        extract.CompactInterleaved,
-				Distance:      d,
-				Basis:         extract.BasisZ,
-				Params:        params,
-				Trials:        trials,
-				Seed:          seed + int64(d)*104729 + int64(v*1e9),
-				ChargeGapIdle: true,
+			res, err := en.Run(Config{
+				Scheme:         extract.CompactInterleaved,
+				Distance:       d,
+				Basis:          extract.BasisZ,
+				Params:         params,
+				Trials:         trials,
+				Seed:           seed + int64(d)*104729 + int64(v*1e9),
+				ChargeGapIdle:  true,
+				TargetFailures: opts.TargetFailures,
 			})
 			if err != nil {
 				return nil, fmt.Errorf("sensitivity %v d=%d v=%g: %w", panel, d, v, err)
@@ -131,6 +135,11 @@ func SensitivitySweep(panel Panel, values []float64, distances []int, trials int
 		}
 	}
 	return out, nil
+}
+
+// SensitivitySweep runs one Fig. 12 panel on the shared default engine.
+func SensitivitySweep(panel Panel, values []float64, distances []int, trials int, seed int64) ([]SensitivityPoint, error) {
+	return defaultEngine.SensitivitySweep(panel, values, distances, trials, seed, SweepOptions{})
 }
 
 // GateBudgetPerRound is the gate-induced error charged to one data qubit per

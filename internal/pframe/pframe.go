@@ -20,7 +20,7 @@
 package pframe
 
 import (
-	"math/rand"
+	"math/rand/v2"
 
 	"repro/internal/circuit"
 	"repro/internal/pauli"
@@ -106,9 +106,9 @@ func (s *Sampler) Sample(rng *rand.Rand) []bool {
 			case circuit.OpReset:
 				frameInject(s.frame, op.A, pauli.X)
 			case circuit.OpH, circuit.OpIdle:
-				frameInject(s.frame, op.A, pauli.All[rng.Intn(3)])
+				frameInject(s.frame, op.A, pauli.All[rng.IntN(3)])
 			case circuit.OpCNOT, circuit.OpLoad, circuit.OpStore:
-				r := 1 + rng.Intn(15)
+				r := 1 + rng.IntN(15)
 				frameInject(s.frame, op.A, pauli.Pauli(r>>2))
 				frameInject(s.frame, op.B, pauli.Pauli(r&3))
 			}
@@ -238,29 +238,46 @@ func (p *Propagator) applyTracked(op *circuit.Op) {
 	// (they are re-cleared at the start of the next Propagate call).
 }
 
+// BranchCount returns the number of equally-likely elementary fault
+// branches of an op's error channel: 1 for reset (X flip) and measurement
+// (record flip), 3 for one-qubit depolarizing, 15 for two-qubit. Each
+// branch of FaultsOf carries probability op.P / BranchCount(op.Kind); any
+// consumer re-deriving branch probabilities (dem.Structure.Reweight) must
+// use this same constant.
+func BranchCount(k circuit.OpKind) int {
+	switch k {
+	case circuit.OpReset, circuit.OpMeasureZ:
+		return 1
+	case circuit.OpCNOT, circuit.OpLoad, circuit.OpStore:
+		return 15
+	default: // OpH, OpIdle
+		return 3
+	}
+}
+
 // FaultsOf enumerates the elementary faults of op at position (mi, oi),
-// appending to dst. Each fault's probability is op.P divided by the number
-// of non-identity Paulis in its channel (3 for one-qubit depolarizing, 15
-// for two-qubit); reset errors are a single X flip and measurement errors a
-// single record flip, each with probability op.P.
+// appending to dst. Each fault's probability is op.P / BranchCount(op.Kind);
+// reset errors are a single X flip and measurement errors a single record
+// flip, each with probability op.P.
 func FaultsOf(mi, oi int, op *circuit.Op, dst []WeightedFault) []WeightedFault {
 	if op.P <= 0 {
 		return dst
 	}
+	p := op.P / float64(BranchCount(op.Kind))
 	switch op.Kind {
 	case circuit.OpReset:
-		dst = append(dst, WeightedFault{Fault{mi, oi, pauli.X, pauli.I, false}, op.P})
+		dst = append(dst, WeightedFault{Fault{mi, oi, pauli.X, pauli.I, false}, p})
 	case circuit.OpMeasureZ:
-		dst = append(dst, WeightedFault{Fault{mi, oi, pauli.I, pauli.I, true}, op.P})
+		dst = append(dst, WeightedFault{Fault{mi, oi, pauli.I, pauli.I, true}, p})
 	case circuit.OpH, circuit.OpIdle:
 		for _, pl := range pauli.All {
-			dst = append(dst, WeightedFault{Fault{mi, oi, pl, pauli.I, false}, op.P / 3})
+			dst = append(dst, WeightedFault{Fault{mi, oi, pl, pauli.I, false}, p})
 		}
 	case circuit.OpCNOT, circuit.OpLoad, circuit.OpStore:
 		for r := 1; r < 16; r++ {
 			dst = append(dst, WeightedFault{
 				Fault{mi, oi, pauli.Pauli(r >> 2), pauli.Pauli(r & 3), false},
-				op.P / 15,
+				p,
 			})
 		}
 	}

@@ -2,7 +2,8 @@ package pframe
 
 import (
 	"math"
-	"math/rand"
+	mrand "math/rand"
+	"math/rand/v2"
 	"testing"
 
 	"repro/internal/circuit"
@@ -31,7 +32,7 @@ func buildExp(t *testing.T, scheme extract.Scheme, d int, params hardware.Params
 }
 
 func TestNoiselessSampleAllZero(t *testing.T) {
-	rng := rand.New(rand.NewSource(5))
+	rng := rand.New(rand.NewPCG(5, 0))
 	for _, scheme := range extract.Schemes {
 		e := buildExp(t, scheme, 3, quietParams())
 		s := NewSampler(e.Circ)
@@ -49,7 +50,8 @@ func TestNoiselessSampleAllZero(t *testing.T) {
 // across runs so that random-outcome draws align; injected Pauli errors
 // never change which outcomes are random, only their signs.
 func tableauRunWithFault(e *extract.Experiment, f *Fault, seed int64) []byte {
-	rng := rand.New(rand.NewSource(seed))
+	rng := mrand.New(mrand.NewSource(seed)) // stab's measurement draws use math/rand
+
 	tab := stab.New(e.Circ.NumSlots)
 	out := make([]byte, e.Circ.NumMeas)
 	for mi := range e.Circ.Moments {
@@ -108,7 +110,7 @@ func TestPropagateMatchesTableau(t *testing.T) {
 		t.Fatal("no faults enumerated")
 	}
 	prop := NewPropagator(e.Circ)
-	rng := rand.New(rand.NewSource(21))
+	rng := rand.New(rand.NewPCG(21, 0))
 
 	parity := func(meas []int, flipped map[int]bool) bool {
 		v := false
@@ -121,7 +123,7 @@ func TestPropagateMatchesTableau(t *testing.T) {
 	}
 
 	for trial := 0; trial < 250; trial++ {
-		wf := faults[rng.Intn(len(faults))]
+		wf := faults[rng.IntN(len(faults))]
 		out := tableauRunWithFault(e, &wf.Fault, int64(1000+trial))
 		outSet := map[int]bool{}
 		for m, v := range out {
@@ -155,7 +157,7 @@ func TestSamplerMeasurementErrorStatistics(t *testing.T) {
 	p.PMeasure = 0.25
 	e := buildExp(t, extract.Baseline, 3, p)
 	s := NewSampler(e.Circ)
-	rng := rand.New(rand.NewSource(99))
+	rng := rand.New(rand.NewPCG(99, 0))
 
 	const trials = 20000
 	fires := make([]int, len(e.Detectors))

@@ -10,10 +10,16 @@
 //   - gate-level syndrome-extraction circuits for the five evaluated setups
 //     (Baseline 2D; Natural and Compact, each All-at-once or Interleaved,
 //     including the pipelined Fig. 10 schedule) with circuit-level Pauli
-//     noise from the Table I hardware model;
-//   - detector-error-model extraction, union-find and exact
-//     minimum-weight-matching decoders, and a parallel Monte-Carlo engine
-//     for thresholds (Fig. 11) and sensitivity studies (Fig. 12);
+//     noise from the Table I hardware model, split into a structural build
+//     and a cheap per-noise-scale re-annotation;
+//   - detector-error-model extraction split the same way (an immutable
+//     fault Structure reweighted per noise scale), word-packed 64-shot
+//     batch sampling with geometric skip-sampling over rare mechanisms,
+//     union-find and exact minimum-weight-matching decoders with
+//     allocation-free batch entry points, and a parallel Monte-Carlo
+//     engine with a structure cache, per-worker ChaCha8 streams, and
+//     optional early stopping for thresholds (Fig. 11) and sensitivity
+//     studies (Fig. 12);
 //   - the virtualized-logical-qubit machine: virtual/physical addressing,
 //     load/store paging, DRAM-like refresh scheduling, qubit movement, and
 //     transversal-CNOT vs lattice-surgery operation latencies (§III);
@@ -138,22 +144,46 @@ func BuildExperiment(cfg ExperimentConfig) (*Experiment, error) { return extract
 
 // Detector error models and decoders.
 type (
-	// DetectorModel is the merged fault model of an experiment.
+	// DetectorModel is the merged fault model of an experiment at one
+	// noise scale.
 	DetectorModel = dem.Model
+	// DetectorStructure is the immutable, noise-independent half of a
+	// detector error model: build once per circuit structure, Reweight per
+	// noise scale.
+	DetectorStructure = dem.Structure
+	// BatchSampler draws 64 word-packed shots per pass from a model.
+	BatchSampler = dem.BatchSampler
 	// DecodingGraph is the weighted matching graph decoders consume.
 	DecodingGraph = dem.Graph
 	// Decoder predicts the logical observable from fired detectors.
 	Decoder = decoder.Decoder
+	// BatchDecoder decodes many shots per call with reusable buffers.
+	BatchDecoder = decoder.BatchDecoder
+	// DecodeBatchBuffer is the reusable flat shot container BatchDecoders
+	// consume.
+	DecodeBatchBuffer = decoder.Batch
 )
 
 // BuildDetectorModel enumerates and merges the experiment's faults.
 func BuildDetectorModel(e *Experiment) (*DetectorModel, error) { return dem.Build(e) }
 
-// NewUnionFindDecoder returns the weighted union-find decoder.
+// BuildDetectorStructure enumerates and merges the experiment's faults
+// without fixing probabilities; Reweight it with Experiment.NoiseProbs for
+// each noise scale of a sweep.
+func BuildDetectorStructure(e *Experiment) (*DetectorStructure, error) {
+	return dem.BuildStructure(e)
+}
+
+// NewUnionFindDecoder returns the weighted union-find decoder (also a
+// BatchDecoder).
 func NewUnionFindDecoder(g *DecodingGraph) Decoder { return decoder.NewUnionFind(g) }
 
 // NewMWPMDecoder returns the exact minimum-weight perfect-matching decoder.
 func NewMWPMDecoder(g *DecodingGraph) Decoder { return decoder.NewMWPM(g) }
+
+// NewMWPMFallbackDecoder returns exact matching with a transparent
+// union-find fallback on oversized clusters (also a BatchDecoder).
+func NewMWPMFallbackDecoder(g *DecodingGraph) Decoder { return decoder.NewMWPMFallback(g) }
 
 // Monte-Carlo engine (Fig. 11 / Fig. 12).
 type (
@@ -169,7 +199,25 @@ type (
 	SensitivityPoint = montecarlo.SensitivityPoint
 	// DecoderKind selects the trial decoder ("uf" or "mwpm").
 	DecoderKind = montecarlo.DecoderKind
+	// MonteCarloEngine caches circuit structures and detector-error-model
+	// Structures across the points of a sweep.
+	MonteCarloEngine = montecarlo.Engine
+	// SweepOptions tunes sweeps (early stopping).
+	SweepOptions = montecarlo.SweepOptions
 )
+
+// NewMonteCarloEngine returns an engine with an empty structure cache. The
+// package-level RunMonteCarlo and sweep functions share one default engine;
+// use a dedicated engine to bound its cache's lifetime.
+func NewMonteCarloEngine() *MonteCarloEngine { return montecarlo.NewEngine() }
+
+// RunMonteCarloReference measures one logical error rate on the
+// pre-batching scalar engine (fresh model build per call, one RNG draw per
+// mechanism per shot). It exists to benchmark and cross-check the batched
+// engine.
+func RunMonteCarloReference(cfg MonteCarloConfig) (MonteCarloResult, error) {
+	return montecarlo.RunReference(cfg)
+}
 
 // Decoder kinds for Monte-Carlo trials.
 const (
