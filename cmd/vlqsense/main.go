@@ -3,12 +3,19 @@
 // parameter sweeps its range (SC-SC / load-store / SC-mode gate error,
 // cavity or transmon T1, load-store duration, cavity size).
 //
+// Sweep cells are drained through the shared-pool scheduler (-jobs controls
+// the width); with -csv or -json each cell's row streams to stdout the
+// moment it finishes, so long sweeps emit results incrementally. Results
+// are deterministic for a given seed regardless of -jobs.
+//
 // Example:
 //
 //	vlqsense -panel cavity-t1 -distances 3,5 -trials 10000
+//	vlqsense -panel all -jobs 8 -json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -16,6 +23,7 @@ import (
 	"strings"
 
 	"repro/internal/montecarlo"
+	"repro/internal/sched"
 )
 
 func main() {
@@ -26,8 +34,13 @@ func main() {
 	trials := flag.Int("trials", 3000, "Monte-Carlo trials per point (a cap when -target-failures is set)")
 	target := flag.Int("target-failures", 0, "end each point once this many failures accumulate (0 = fixed trial count)")
 	seed := flag.Int64("seed", 1, "random seed")
-	csv := flag.Bool("csv", false, "emit CSV instead of a table")
+	jobs := flag.Int("jobs", 0, "scheduler pool width: sweep cells decoded concurrently (0 = GOMAXPROCS)")
+	csv := flag.Bool("csv", false, "stream CSV rows as cells finish instead of printing a table")
+	jsonOut := flag.Bool("json", false, "stream one JSON object per cell as it finishes")
 	flag.Parse()
+	if *csv && *jsonOut {
+		fatal(fmt.Errorf("-csv and -json are mutually exclusive"))
+	}
 
 	var panels []montecarlo.Panel
 	if *panel == "all" {
@@ -43,9 +56,33 @@ func main() {
 	if *csv {
 		fmt.Println("panel,value,distance,logical_rate,stderr,trials")
 	}
+	enc := json.NewEncoder(os.Stdout)
+	stream := func(r sched.CellResult) {
+		if r.Err != nil {
+			return // surfaced by Run's summary error
+		}
+		cell := r.Job.Tag.(sched.SensitivityCell)
+		switch {
+		case *csv:
+			fmt.Printf("%s,%g,%d,%g,%g,%d\n", cell.Panel, cell.Value, cell.Distance,
+				r.Result.Rate(), r.Result.StdErr(), r.Result.Trials)
+		case *jsonOut:
+			enc.Encode(sensitivityRow{
+				Panel: string(cell.Panel), Value: cell.Value, Distance: cell.Distance,
+				LogicalRate: r.Result.Rate(), StdErr: r.Result.StdErr(),
+				Trials: r.Result.Trials, Failures: r.Result.Failures,
+			})
+		}
+	}
+
 	// One engine for the whole invocation: probability and coherence-time
-	// panels share one structure per distance.
-	engine := montecarlo.NewEngine()
+	// panels share one structure (and graph topology) per distance; one
+	// shared worker pool drains each panel's grid.
+	opts := sched.Options{Jobs: *jobs}
+	if *csv || *jsonOut {
+		opts.OnResult = stream
+	}
+	scheduler := sched.New(montecarlo.NewEngine(), opts)
 	for _, pn := range panels {
 		vals := pn.DefaultValues(*nvalues)
 		if *values != "" {
@@ -53,15 +90,12 @@ func main() {
 				fatal(err)
 			}
 		}
-		pts, err := engine.SensitivitySweep(pn, vals, ds, *trials, *seed, montecarlo.SweepOptions{TargetFailures: *target})
+		pts, err := scheduler.SensitivitySweep(pn, vals, ds, *trials, *seed, montecarlo.SweepOptions{TargetFailures: *target})
 		if err != nil {
 			fatal(err)
 		}
-		if *csv {
-			for _, pt := range pts {
-				fmt.Printf("%s,%g,%d,%g,%g,%d\n", pt.Panel, pt.Value, pt.Distance, pt.Result.Rate(), pt.Result.StdErr(), pt.Result.Trials)
-			}
-			continue
+		if *csv || *jsonOut {
+			continue // rows already streamed
 		}
 		fmt.Printf("\n== Fig. 12 panel: %s (compact-interleaved at p=2e-3, trials/point=%d) ==\n", pn, *trials)
 		fmt.Printf("%-12s", "value \\ d")
@@ -81,6 +115,16 @@ func main() {
 			fmt.Println()
 		}
 	}
+}
+
+type sensitivityRow struct {
+	Panel       string  `json:"panel"`
+	Value       float64 `json:"value"`
+	Distance    int     `json:"distance"`
+	LogicalRate float64 `json:"logical_rate"`
+	StdErr      float64 `json:"stderr"`
+	Trials      int     `json:"trials"`
+	Failures    int     `json:"failures"`
 }
 
 func parseInts(s string) ([]int, error) {

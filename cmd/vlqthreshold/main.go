@@ -3,12 +3,19 @@
 // any of the five syndrome-extraction setups, with a crossing-point
 // threshold estimate.
 //
+// Sweep cells are drained through the shared-pool scheduler (-jobs controls
+// the width); with -csv or -json each cell's row streams to stdout the
+// moment it finishes, so long sweeps emit results incrementally. Results
+// are deterministic for a given seed regardless of -jobs.
+//
 // Example:
 //
 //	vlqthreshold -scheme compact-interleaved -distances 3,5,7 -trials 20000
+//	vlqthreshold -scheme all -jobs 8 -csv -target-failures 200 -trials 200000
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -18,6 +25,7 @@ import (
 	"repro/internal/extract"
 	"repro/internal/hardware"
 	"repro/internal/montecarlo"
+	"repro/internal/sched"
 )
 
 func main() {
@@ -29,8 +37,13 @@ func main() {
 	target := flag.Int("target-failures", 0, "end each point once this many failures accumulate (0 = fixed trial count)")
 	seed := flag.Int64("seed", 1, "random seed")
 	dec := flag.String("decoder", "uf", "decoder: uf or mwpm")
-	csv := flag.Bool("csv", false, "emit CSV instead of a table")
+	jobs := flag.Int("jobs", 0, "scheduler pool width: sweep cells decoded concurrently (0 = GOMAXPROCS)")
+	csv := flag.Bool("csv", false, "stream CSV rows as cells finish instead of printing a table")
+	jsonOut := flag.Bool("json", false, "stream one JSON object per cell as it finishes")
 	flag.Parse()
+	if *csv && *jsonOut {
+		fatal(fmt.Errorf("-csv and -json are mutually exclusive"))
+	}
 
 	var schemes []extract.Scheme
 	if *scheme == "all" {
@@ -56,20 +69,41 @@ func main() {
 	if *csv {
 		fmt.Println("scheme,distance,phys_rate,logical_rate,stderr,trials")
 	}
+	enc := json.NewEncoder(os.Stdout)
+	stream := func(r sched.CellResult) {
+		if r.Err != nil {
+			return // surfaced by Run's summary error
+		}
+		cell := r.Job.Tag.(sched.ThresholdCell)
+		switch {
+		case *csv:
+			fmt.Printf("%s,%d,%g,%g,%g,%d\n", cell.Scheme, cell.Distance, cell.Phys,
+				r.Result.Rate(), r.Result.StdErr(), r.Result.Trials)
+		case *jsonOut:
+			enc.Encode(thresholdRow{
+				Scheme: cell.Scheme.String(), Distance: cell.Distance, PhysRate: cell.Phys,
+				LogicalRate: r.Result.Rate(), StdErr: r.Result.StdErr(),
+				Trials: r.Result.Trials, Failures: r.Result.Failures,
+			})
+		}
+	}
+
 	// One engine for the whole invocation: every (scheme, distance) builds
-	// its circuit and fault structure once, shared across all rates.
-	engine := montecarlo.NewEngine()
+	// its circuit, fault structure, and graph topology once, shared across
+	// all rates; one shared worker pool drains each scheme's grid.
+	opts := sched.Options{Jobs: *jobs}
+	if *csv || *jsonOut {
+		opts.OnResult = stream
+	}
+	scheduler := sched.New(montecarlo.NewEngine(), opts)
 	for _, sch := range schemes {
-		pts, err := engine.ThresholdSweep(sch, ds, ps, hardware.Default(), *trials, *seed,
+		pts, err := scheduler.ThresholdSweep(sch, ds, ps, hardware.Default(), *trials, *seed,
 			montecarlo.DecoderKind(*dec), montecarlo.SweepOptions{TargetFailures: *target})
 		if err != nil {
 			fatal(err)
 		}
-		if *csv {
-			for _, pt := range pts {
-				fmt.Printf("%s,%d,%g,%g,%g,%d\n", sch, pt.Distance, pt.Phys, pt.Result.Rate(), pt.Result.StdErr(), pt.Result.Trials)
-			}
-			continue
+		if *csv || *jsonOut {
+			continue // rows already streamed
 		}
 		fmt.Printf("\n== %s (trials/point=%d, decoder=%s) ==\n", sch, *trials, *dec)
 		fmt.Printf("%-8s", "p \\ d")
@@ -94,6 +128,16 @@ func main() {
 			fmt.Println("no threshold crossing bracketed by this grid")
 		}
 	}
+}
+
+type thresholdRow struct {
+	Scheme      string  `json:"scheme"`
+	Distance    int     `json:"distance"`
+	PhysRate    float64 `json:"phys_rate"`
+	LogicalRate float64 `json:"logical_rate"`
+	StdErr      float64 `json:"stderr"`
+	Trials      int     `json:"trials"`
+	Failures    int     `json:"failures"`
 }
 
 func schemeByName(name string) (extract.Scheme, error) {

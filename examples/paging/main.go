@@ -58,4 +58,44 @@ func main() {
 	fmt.Printf("  max staleness:     %d timesteps\n", st.MaxStalenessSeen)
 	fmt.Printf("\nthe same chain with lattice-surgery CNOTs would need %dx the CNOT latency\n",
 		vlq.CostCNOTSurgery/vlq.CostCNOTTransversal)
+
+	// How reliable is one paged-out visit? The refresh scheduler bounds how
+	// long a stored patch waits between corrections, so the quantity that
+	// matters is the logical error accumulated per visit as the number of
+	// correction rounds grows. Sweep that directly: Compact-Interleaved
+	// memory experiments of increasing length at the §VI operating point
+	// (cavity serialization gaps included), drained through the sweep
+	// scheduler's shared pool with rows streaming as they finish.
+	fmt.Println("\nper-visit logical error vs rounds between refreshes (d=3, operating point):")
+	op := vlq.OperatingPoint()
+	var jobs []vlq.SweepJob
+	roundCounts := []int{3, 6, 12}
+	for _, rounds := range roundCounts {
+		jobs = append(jobs, vlq.SweepJob{
+			Cfg: vlq.MonteCarloConfig{
+				Scheme:        vlq.CompactInterleaved,
+				Distance:      3,
+				Rounds:        rounds,
+				Basis:         vlq.BasisZ,
+				Params:        op,
+				Trials:        1500,
+				Seed:          42 + int64(rounds),
+				ChargeGapIdle: true,
+			},
+			Tag: rounds,
+		})
+	}
+	scheduler := vlq.NewSweepScheduler(vlq.NewMonteCarloEngine(), vlq.SweepSchedulerOptions{
+		OnResult: func(r vlq.SweepCellResult) {
+			if r.Err == nil {
+				fmt.Printf("  rounds=%-3d logical error/visit = %.5f (+/- %.5f)\n",
+					r.Job.Tag.(int), r.Result.Rate(), r.Result.StdErr())
+			}
+		},
+	})
+	if _, err := scheduler.Run(jobs); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("longer storage intervals cost more per visit — the pressure that")
+	fmt.Println("sizes the cavity depth k against the refresh budget (§VI).")
 }

@@ -1,6 +1,11 @@
 // Threshold example: a miniature Fig. 11 — sweep the physical error rate
 // over distances 3 and 5 for the baseline and the Compact-Interleaved 2.5D
 // scheme, print both curves, and estimate the crossing points.
+//
+// The sweep runs through the shared-pool scheduler: cells stream a progress
+// line the moment they finish (in completion order), while the final grid
+// is deterministic — the same seed gives the same numbers at any pool
+// width.
 package main
 
 import (
@@ -15,12 +20,24 @@ func main() {
 	rates := vlq.DefaultPhysRates(5)
 	const trials = 4000
 
+	engine := vlq.NewMonteCarloEngine()
+	scheduler := vlq.NewSweepScheduler(engine, vlq.SweepSchedulerOptions{
+		OnResult: func(r vlq.SweepCellResult) {
+			if r.Err != nil {
+				return
+			}
+			cell := r.Job.Tag.(vlq.ThresholdSweepCell)
+			fmt.Printf("  cell done: %-20s d=%d p=%-8.4g -> %.5f\n",
+				cell.Scheme, cell.Distance, cell.Phys, r.Result.Rate())
+		},
+	})
+
 	for _, scheme := range []vlq.Scheme{vlq.Baseline, vlq.CompactInterleaved} {
-		pts, err := vlq.ThresholdSweep(scheme, distances, rates, vlq.DefaultHardware(), trials, 7, vlq.DecodeUnionFind)
+		fmt.Printf("== %s (streaming as cells finish) ==\n", scheme)
+		pts, err := scheduler.ThresholdSweep(scheme, distances, rates, vlq.DefaultHardware(), trials, 7, vlq.DecodeUnionFind, vlq.SweepOptions{})
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("== %s ==\n", scheme)
 		fmt.Printf("%-10s %-12s %-12s\n", "p", "d=3", "d=5")
 		for _, p := range rates {
 			fmt.Printf("%-10.4g", p)

@@ -72,31 +72,10 @@ const capScale = 1 << 20
 func NewUnionFind(g *dem.Graph) *UnionFind {
 	n := g.NumNodes
 	u := &UnionFind{g: g, n: n}
-	minW := math.Inf(1)
-	for i := range g.Edges {
-		if w := g.Edges[i].W; w > 0 && w < minW {
-			minW = w
-		}
-	}
-	if math.IsInf(minW, 1) {
-		minW = 1
-	}
 	u.cap = make([]int64, len(g.Edges))
 	u.edgeU = make([]int32, len(g.Edges))
 	u.edgeV = make([]int32, len(g.Edges))
-	for i := range g.Edges {
-		c := int64(math.Round(g.Edges[i].W / minW * capScale))
-		if c < 1 {
-			c = 1
-		}
-		u.cap[i] = c
-		u.edgeU[i] = g.Edges[i].U
-		v := g.Edges[i].V
-		if v == dem.BoundaryNode {
-			v = int32(n)
-		}
-		u.edgeV[i] = v
-	}
+	u.loadEdges(g)
 	u.edgeRA = make([]int32, len(g.Edges))
 	u.edgeRB = make([]int32, len(g.Edges))
 	u.edgeRootEpoch = make([]uint64, len(g.Edges))
@@ -116,6 +95,51 @@ func NewUnionFind(g *dem.Graph) *UnionFind {
 	u.bfsEdge = make([]int32, n+1)
 	u.bfsPar = make([]int32, n+1)
 	return u
+}
+
+// loadEdges recomputes the integer capacities and flat endpoints from g.
+func (u *UnionFind) loadEdges(g *dem.Graph) {
+	minW := math.Inf(1)
+	for i := range g.Edges {
+		if w := g.Edges[i].W; w > 0 && w < minW {
+			minW = w
+		}
+	}
+	if math.IsInf(minW, 1) {
+		minW = 1
+	}
+	for i := range g.Edges {
+		c := int64(math.Round(g.Edges[i].W / minW * capScale))
+		if c < 1 {
+			c = 1
+		}
+		u.cap[i] = c
+		u.edgeU[i] = g.Edges[i].U
+		v := g.Edges[i].V
+		if v == dem.BoundaryNode {
+			v = int32(u.n)
+		}
+		u.edgeV[i] = v
+	}
+}
+
+// Rebind points the decoder at a new graph, reusing every per-node and
+// per-edge buffer when the shape matches (same node and edge counts — e.g.
+// the same hoisted topology at a different noise scale). The epoch-stamped
+// scratch needs no reset: stale stamps read as default state. It reports
+// whether the rebind happened; on false the decoder is unchanged and the
+// caller should build a fresh one.
+func (u *UnionFind) Rebind(g *dem.Graph) bool {
+	if g.NumNodes != u.n || len(g.Edges) != len(u.cap) {
+		return false
+	}
+	u.g = g
+	u.loadEdges(g)
+	// Invalidate the cross-decode edge-root cache: the stamps reference the
+	// previous graph's decodes, and epoch monotonicity is all that guards
+	// them.
+	u.epoch++
+	return true
 }
 
 // Name implements Decoder.

@@ -29,6 +29,7 @@ import (
 	"math"
 	"math/rand/v2"
 	"slices"
+	"sync"
 
 	"repro/internal/extract"
 	"repro/internal/pframe"
@@ -57,6 +58,11 @@ type Model struct {
 	NumDets int
 	Mechs   []Mechanism
 	Stats   BuildStats
+
+	// st links back to the Structure this model was reweighted from, so
+	// DecodingGraph can reuse the hoisted, build-once graph topology. Nil
+	// for hand-assembled models, which derive a topology on demand.
+	st *Structure
 }
 
 // Structure is the immutable, probability-free half of a detector error
@@ -83,6 +89,24 @@ type Structure struct {
 	srcOff []int32
 
 	Stats BuildStats
+
+	// Hoisted decoding-graph topology (detector decomposition, edge
+	// topology, boundary assignment), built on first use and shared by
+	// every Model reweighted from this Structure.
+	graphOnce sync.Once
+	graph     *GraphStructure
+	graphErr  error
+}
+
+// Graph returns the hoisted decoding-graph topology of this structure,
+// building it on the first call. Every noise scale shares the returned
+// instance; only edge weights are recomputed per scale (GraphStructure.
+// Weight, reached through Model.DecodingGraph). Safe for concurrent use.
+func (s *Structure) Graph() (*GraphStructure, error) {
+	s.graphOnce.Do(func() {
+		s.graph, s.graphErr = buildGraphStructure(s.NumDets, s.NumMechanisms(), s.Footprint)
+	})
+	return s.graph, s.graphErr
 }
 
 // NumMechanisms returns the merged mechanism count.
@@ -240,11 +264,28 @@ func BuildStructure(e *extract.Experiment) (*Structure, error) {
 // the result is bit-for-bit identical to a direct Build at the same
 // annotation.
 func (s *Structure) Reweight(probs []float64) (*Model, error) {
+	return s.ReweightInto(probs, nil)
+}
+
+// ReweightInto is Reweight recycling model m (from an earlier reweight of
+// any structure) instead of allocating: a sweep worker walking the noise
+// scales of a row reuses one Model's backing across every cell. m may be
+// nil or must be exclusively owned by the caller; the returned model is m
+// when shapes allow reuse.
+func (s *Structure) ReweightInto(probs []float64, m *Model) (*Model, error) {
 	if len(probs) != s.NumOps {
 		return nil, fmt.Errorf("dem: Reweight got %d op probabilities, want %d", len(probs), s.NumOps)
 	}
 	n := s.NumMechanisms()
-	m := &Model{NumDets: s.NumDets, Stats: s.Stats, Mechs: make([]Mechanism, n)}
+	if m == nil {
+		m = &Model{}
+	}
+	m.NumDets, m.Stats, m.st = s.NumDets, s.Stats, s
+	if cap(m.Mechs) >= n {
+		m.Mechs = m.Mechs[:n]
+	} else {
+		m.Mechs = make([]Mechanism, n)
+	}
 	for i := 0; i < n; i++ {
 		p := 0.0
 		for k := s.srcOff[i]; k < s.srcOff[i+1]; k++ {

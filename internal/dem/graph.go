@@ -3,6 +3,7 @@ package dem
 import (
 	"cmp"
 	"fmt"
+	"math"
 	"slices"
 )
 
@@ -42,131 +43,259 @@ type Graph struct {
 
 type edgeKey struct{ u, v int32 }
 
-type edgeClasses struct {
-	pFalse, pTrue float64 // probability mass per logical class
+// GraphStructure is the noise-independent half of a decoding graph: the
+// candidate 1- and 2-detector edge topology (including boundary assignment),
+// the decomposition of multi-detector mechanisms into elementary edges, and,
+// per candidate edge, the list of mechanisms feeding each logical class. It
+// depends only on mechanism footprints — never on probabilities — so one
+// GraphStructure serves every noise scale of a sweep; Weight materializes
+// the weighted Graph for a particular Model in a single linear pass.
+//
+// Contract change from the pre-hoisting projection: the decomposition
+// search labels elementary edges by their *structural* logical class (true
+// only when every source carries the observable) rather than by whichever
+// class holds more probability mass at the current scale — the old rule
+// would have made the topology noise-dependent. On the rare ambiguous edge
+// (both classes carry sources; counted by GraphStats.AmbiguousClasses) a
+// multi-detector mechanism's mass can therefore land in the other class
+// than it did pre-hoisting, shifting that edge's Obs. Materialized edge
+// probabilities and weights are unchanged, and the final Edge.Obs is still
+// the probability-majority class.
+//
+// A GraphStructure is immutable after construction and safe for concurrent
+// use.
+type GraphStructure struct {
+	NumNodes int
+	numMechs int
+
+	// Candidate edges sorted by (u, v); v == BoundaryNode for boundary
+	// edges.
+	u, v []int32
+
+	// Sources in CSR form: mechanism srcMech[k] contributes its probability
+	// to logical class srcObs[k] of edge i, for k in [srcOff[i],
+	// srcOff[i+1]), in mechanism processing order.
+	srcMech []int32
+	srcObs  []bool
+	srcOff  []int32
+
+	// adj is the candidate-edge adjacency, shared read-only by every
+	// weighted Graph in which no candidate edge dropped to zero probability
+	// (the normal case for engine sweeps, where candidate index == edge
+	// index). Weighted graphs that do drop edges rebuild their own.
+	adj [][]int32
+
+	decomposedOK, decomposedDirty int
 }
 
-// DecodingGraph projects the model onto a graph of 1- and 2-detector error
-// classes. Mechanisms with larger footprints are decomposed into elementary
-// edges (preferring exact covers by already-known edges whose logical masks
-// XOR to the mechanism's); each component inherits the mechanism's
-// probability.
-func (m *Model) DecodingGraph() (*Graph, error) {
-	acc := make(map[edgeKey]*edgeClasses)
+// NumEdges returns the candidate edge count (edges whose probability folds
+// to zero at a given weighting are dropped from the materialized Graph).
+func (gs *GraphStructure) NumEdges() int { return len(gs.u) }
+
+// edgeAcc accumulates one candidate edge's mechanism sources during
+// topology construction.
+type edgeAcc struct {
+	mechs    []int32
+	classes  []bool
+	hasTrue  bool
+	hasFalse bool
+}
+
+// buildGraphStructure derives the candidate decoding-graph topology from
+// mechanism footprints. Elementary mechanisms (1 or 2 detectors) define the
+// edge set directly; larger footprints are decomposed over it, preferring
+// exact covers whose structural logical masks XOR to the mechanism's. An
+// edge's structural mask is unambiguous-class-or-false: true only when every
+// source seen so far carries the observable.
+func buildGraphStructure(numDets, numMechs int, footprint func(int) ([]int32, bool)) (*GraphStructure, error) {
+	acc := make(map[edgeKey]*edgeAcc)
 	var order []edgeKey
-	bump := func(u, v int32, obs bool, p float64) {
+	add := func(u, v int32, mech int32, class bool) {
 		if v != BoundaryNode && u > v {
 			u, v = v, u
 		}
 		k := edgeKey{u, v}
-		c, ok := acc[k]
+		a, ok := acc[k]
 		if !ok {
-			c = &edgeClasses{}
-			acc[k] = c
+			a = &edgeAcc{}
+			acc[k] = a
 			order = append(order, k)
 		}
-		if obs {
-			c.pTrue = xorProb(c.pTrue, p)
+		a.mechs = append(a.mechs, mech)
+		a.classes = append(a.classes, class)
+		if class {
+			a.hasTrue = true
 		} else {
-			c.pFalse = xorProb(c.pFalse, p)
+			a.hasFalse = true
 		}
 	}
+	label := func(u, v int32) (bool, bool) {
+		if v != BoundaryNode && u > v {
+			u, v = v, u
+		}
+		a, ok := acc[edgeKey{u, v}]
+		if !ok {
+			return false, false
+		}
+		return a.hasTrue && !a.hasFalse, true
+	}
 
-	g := &Graph{NumNodes: m.NumDets}
+	gs := &GraphStructure{NumNodes: numDets, numMechs: numMechs}
 
-	// Pass 1: elementary mechanisms.
-	var big []*Mechanism
-	for i := range m.Mechs {
-		mech := &m.Mechs[i]
-		switch len(mech.Dets) {
+	// Pass 1: elementary mechanisms define the edge set.
+	var big []int32
+	for i := 0; i < numMechs; i++ {
+		dets, obs := footprint(i)
+		for _, d := range dets {
+			if d < 0 || int(d) >= numDets {
+				return nil, fmt.Errorf("dem: mechanism %d detector %d out of range [0, %d)", i, d, numDets)
+			}
+		}
+		switch len(dets) {
+		case 0:
+			gs.decomposedDirty++ // no matchable footprint; dropped
 		case 1:
-			bump(mech.Dets[0], BoundaryNode, mech.Obs, mech.P)
+			add(dets[0], BoundaryNode, int32(i), obs)
 		case 2:
-			bump(mech.Dets[0], mech.Dets[1], mech.Obs, mech.P)
+			add(dets[0], dets[1], int32(i), obs)
 		default:
-			big = append(big, mech)
+			big = append(big, int32(i))
 		}
 	}
 
 	// Pass 2: decompose larger footprints over the elementary edge set.
-	known := func(u, v int32) (obs bool, ok bool) {
-		if v != BoundaryNode && u > v {
-			u, v = v, u
-		}
-		c, exists := acc[edgeKey{u, v}]
-		if !exists {
-			return false, false
-		}
-		return c.pTrue > c.pFalse, true
-	}
-	for _, mech := range big {
-		parts, obsOK := decompose(mech.Dets, mech.Obs, known)
+	for _, mi := range big {
+		dets, obs := footprint(int(mi))
+		parts, obsOK := decompose(dets, obs, label)
 		if parts == nil {
 			// Fallback: pair consecutive detectors; attach the observable
 			// mask to the first pair.
-			g.Stats.DecomposedDirty++
-			for i := 0; i+1 < len(mech.Dets); i += 2 {
-				bump(mech.Dets[i], mech.Dets[i+1], mech.Obs && i == 0, mech.P)
+			gs.decomposedDirty++
+			for i := 0; i+1 < len(dets); i += 2 {
+				add(dets[i], dets[i+1], mi, obs && i == 0)
 			}
-			if len(mech.Dets)%2 == 1 {
-				last := mech.Dets[len(mech.Dets)-1]
-				bump(last, BoundaryNode, false, mech.P)
+			if len(dets)%2 == 1 {
+				add(dets[len(dets)-1], BoundaryNode, mi, false)
 			}
 			continue
 		}
 		if obsOK {
-			g.Stats.DecomposedOK++
+			gs.decomposedOK++
 		} else {
-			g.Stats.DecomposedDirty++
+			gs.decomposedDirty++
 		}
 		for _, part := range parts {
-			obs, _ := known(part[0], part[1])
-			bump(part[0], part[1], obs, mech.P)
+			cls, _ := label(part[0], part[1])
+			add(part[0], part[1], mi, cls)
 		}
 	}
 
-	// Materialize edges.
+	// Flatten to CSR in sorted edge order.
 	slices.SortFunc(order, func(a, b edgeKey) int {
 		if a.u != b.u {
 			return cmp.Compare(a.u, b.u)
 		}
 		return cmp.Compare(a.v, b.v)
 	})
+	gs.srcOff = make([]int32, 1, len(order)+1)
 	for _, k := range order {
-		c := acc[k]
-		p := xorProb(c.pFalse, c.pTrue)
+		a := acc[k]
+		gs.u = append(gs.u, k.u)
+		gs.v = append(gs.v, k.v)
+		gs.srcMech = append(gs.srcMech, a.mechs...)
+		gs.srcObs = append(gs.srcObs, a.classes...)
+		gs.srcOff = append(gs.srcOff, int32(len(gs.srcMech)))
+	}
+
+	// Candidate adjacency, hoisted so Weight can share it across noise
+	// scales instead of rebuilding per-node lists per scale.
+	gs.adj = make([][]int32, numDets)
+	for i := range gs.u {
+		gs.adj[gs.u[i]] = append(gs.adj[gs.u[i]], int32(i))
+		if gs.v[i] != BoundaryNode {
+			gs.adj[gs.v[i]] = append(gs.adj[gs.v[i]], int32(i))
+		}
+	}
+	return gs, nil
+}
+
+// Weight materializes the weighted Graph for model m, which must carry the
+// same mechanism list the topology was derived from. Per candidate edge it
+// XOR-folds the source mechanisms' probabilities into the two logical
+// classes; edges whose total probability folds to zero are dropped. This is
+// the only per-noise-scale graph work left once the topology is hoisted.
+func (gs *GraphStructure) Weight(m *Model) (*Graph, error) {
+	if m.NumDets != gs.NumNodes || len(m.Mechs) != gs.numMechs {
+		return nil, fmt.Errorf("dem: model with %d detectors / %d mechanisms does not match graph structure (%d / %d)",
+			m.NumDets, len(m.Mechs), gs.NumNodes, gs.numMechs)
+	}
+	g := &Graph{NumNodes: gs.NumNodes}
+	g.Stats.DecomposedOK = gs.decomposedOK
+	g.Stats.DecomposedDirty = gs.decomposedDirty
+	g.Edges = make([]Edge, 0, len(gs.u))
+	for i := range gs.u {
+		var pFalse, pTrue float64
+		for k := gs.srcOff[i]; k < gs.srcOff[i+1]; k++ {
+			p := m.Mechs[gs.srcMech[k]].P
+			if gs.srcObs[k] {
+				pTrue = xorProb(pTrue, p)
+			} else {
+				pFalse = xorProb(pFalse, p)
+			}
+		}
+		p := xorProb(pFalse, pTrue)
 		if p <= 0 {
 			continue
 		}
-		obs := c.pTrue > c.pFalse
-		if c.pTrue > 0 && c.pFalse > 0 {
+		if pTrue > 0 && pFalse > 0 {
 			g.Stats.AmbiguousClasses++
-			if c.pTrue < c.pFalse {
-				g.Stats.AmbiguousMass += c.pTrue
-			} else {
-				g.Stats.AmbiguousMass += c.pFalse
-			}
+			g.Stats.AmbiguousMass += math.Min(pTrue, pFalse)
 		}
-		e := Edge{U: k.u, V: k.v, P: p, W: WeightOf(p), Obs: obs}
-		g.Edges = append(g.Edges, e)
-		if k.v == BoundaryNode {
+		g.Edges = append(g.Edges, Edge{U: gs.u[i], V: gs.v[i], P: p, W: WeightOf(p), Obs: pTrue > pFalse})
+		if gs.v[i] == BoundaryNode {
 			g.Stats.BoundaryEdges++
 		}
 	}
 	g.Stats.Edges = len(g.Edges)
-
-	g.Adj = make([][]int32, g.NumNodes)
-	for ei := range g.Edges {
-		e := &g.Edges[ei]
-		if e.U < 0 || int(e.U) >= g.NumNodes || (e.V != BoundaryNode && int(e.V) >= g.NumNodes) {
-			return nil, fmt.Errorf("dem: edge %d endpoints (%d,%d) out of range", ei, e.U, e.V)
-		}
-		g.Adj[e.U] = append(g.Adj[e.U], int32(ei))
-		if e.V != BoundaryNode {
-			g.Adj[e.V] = append(g.Adj[e.V], int32(ei))
+	if len(g.Edges) == len(gs.u) {
+		// No candidate dropped: candidate index == edge index, so the
+		// hoisted adjacency applies verbatim. Shared read-only.
+		g.Adj = gs.adj
+	} else {
+		g.Adj = make([][]int32, g.NumNodes)
+		for ei := range g.Edges {
+			e := &g.Edges[ei]
+			g.Adj[e.U] = append(g.Adj[e.U], int32(ei))
+			if e.V != BoundaryNode {
+				g.Adj[e.V] = append(g.Adj[e.V], int32(ei))
+			}
 		}
 	}
 	return g, nil
+}
+
+// GraphStructure returns the hoisted decoding-graph topology backing this
+// model: the Structure's shared, build-once instance when the model came
+// from Reweight (or Build), or a freshly derived one for hand-assembled
+// models.
+func (m *Model) GraphStructure() (*GraphStructure, error) {
+	if m.st != nil {
+		return m.st.Graph()
+	}
+	return buildGraphStructure(m.NumDets, len(m.Mechs), func(i int) ([]int32, bool) {
+		return m.Mechs[i].Dets, m.Mechs[i].Obs
+	})
+}
+
+// DecodingGraph projects the model onto a graph of 1- and 2-detector error
+// classes: the hoisted topology (built once per Structure) weighted with
+// this model's mechanism probabilities.
+func (m *Model) DecodingGraph() (*Graph, error) {
+	gs, err := m.GraphStructure()
+	if err != nil {
+		return nil, err
+	}
+	return gs.Weight(m)
 }
 
 // decompose searches for a partition of dets into known elementary edges

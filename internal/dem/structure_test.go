@@ -79,6 +79,145 @@ func TestStructureReweightMatchesFreshBuild(t *testing.T) {
 	}
 }
 
+// The hoisted graph topology must be invisible in results: a Structure's
+// build-once GraphStructure weighted at any noise scale must reproduce a
+// fresh Model.DecodingGraph() (its own fault propagation, its own topology
+// derivation) bit for bit — edges, weights, adjacency, and stats — across
+// schemes, distances, and noise scales.
+func TestHoistedGraphMatchesFreshBuild(t *testing.T) {
+	cases := []struct {
+		scheme extract.Scheme
+		d      int
+		rates  []float64
+	}{
+		{extract.Baseline, 3, []float64{8e-4, 2e-3, 5e-3, 1.3e-2}},
+		{extract.NaturalAllAtOnce, 3, []float64{2e-3, 8e-3}},
+		{extract.CompactInterleaved, 3, []float64{8e-4, 2e-3, 5e-3, 1.3e-2}},
+		{extract.CompactInterleaved, 5, []float64{2e-3, 8e-3}},
+	}
+	for _, tc := range cases {
+		cfg := extract.Config{Scheme: tc.scheme, Distance: tc.d, Basis: extract.BasisZ, Params: hardware.Default()}
+		base, err := extract.Build(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := BuildStructure(base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, phys := range tc.rates {
+			params := hardware.Default().ScaledGatesTo(phys)
+
+			fresh := cfg
+			fresh.Params = params
+			exp2, err := extract.Build(fresh)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := Build(exp2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantG, err := want.DecodingGraph()
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			probs, err := base.NoiseProbs(params, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m, err := s.Reweight(probs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotG, err := m.DecodingGraph()
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			if !reflect.DeepEqual(gotG.Edges, wantG.Edges) {
+				t.Fatalf("%v d=%d p=%g: hoisted edges differ from fresh build", tc.scheme, tc.d, phys)
+			}
+			if !reflect.DeepEqual(gotG.Adj, wantG.Adj) {
+				t.Fatalf("%v d=%d p=%g: adjacency differs", tc.scheme, tc.d, phys)
+			}
+			if gotG.Stats != wantG.Stats {
+				t.Errorf("%v d=%d p=%g: stats %+v vs %+v", tc.scheme, tc.d, phys, gotG.Stats, wantG.Stats)
+			}
+		}
+	}
+}
+
+// The topology must be derived exactly once per Structure: every reweighted
+// model shares the same GraphStructure instance, so the per-scale hot path
+// pays only the linear weighting pass.
+func TestGraphTopologyBuiltOncePerStructure(t *testing.T) {
+	cfg := extract.Config{Scheme: extract.CompactInterleaved, Distance: 3, Basis: extract.BasisZ, Params: hardware.Default()}
+	e, err := extract.Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := BuildStructure(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gs, err := s.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gs.NumEdges() == 0 {
+		t.Fatal("empty hoisted topology")
+	}
+	for _, phys := range []float64{1e-3, 9e-3} {
+		probs, err := e.NoiseProbs(hardware.Default().ScaledGatesTo(phys), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := s.Reweight(probs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := m.GraphStructure()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != gs {
+			t.Fatalf("p=%g: model does not share the structure's topology instance", phys)
+		}
+	}
+}
+
+// A hand-assembled Model (no backing Structure) must derive an equivalent
+// topology on demand: same decoding graph as the structure-backed path.
+func TestHandBuiltModelGraphMatchesStructurePath(t *testing.T) {
+	_, m := buildModel(t, extract.Baseline, 3)
+	want, err := m.DecodingGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	loose := &Model{NumDets: m.NumDets, Mechs: m.Mechs, Stats: m.Stats}
+	got, err := loose.DecodingGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Edges, want.Edges) || !reflect.DeepEqual(got.Adj, want.Adj) {
+		t.Error("hand-built model's graph differs from the structure-backed graph")
+	}
+}
+
+// Weight must reject a model that does not match the topology's shape.
+func TestGraphWeightShapeCheck(t *testing.T) {
+	_, m := buildModel(t, extract.Baseline, 3)
+	gs, err := m.GraphStructure()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := gs.Weight(&Model{NumDets: m.NumDets, Mechs: m.Mechs[:3]}); err == nil {
+		t.Error("mismatched mechanism count must be rejected")
+	}
+}
+
 // Reweight must reject a probability vector of the wrong length.
 func TestReweightLengthCheck(t *testing.T) {
 	cfg := extract.Config{Scheme: extract.Baseline, Distance: 3, Basis: extract.BasisZ, Params: hardware.Default()}

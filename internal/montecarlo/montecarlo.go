@@ -20,6 +20,7 @@
 package montecarlo
 
 import (
+	"container/list"
 	"crypto/sha256"
 	"encoding/binary"
 	"fmt"
@@ -105,25 +106,47 @@ func (r Result) StdErr() float64 {
 	return math.Sqrt(p * (1 - p) / float64(r.Trials))
 }
 
-// Engine runs Monte-Carlo points over a cache of circuit structures and
-// detector-error-model Structures. One Engine serves whole sweeps; it is
-// safe for concurrent use. The zero value is not usable — call NewEngine.
+// DefaultCacheEntries is NewEngine's structure-cache bound. Each entry is
+// one (scheme, distance, rounds, basis, durations) experiment plus its
+// fault Structure and hoisted graph topology; 64 comfortably covers every
+// figure of the paper while keeping a long-lived serving engine bounded.
+const DefaultCacheEntries = 64
+
+// Engine runs Monte-Carlo points over a bounded LRU cache of circuit
+// structures and detector-error-model Structures. One Engine serves whole
+// sweeps; it is safe for concurrent use. The zero value is not usable —
+// call NewEngine or NewEngineWithCache.
 type Engine struct {
-	mu     sync.Mutex
-	cache  map[extract.StructuralKey]*cacheEntry
-	builds atomic.Int64
+	mu    sync.Mutex
+	max   int                                   // cache entry cap; <= 0 means unbounded
+	cache map[extract.StructuralKey]*cacheEntry // guarded by mu
+	order *list.List                            // of *cacheEntry, most recent at front; guarded by mu
+
+	builds    atomic.Int64
+	evictions atomic.Int64
 }
 
 type cacheEntry struct {
+	key  extract.StructuralKey
+	elem *list.Element
 	once sync.Once
 	exp  *extract.Experiment
 	st   *dem.Structure
 	err  error
 }
 
-// NewEngine returns an empty engine.
-func NewEngine() *Engine {
-	return &Engine{cache: make(map[extract.StructuralKey]*cacheEntry)}
+// NewEngine returns an empty engine with the default cache bound.
+func NewEngine() *Engine { return NewEngineWithCache(DefaultCacheEntries) }
+
+// NewEngineWithCache returns an empty engine whose structure cache holds at
+// most maxEntries entries, evicting least-recently-used structures beyond
+// that; maxEntries <= 0 disables eviction.
+func NewEngineWithCache(maxEntries int) *Engine {
+	return &Engine{
+		max:   maxEntries,
+		cache: make(map[extract.StructuralKey]*cacheEntry),
+		order: list.New(),
+	}
 }
 
 // defaultEngine backs the package-level Run and sweep functions, so
@@ -135,15 +158,37 @@ var defaultEngine = NewEngine()
 // sweep row.
 func (en *Engine) StructureBuilds() int64 { return en.builds.Load() }
 
+// Evictions reports how many cache entries LRU eviction has dropped.
+func (en *Engine) Evictions() int64 { return en.evictions.Load() }
+
+// CachedStructures reports the current cache population (<= the cap).
+func (en *Engine) CachedStructures() int {
+	en.mu.Lock()
+	defer en.mu.Unlock()
+	return len(en.cache)
+}
+
 // structure returns the cached (or freshly built) structural halves for
-// the configuration.
+// the configuration, promoting the entry to most-recently-used and evicting
+// beyond the cap. An in-flight entry that gets evicted finishes building
+// for the goroutines already holding it; it is simply no longer shared.
 func (en *Engine) structure(cfg extract.Config) (*cacheEntry, error) {
 	key := cfg.StructuralKey()
 	en.mu.Lock()
 	e, ok := en.cache[key]
-	if !ok {
-		e = &cacheEntry{}
+	if ok {
+		en.order.MoveToFront(e.elem)
+	} else {
+		e = &cacheEntry{key: key}
+		e.elem = en.order.PushFront(e)
 		en.cache[key] = e
+		for en.max > 0 && len(en.cache) > en.max {
+			back := en.order.Back()
+			old := back.Value.(*cacheEntry)
+			en.order.Remove(back)
+			delete(en.cache, old.key)
+			en.evictions.Add(1)
+		}
 	}
 	en.mu.Unlock()
 	e.once.Do(func() {
@@ -167,27 +212,48 @@ func workerSeed(seed int64, w int) [32]byte {
 	return sha256.Sum256(buf[:])
 }
 
-// Run executes one Monte-Carlo point on the engine.
-func (en *Engine) Run(cfg Config) (Result, error) {
+// normalize validates the point configuration and fills decoder defaults.
+func (cfg *Config) normalize() error {
 	if cfg.Trials <= 0 {
-		return Result{}, fmt.Errorf("montecarlo: trials must be positive")
+		return fmt.Errorf("montecarlo: trials must be positive")
 	}
 	switch cfg.Decoder {
 	case "":
 		cfg.Decoder = UF
 	case UF, MWPM:
 	default:
-		return Result{}, fmt.Errorf("montecarlo: unknown decoder %q (want %q or %q)", cfg.Decoder, UF, MWPM)
+		return fmt.Errorf("montecarlo: unknown decoder %q (want %q or %q)", cfg.Decoder, UF, MWPM)
 	}
+	return nil
+}
+
+// prepare resolves one point to its reweighted model and weighted decoding
+// graph, going through the structure cache. st, when non-nil, donates its
+// reusable noise-probability buffer and Model backing (RunOn's per-worker
+// reuse); the results are stored back on st.
+func (en *Engine) prepare(cfg Config, st *WorkerState) (*dem.Model, *dem.Graph, error) {
 	entry, err := en.structure(cfg.extractConfig())
 	if err != nil {
-		return Result{}, err
+		return nil, nil, err
+	}
+	var probs []float64
+	var recycle *dem.Model
+	if st != nil {
+		probs = st.probs
+		recycle = st.model
 	}
 	var model *dem.Model
-	if probs, perr := entry.exp.NoiseProbs(cfg.Params, make([]float64, 0, entry.st.NumOps)); perr == nil {
-		model, err = entry.st.Reweight(probs)
+	if p2, perr := entry.exp.NoiseProbs(cfg.Params, probs[:0]); perr == nil {
+		probs = p2
+		if st != nil {
+			st.probs = probs
+		}
+		model, err = entry.st.ReweightInto(probs, recycle)
 		if err != nil {
-			return Result{}, err
+			return nil, nil, err
+		}
+		if st != nil {
+			st.model = model
 		}
 	} else {
 		// The cached structure cannot serve these parameters — typically a
@@ -198,15 +264,114 @@ func (en *Engine) Run(cfg Config) (Result, error) {
 		// repeated runs in this regime pay a rebuild each time.
 		exp, berr := extract.Build(cfg.extractConfig())
 		if berr != nil {
-			return Result{}, berr
+			return nil, nil, berr
 		}
 		en.builds.Add(1)
 		model, err = dem.Build(exp)
 		if err != nil {
-			return Result{}, err
+			return nil, nil, err
 		}
 	}
 	graph, err := model.DecodingGraph()
+	if err != nil {
+		return nil, nil, err
+	}
+	return model, graph, nil
+}
+
+// WorkerState is reusable per-worker scratch for point execution: the
+// noise-probability buffer, the batch decode buffers, and rebindable
+// sampler/decoder state. A sweep scheduler threads one WorkerState through
+// the consecutive cells a pool worker executes, so cells sharing a
+// structure reuse the sampler tables and union-find arrays instead of
+// reallocating them per noise scale. The zero value is ready to use; a
+// WorkerState must not be shared between concurrent calls.
+type WorkerState struct {
+	probs []float64
+	model *dem.Model
+	batch decoder.Batch
+	bs    *dem.BatchSampler
+	uf    *decoder.UnionFind
+}
+
+// sampler returns a batch sampler over model, reusing the worker's buffers.
+func (st *WorkerState) sampler(model *dem.Model) *dem.BatchSampler {
+	if st.bs == nil {
+		st.bs = model.NewBatchSampler()
+	} else {
+		st.bs.Reset(model)
+	}
+	return st.bs
+}
+
+// decoderFor returns the shot decoder for one cell, reusing the worker's
+// union-find state when the graph shape allows. The fallback pointer is
+// non-nil only for MWPM, for reading the fallback count afterwards.
+func (st *WorkerState) decoderFor(kind DecoderKind, graph *dem.Graph) (decoder.BatchDecoder, *decoder.MWPMFallback) {
+	if kind == MWPM {
+		fb := decoder.NewMWPMFallback(graph)
+		return fb, fb
+	}
+	if st.uf == nil || !st.uf.Rebind(graph) {
+		st.uf = decoder.NewUnionFind(graph)
+	}
+	return st.uf, nil
+}
+
+type tally struct {
+	trials, failures, fallbacks int
+}
+
+// runWorker executes worker w's share of one point: sample 64-shot batches
+// from the worker's ChaCha8 stream, decode them, and tally failures.
+// failTotal coordinates early stopping across the point's workers when
+// target > 0.
+func runWorker(model *dem.Model, graph *dem.Graph, kind DecoderKind, seed int64, w, trials int, target int64, failTotal *atomic.Int64, st *WorkerState) (tally, error) {
+	var t tally
+	rng := rand.New(rand.NewChaCha8(workerSeed(seed, w)))
+	bs := st.sampler(model)
+	dec, fb := st.decoderFor(kind, graph)
+	var out, truth [dem.BatchShots]bool
+	for t.trials < trials {
+		if target > 0 && failTotal.Load() >= target {
+			break
+		}
+		n := min(dem.BatchShots, trials-t.trials)
+		bs.SampleN(rng, n)
+		st.batch.Reset()
+		for s := 0; s < n; s++ {
+			events, obs := bs.Shot(s)
+			st.batch.Add(events)
+			truth[s] = obs
+		}
+		if err := dec.DecodeBatch(&st.batch, out[:n]); err != nil {
+			return t, err
+		}
+		fails := 0
+		for s := 0; s < n; s++ {
+			if out[s] != truth[s] {
+				fails++
+			}
+		}
+		t.trials += n
+		t.failures += fails
+		if target > 0 && fails > 0 {
+			failTotal.Add(int64(fails))
+		}
+	}
+	if fb != nil {
+		t.fallbacks = int(fb.Fallbacks)
+	}
+	return t, nil
+}
+
+// Run executes one Monte-Carlo point on the engine, splitting the trials
+// over cfg.Workers goroutines with independent ChaCha8 streams.
+func (en *Engine) Run(cfg Config) (Result, error) {
+	if err := cfg.normalize(); err != nil {
+		return Result{}, err
+	}
+	model, graph, err := en.prepare(cfg, nil)
 	if err != nil {
 		return Result{}, err
 	}
@@ -219,11 +384,8 @@ func (en *Engine) Run(cfg Config) (Result, error) {
 		workers = cfg.Trials
 	}
 
-	type tally struct {
-		trials, failures, fallbacks int
-		err                         error
-	}
 	tallies := make([]tally, workers)
+	errs := make([]error, workers)
 	var failTotal atomic.Int64 // early-stop coordination only
 	target := int64(cfg.TargetFailures)
 
@@ -238,50 +400,8 @@ func (en *Engine) Run(cfg Config) (Result, error) {
 		wg.Add(1)
 		go func(w, trials int) {
 			defer wg.Done()
-			t := &tallies[w]
-			rng := rand.New(rand.NewChaCha8(workerSeed(cfg.Seed, w)))
-			bs := model.NewBatchSampler()
-			var dec decoder.BatchDecoder
-			var fb *decoder.MWPMFallback
-			if cfg.Decoder == MWPM {
-				fb = decoder.NewMWPMFallback(graph)
-				dec = fb
-			} else {
-				dec = decoder.NewUnionFind(graph)
-			}
-			var batch decoder.Batch
-			var out, truth [dem.BatchShots]bool
-			for t.trials < trials {
-				if target > 0 && failTotal.Load() >= target {
-					break
-				}
-				n := min(dem.BatchShots, trials-t.trials)
-				bs.SampleN(rng, n)
-				batch.Reset()
-				for s := 0; s < n; s++ {
-					events, obs := bs.Shot(s)
-					batch.Add(events)
-					truth[s] = obs
-				}
-				if err := dec.DecodeBatch(&batch, out[:n]); err != nil {
-					t.err = err
-					return
-				}
-				fails := 0
-				for s := 0; s < n; s++ {
-					if out[s] != truth[s] {
-						fails++
-					}
-				}
-				t.trials += n
-				t.failures += fails
-				if target > 0 && fails > 0 {
-					failTotal.Add(int64(fails))
-				}
-			}
-			if fb != nil {
-				t.fallbacks = int(fb.Fallbacks)
-			}
+			var st WorkerState
+			tallies[w], errs[w] = runWorker(model, graph, cfg.Decoder, cfg.Seed, w, trials, target, &failTotal, &st)
 		}(w, trials)
 	}
 	wg.Wait()
@@ -291,15 +411,46 @@ func (en *Engine) Run(cfg Config) (Result, error) {
 		Mechanisms:    model.Stats.Mechanisms,
 		DetectorCount: model.NumDets,
 	}
-	for _, t := range tallies {
-		if t.err != nil {
-			return Result{}, t.err
+	for w, t := range tallies {
+		if errs[w] != nil {
+			return Result{}, errs[w]
 		}
 		res.Trials += t.trials
 		res.Failures += t.failures
 		res.Fallbacks += t.fallbacks
 	}
 	return res, nil
+}
+
+// RunOn executes one Monte-Carlo point single-threaded on the calling
+// goroutine as worker 0, reusing st's buffers across calls — the per-worker
+// entry point of the sweep scheduler. cfg.Workers is ignored, so the result
+// is bit-identical to Run with Workers == 1 and independent of any pool
+// width the caller schedules cells under. st may be nil for one-shot use.
+func (en *Engine) RunOn(cfg Config, st *WorkerState) (Result, error) {
+	if st == nil {
+		st = &WorkerState{}
+	}
+	if err := cfg.normalize(); err != nil {
+		return Result{}, err
+	}
+	model, graph, err := en.prepare(cfg, st)
+	if err != nil {
+		return Result{}, err
+	}
+	var failTotal atomic.Int64
+	t, err := runWorker(model, graph, cfg.Decoder, cfg.Seed, 0, cfg.Trials, int64(cfg.TargetFailures), &failTotal, st)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{
+		Config:        cfg,
+		Trials:        t.trials,
+		Failures:      t.failures,
+		Fallbacks:     t.fallbacks,
+		Mechanisms:    model.Stats.Mechanisms,
+		DetectorCount: model.NumDets,
+	}, nil
 }
 
 // Run executes one Monte-Carlo point on the shared default engine.
@@ -419,26 +570,34 @@ type SweepOptions struct {
 	TargetFailures int
 }
 
+// ThresholdCellConfig is the canonical configuration of one Fig. 11 grid
+// cell — the single definition shared by the sequential ThresholdSweep and
+// the scheduler's job builder, so the two paths cannot drift apart. The
+// physical rate parameterizes all gate error sources through
+// Params.ScaledGatesTo; coherence times stay at their Table I values.
+func ThresholdCellConfig(scheme extract.Scheme, d int, phys float64, base hardware.Params, trials int, seed int64, dec DecoderKind, opts SweepOptions) Config {
+	return Config{
+		Scheme:         scheme,
+		Distance:       d,
+		Basis:          extract.BasisZ,
+		Params:         base.ScaledGatesTo(phys),
+		Trials:         trials,
+		Seed:           seed + int64(d)*7919 + int64(phys*1e9),
+		Decoder:        dec,
+		TargetFailures: opts.TargetFailures,
+	}
+}
+
 // ThresholdSweep runs the Fig. 11 experiment for one scheme: logical error
-// rate over a grid of physical error rates and code distances. The physical
-// rate parameterizes all gate error sources through Params.ScaledGatesTo;
-// coherence times stay at their Table I values (see that method's comment).
-// Each distance's experiment and model structure are built once and reused
-// across the whole physical-rate row.
+// rate over a grid of physical error rates and code distances, cell by
+// cell (see internal/sched for the pooled path). Each distance's
+// experiment and model structure are built once and reused across the
+// whole physical-rate row.
 func (en *Engine) ThresholdSweep(scheme extract.Scheme, distances []int, physRates []float64, base hardware.Params, trials int, seed int64, dec DecoderKind, opts SweepOptions) ([]SweepPoint, error) {
 	var out []SweepPoint
 	for _, d := range distances {
 		for _, p := range physRates {
-			res, err := en.Run(Config{
-				Scheme:         scheme,
-				Distance:       d,
-				Basis:          extract.BasisZ,
-				Params:         base.ScaledGatesTo(p),
-				Trials:         trials,
-				Seed:           seed + int64(d)*7919 + int64(p*1e9),
-				Decoder:        dec,
-				TargetFailures: opts.TargetFailures,
-			})
+			res, err := en.Run(ThresholdCellConfig(scheme, d, p, base, trials, seed, dec, opts))
 			if err != nil {
 				return nil, fmt.Errorf("sweep %v d=%d p=%g: %w", scheme, d, p, err)
 			}

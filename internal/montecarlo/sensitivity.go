@@ -103,31 +103,44 @@ type SensitivityPoint struct {
 	Result   Result
 }
 
+// SensitivityCellConfig is the canonical configuration of one Fig. 12
+// panel cell — the single definition shared by the sequential
+// SensitivitySweep and the scheduler's job builder, so the two paths
+// cannot drift apart: Compact-Interleaved at the §VI operating point with
+// the panel's parameter set to value, cavity serialization gaps included.
+func SensitivityCellConfig(panel Panel, value float64, d int, trials int, seed int64, opts SweepOptions) (Config, error) {
+	params, err := panel.Apply(OperatingPoint(), value)
+	if err != nil {
+		return Config{}, err
+	}
+	return Config{
+		Scheme:         extract.CompactInterleaved,
+		Distance:       d,
+		Basis:          extract.BasisZ,
+		Params:         params,
+		Trials:         trials,
+		Seed:           seed + int64(d)*104729 + int64(value*1e9),
+		ChargeGapIdle:  true,
+		TargetFailures: opts.TargetFailures,
+	}, nil
+}
+
 // SensitivitySweep runs one panel over the given values and distances on
 // Compact-Interleaved (the paper's §VI target: "the most efficient physical
-// qubit mapping and subject to a wide variety of errors"). Panels varying
-// only error probabilities or coherence times reuse one cached structure
-// per distance; panels varying durations or cavity size rebuild per value
+// qubit mapping and subject to a wide variety of errors"), cell by cell
+// (see internal/sched for the pooled path). Panels varying only error
+// probabilities or coherence times reuse one cached structure per
+// distance; panels varying durations or cavity size rebuild per value
 // (their circuits genuinely differ).
 func (en *Engine) SensitivitySweep(panel Panel, values []float64, distances []int, trials int, seed int64, opts SweepOptions) ([]SensitivityPoint, error) {
-	base := OperatingPoint()
 	var out []SensitivityPoint
 	for _, d := range distances {
 		for _, v := range values {
-			params, err := panel.Apply(base, v)
+			cfg, err := SensitivityCellConfig(panel, v, d, trials, seed, opts)
 			if err != nil {
 				return nil, err
 			}
-			res, err := en.Run(Config{
-				Scheme:         extract.CompactInterleaved,
-				Distance:       d,
-				Basis:          extract.BasisZ,
-				Params:         params,
-				Trials:         trials,
-				Seed:           seed + int64(d)*104729 + int64(v*1e9),
-				ChargeGapIdle:  true,
-				TargetFailures: opts.TargetFailures,
-			})
+			res, err := en.Run(cfg)
 			if err != nil {
 				return nil, fmt.Errorf("sensitivity %v d=%d v=%g: %w", panel, d, v, err)
 			}

@@ -1,0 +1,248 @@
+// Package sched is the serving-oriented sweep scheduler: a queue of
+// Monte-Carlo sweep cells drained by one shared worker pool, instead of the
+// cell-at-a-time loop with per-cell worker forking that sweeps used before.
+//
+// Each cell executes single-threaded on whichever pool worker picks it up
+// (montecarlo.Engine.RunOn as worker 0 of its own point), so a cell's
+// result depends only on its Config — never on the pool width or on which
+// cells finished first. Workers thread one montecarlo.WorkerState through
+// their consecutive cells, reusing sampler tables, union-find arrays, and
+// batch buffers across the noise scales of a row; the engine's bounded
+// structure cache does the same for the expensive structural halves.
+// Results stream as cells finish — through the Options.OnResult callback
+// (serialized, completion order) or the Stream channel — while Run returns
+// them in submission order, so CLIs print rows incrementally and still end
+// with a deterministic grid.
+package sched
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/extract"
+	"repro/internal/hardware"
+	"repro/internal/montecarlo"
+)
+
+// Job is one sweep cell: a Monte-Carlo point configuration plus an opaque
+// caller tag carried through to the result (grid coordinates, typically).
+// If Cfg.Workers is 0 the cell runs single-threaded; an explicit positive
+// value is honored via the engine's parallel path, which trades per-worker
+// state reuse for intra-cell parallelism.
+type Job struct {
+	Cfg montecarlo.Config
+	Tag any
+}
+
+// CellResult is one finished cell. Index is the job's position in the
+// slice submitted to Run or Stream.
+type CellResult struct {
+	Index  int
+	Job    Job
+	Result montecarlo.Result
+	Err    error
+}
+
+// Options tunes a Scheduler.
+type Options struct {
+	// Jobs is the shared pool width — how many cells decode concurrently.
+	// 0 means GOMAXPROCS. The width affects wall clock only, never results.
+	Jobs int
+	// OnResult, when set, is called once per cell as it finishes, in
+	// completion order. Calls are serialized; the callback may write to
+	// shared state (e.g. stdout) without locking.
+	OnResult func(CellResult)
+}
+
+// Scheduler drains sweep cells through a shared worker pool over one
+// montecarlo.Engine. A Scheduler is safe for concurrent use; concurrent
+// Run/Stream calls share the engine's structure cache but use separate
+// pools.
+type Scheduler struct {
+	en   *montecarlo.Engine
+	opts Options
+}
+
+// New returns a scheduler over the engine (a fresh default engine if nil).
+func New(en *montecarlo.Engine, opts Options) *Scheduler {
+	if en == nil {
+		en = montecarlo.NewEngine()
+	}
+	return &Scheduler{en: en, opts: opts}
+}
+
+// Engine returns the scheduler's underlying engine.
+func (s *Scheduler) Engine() *montecarlo.Engine { return s.en }
+
+func (s *Scheduler) width(n int) int {
+	w := s.opts.Jobs
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// run drains the jobs through the pool, storing each cell at its index and
+// emitting it (serialized) as it finishes.
+func (s *Scheduler) run(jobs []Job, results []CellResult, emit func(CellResult)) {
+	var next atomic.Int64
+	var emitMu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < s.width(len(jobs)); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var st montecarlo.WorkerState
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(jobs) {
+					return
+				}
+				job := jobs[i]
+				var res montecarlo.Result
+				var err error
+				if job.Cfg.Workers > 1 {
+					res, err = s.en.Run(job.Cfg)
+				} else {
+					res, err = s.en.RunOn(job.Cfg, &st)
+				}
+				r := CellResult{Index: i, Job: job, Result: res, Err: err}
+				results[i] = r
+				if emit != nil {
+					emitMu.Lock()
+					emit(r)
+					emitMu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Run executes all jobs and returns their results in submission order —
+// deterministic regardless of pool width and completion order. Every cell
+// runs even if others fail; the returned error is the first failing cell's
+// (by submission order), with per-cell errors in each CellResult.
+func (s *Scheduler) Run(jobs []Job) ([]CellResult, error) {
+	results := make([]CellResult, len(jobs))
+	s.run(jobs, results, s.opts.OnResult)
+	for i := range results {
+		if results[i].Err != nil {
+			return results, fmt.Errorf("sched: cell %d: %w", i, results[i].Err)
+		}
+	}
+	return results, nil
+}
+
+// Stream executes all jobs and delivers results on the returned channel in
+// completion order, closing it when the sweep is done. The channel is
+// buffered to len(jobs), so the sweep never blocks on a slow consumer.
+// Options.OnResult, if set, also fires per cell.
+func (s *Scheduler) Stream(jobs []Job) <-chan CellResult {
+	ch := make(chan CellResult, len(jobs))
+	results := make([]CellResult, len(jobs))
+	go func() {
+		defer close(ch)
+		s.run(jobs, results, func(r CellResult) {
+			if s.opts.OnResult != nil {
+				s.opts.OnResult(r)
+			}
+			ch <- r
+		})
+	}()
+	return ch
+}
+
+// ThresholdCell tags one Fig. 11 grid cell.
+type ThresholdCell struct {
+	Scheme   extract.Scheme
+	Distance int
+	Phys     float64
+}
+
+// ThresholdJobs builds the Fig. 11 grid as scheduler jobs, cell-for-cell
+// identical to montecarlo.ThresholdSweep (both build each cell through
+// montecarlo.ThresholdCellConfig) so the two paths stay statistically
+// comparable. Each job is tagged with its ThresholdCell coordinates.
+func ThresholdJobs(scheme extract.Scheme, distances []int, physRates []float64, base hardware.Params, trials int, seed int64, dec montecarlo.DecoderKind, opts montecarlo.SweepOptions) []Job {
+	jobs := make([]Job, 0, len(distances)*len(physRates))
+	for _, d := range distances {
+		for _, p := range physRates {
+			jobs = append(jobs, Job{
+				Cfg: montecarlo.ThresholdCellConfig(scheme, d, p, base, trials, seed, dec, opts),
+				Tag: ThresholdCell{Scheme: scheme, Distance: d, Phys: p},
+			})
+		}
+	}
+	return jobs
+}
+
+// ThresholdSweep runs a Fig. 11 grid through the scheduler, returning
+// points in grid order (distances outer, rates inner) like
+// montecarlo.ThresholdSweep.
+func (s *Scheduler) ThresholdSweep(scheme extract.Scheme, distances []int, physRates []float64, base hardware.Params, trials int, seed int64, dec montecarlo.DecoderKind, opts montecarlo.SweepOptions) ([]montecarlo.SweepPoint, error) {
+	results, err := s.Run(ThresholdJobs(scheme, distances, physRates, base, trials, seed, dec, opts))
+	if err != nil {
+		return nil, fmt.Errorf("sweep %v: %w", scheme, err)
+	}
+	pts := make([]montecarlo.SweepPoint, len(results))
+	for i, r := range results {
+		cell := r.Job.Tag.(ThresholdCell)
+		pts[i] = montecarlo.SweepPoint{Distance: cell.Distance, Phys: cell.Phys, Result: r.Result}
+	}
+	return pts, nil
+}
+
+// SensitivityCell tags one Fig. 12 panel cell.
+type SensitivityCell struct {
+	Panel    montecarlo.Panel
+	Value    float64
+	Distance int
+}
+
+// SensitivityJobs builds one Fig. 12 panel as scheduler jobs, cell-for-cell
+// identical to montecarlo.SensitivitySweep (both build each cell through
+// montecarlo.SensitivityCellConfig).
+func SensitivityJobs(panel montecarlo.Panel, values []float64, distances []int, trials int, seed int64, opts montecarlo.SweepOptions) ([]Job, error) {
+	jobs := make([]Job, 0, len(distances)*len(values))
+	for _, d := range distances {
+		for _, v := range values {
+			cfg, err := montecarlo.SensitivityCellConfig(panel, v, d, trials, seed, opts)
+			if err != nil {
+				return nil, err
+			}
+			jobs = append(jobs, Job{
+				Cfg: cfg,
+				Tag: SensitivityCell{Panel: panel, Value: v, Distance: d},
+			})
+		}
+	}
+	return jobs, nil
+}
+
+// SensitivitySweep runs one Fig. 12 panel through the scheduler, returning
+// points in grid order like montecarlo.SensitivitySweep.
+func (s *Scheduler) SensitivitySweep(panel montecarlo.Panel, values []float64, distances []int, trials int, seed int64, opts montecarlo.SweepOptions) ([]montecarlo.SensitivityPoint, error) {
+	jobs, err := SensitivityJobs(panel, values, distances, trials, seed, opts)
+	if err != nil {
+		return nil, err
+	}
+	results, err := s.Run(jobs)
+	if err != nil {
+		return nil, fmt.Errorf("sensitivity %v: %w", panel, err)
+	}
+	pts := make([]montecarlo.SensitivityPoint, len(results))
+	for i, r := range results {
+		cell := r.Job.Tag.(SensitivityCell)
+		pts[i] = montecarlo.SensitivityPoint{Panel: cell.Panel, Value: cell.Value, Distance: cell.Distance, Result: r.Result}
+	}
+	return pts, nil
+}

@@ -1,0 +1,223 @@
+package sched
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/extract"
+	"repro/internal/hardware"
+	"repro/internal/montecarlo"
+)
+
+func thresholdGrid(trials int) []Job {
+	return ThresholdJobs(extract.Baseline, []int{3, 5}, []float64{4e-3, 8e-3, 1.6e-2},
+		hardware.Default(), trials, 21, montecarlo.UF, montecarlo.SweepOptions{})
+}
+
+// Same seed => identical per-cell stats regardless of the pool width (and
+// therefore of cell completion order): every cell runs single-threaded as
+// worker 0 of its own point, so the stream it consumes is fixed by its
+// Config alone.
+func TestSchedulerDeterministicAcrossPoolWidths(t *testing.T) {
+	var ref []CellResult
+	for _, width := range []int{1, 2, 7} {
+		s := New(montecarlo.NewEngine(), Options{Jobs: width})
+		results, err := s.Run(thresholdGrid(400))
+		if err != nil {
+			t.Fatalf("width %d: %v", width, err)
+		}
+		if ref == nil {
+			ref = results
+			continue
+		}
+		for i := range results {
+			a, b := results[i].Result, ref[i].Result
+			if a.Failures != b.Failures || a.Trials != b.Trials {
+				t.Errorf("width %d cell %d: %d/%d failures/trials, want %d/%d (width 1)",
+					width, i, a.Failures, a.Trials, b.Failures, b.Trials)
+			}
+		}
+	}
+}
+
+// A scheduled cell must be bit-identical to running its Config directly
+// with Workers == 1: the pool is pure orchestration.
+func TestSchedulerCellMatchesDirectRun(t *testing.T) {
+	en := montecarlo.NewEngine()
+	jobs := thresholdGrid(300)
+	results, err := New(en, Options{Jobs: 3}).Run(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range results {
+		cfg := jobs[i].Cfg
+		cfg.Workers = 1
+		want, err := en.Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Result.Failures != want.Failures || r.Result.Trials != want.Trials {
+			t.Errorf("cell %d: scheduled %d/%d vs direct %d/%d failures/trials",
+				i, r.Result.Failures, r.Result.Trials, want.Failures, want.Trials)
+		}
+	}
+}
+
+// Run returns results in submission order with the jobs' tags intact, and
+// OnResult fires exactly once per cell. The non-atomic counter inside the
+// callback doubles as a serialization check under -race.
+func TestSchedulerStreamsEveryCellOnce(t *testing.T) {
+	jobs := thresholdGrid(150)
+	seen := make([]int, len(jobs))
+	calls := 0
+	s := New(nil, Options{Jobs: 4, OnResult: func(r CellResult) {
+		seen[r.Index]++
+		calls++
+	}})
+	results, err := s.Run(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != len(jobs) {
+		t.Errorf("OnResult fired %d times for %d jobs", calls, len(jobs))
+	}
+	for i, n := range seen {
+		if n != 1 {
+			t.Errorf("cell %d streamed %d times", i, n)
+		}
+	}
+	for i, r := range results {
+		if r.Index != i {
+			t.Errorf("result %d has index %d", i, r.Index)
+		}
+		cell := r.Job.Tag.(ThresholdCell)
+		want := jobs[i].Tag.(ThresholdCell)
+		if cell != want {
+			t.Errorf("result %d tag %+v, want %+v", i, cell, want)
+		}
+	}
+}
+
+// The channel API must deliver every cell exactly once and close.
+func TestSchedulerStreamChannel(t *testing.T) {
+	jobs := thresholdGrid(150)
+	seen := make([]int, len(jobs))
+	for r := range New(nil, Options{Jobs: 2}).Stream(jobs) {
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+		seen[r.Index]++
+	}
+	for i, n := range seen {
+		if n != 1 {
+			t.Errorf("cell %d delivered %d times", i, n)
+		}
+	}
+}
+
+// A failing cell must not abort the sweep: the other cells still complete,
+// and Run reports the first failure by submission order.
+func TestSchedulerCellErrorDoesNotAbortSweep(t *testing.T) {
+	jobs := thresholdGrid(150)
+	bad := jobs[1]
+	bad.Cfg.Trials = 0 // invalid
+	jobs[1] = bad
+	results, err := New(nil, Options{Jobs: 2}).Run(jobs)
+	if err == nil || !strings.Contains(err.Error(), "cell 1") {
+		t.Fatalf("want error naming cell 1, got %v", err)
+	}
+	for i, r := range results {
+		if i == 1 {
+			if r.Err == nil {
+				t.Error("cell 1 should carry its error")
+			}
+			continue
+		}
+		if r.Err != nil || r.Result.Trials == 0 {
+			t.Errorf("cell %d did not complete: %+v err=%v", i, r.Result, r.Err)
+		}
+	}
+}
+
+// The scheduler's grid helpers must agree with the sequential sweep paths
+// cell for cell: same coordinates in the same order, and statistically
+// consistent rates at equal trial counts.
+func TestThresholdSweepMatchesSequential(t *testing.T) {
+	ds := []int{3}
+	ps := []float64{6e-3, 1.2e-2}
+	const trials = 3000
+	en := montecarlo.NewEngine()
+	seq, err := en.ThresholdSweep(extract.Baseline, ds, ps, hardware.Default(), trials, 5, montecarlo.UF, montecarlo.SweepOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sch, err := New(en, Options{Jobs: 2}).ThresholdSweep(extract.Baseline, ds, ps, hardware.Default(), trials, 5, montecarlo.UF, montecarlo.SweepOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) != len(sch) {
+		t.Fatalf("%d sequential points vs %d scheduled", len(seq), len(sch))
+	}
+	for i := range seq {
+		a, b := seq[i], sch[i]
+		if a.Distance != b.Distance || a.Phys != b.Phys {
+			t.Fatalf("point %d: grid (%d, %g) vs (%d, %g)", i, a.Distance, a.Phys, b.Distance, b.Phys)
+		}
+		if a.Result.Trials != b.Result.Trials {
+			t.Errorf("point %d: %d vs %d trials", i, a.Result.Trials, b.Result.Trials)
+		}
+		diff := math.Abs(a.Result.Rate() - b.Result.Rate())
+		if sigma := a.Result.StdErr() + b.Result.StdErr(); diff > 3*sigma {
+			t.Errorf("point %d: sequential %.4f vs scheduled %.4f beyond 3 sigma (%.4f)",
+				i, a.Result.Rate(), b.Result.Rate(), 3*sigma)
+		}
+	}
+}
+
+// SensitivityJobs must mirror the sequential panel sweep's grid and run
+// through the scheduler.
+func TestSensitivitySweepGrid(t *testing.T) {
+	pts, err := New(nil, Options{Jobs: 2}).SensitivitySweep(
+		montecarlo.PanelCavityT1, []float64{1e-4, 1e-2}, []int{3}, 200, 1, montecarlo.SweepOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("got %d points, want 2", len(pts))
+	}
+	for i, v := range []float64{1e-4, 1e-2} {
+		if pts[i].Value != v || pts[i].Distance != 3 || pts[i].Panel != montecarlo.PanelCavityT1 {
+			t.Errorf("point %d: %+v", i, pts[i])
+		}
+		if pts[i].Result.Trials != 200 {
+			t.Errorf("point %d: %d trials", i, pts[i].Result.Trials)
+		}
+	}
+}
+
+// Two sweeps sharing one engine may run concurrently — the -race CI job
+// exercises the engine's cache and the hoisted graph build under real
+// contention here.
+func TestSchedulersShareEngineConcurrently(t *testing.T) {
+	en := montecarlo.NewEngine()
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = New(en, Options{Jobs: 2}).Run(thresholdGrid(150))
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("sweep %d: %v", i, err)
+		}
+	}
+	if en.StructureBuilds() != 2 {
+		t.Errorf("concurrent sweeps built %d structures, want 2 (one per distance)", en.StructureBuilds())
+	}
+}

@@ -13,13 +13,16 @@
 //     noise from the Table I hardware model, split into a structural build
 //     and a cheap per-noise-scale re-annotation;
 //   - detector-error-model extraction split the same way (an immutable
-//     fault Structure reweighted per noise scale), word-packed 64-shot
-//     batch sampling with geometric skip-sampling over rare mechanisms,
-//     union-find and exact minimum-weight-matching decoders with
-//     allocation-free batch entry points, and a parallel Monte-Carlo
-//     engine with a structure cache, per-worker ChaCha8 streams, and
-//     optional early stopping for thresholds (Fig. 11) and sensitivity
-//     studies (Fig. 12);
+//     fault Structure reweighted per noise scale, with the decoding-graph
+//     topology hoisted alongside it so each scale pays only an edge
+//     reweight), word-packed 64-shot batch sampling with geometric
+//     skip-sampling over rare mechanisms, union-find and exact
+//     minimum-weight-matching decoders with allocation-free batch entry
+//     points, a parallel Monte-Carlo engine with a bounded LRU structure
+//     cache, per-worker ChaCha8 streams, and optional early stopping, and
+//     a sweep scheduler draining whole threshold/sensitivity grids
+//     (Fig. 11 / Fig. 12) through one shared worker pool with streamed,
+//     deterministic per-cell results;
 //   - the virtualized-logical-qubit machine: virtual/physical addressing,
 //     load/store paging, DRAM-like refresh scheduling, qubit movement, and
 //     transversal-CNOT vs lattice-surgery operation latencies (§III);
@@ -49,6 +52,7 @@ import (
 	"repro/internal/layout"
 	"repro/internal/magic"
 	"repro/internal/montecarlo"
+	"repro/internal/sched"
 	"repro/internal/surgery"
 	"repro/internal/tomo"
 )
@@ -151,6 +155,11 @@ type (
 	// detector error model: build once per circuit structure, Reweight per
 	// noise scale.
 	DetectorStructure = dem.Structure
+	// DecodingGraphStructure is the hoisted, noise-independent half of a
+	// decoding graph (detector decomposition, edge topology, boundary
+	// assignment), built once per DetectorStructure and weighted per noise
+	// scale.
+	DecodingGraphStructure = dem.GraphStructure
 	// BatchSampler draws 64 word-packed shots per pass from a model.
 	BatchSampler = dem.BatchSampler
 	// DecodingGraph is the weighted matching graph decoders consume.
@@ -206,10 +215,55 @@ type (
 	SweepOptions = montecarlo.SweepOptions
 )
 
-// NewMonteCarloEngine returns an engine with an empty structure cache. The
-// package-level RunMonteCarlo and sweep functions share one default engine;
-// use a dedicated engine to bound its cache's lifetime.
+// NewMonteCarloEngine returns an engine with an empty structure cache,
+// bounded by LRU eviction at the default entry cap. The package-level
+// RunMonteCarlo and sweep functions share one default engine; use a
+// dedicated engine to bound its cache's lifetime.
 func NewMonteCarloEngine() *MonteCarloEngine { return montecarlo.NewEngine() }
+
+// NewMonteCarloEngineWithCache returns an engine whose structure cache
+// holds at most maxEntries entries (LRU eviction; <= 0 disables eviction).
+func NewMonteCarloEngineWithCache(maxEntries int) *MonteCarloEngine {
+	return montecarlo.NewEngineWithCache(maxEntries)
+}
+
+// The sweep scheduler (serving-oriented sweep execution).
+type (
+	// SweepScheduler drains sweep cells through one shared worker pool over
+	// a MonteCarloEngine, streaming per-cell results as they finish while
+	// keeping results deterministic regardless of pool width.
+	SweepScheduler = sched.Scheduler
+	// SweepSchedulerOptions tunes the pool width and result streaming.
+	SweepSchedulerOptions = sched.Options
+	// SweepJob is one schedulable sweep cell (a Monte-Carlo config plus an
+	// opaque tag).
+	SweepJob = sched.Job
+	// SweepCellResult is one finished cell, indexed by submission order.
+	SweepCellResult = sched.CellResult
+	// ThresholdSweepCell tags a Fig. 11 grid cell on a SweepJob.
+	ThresholdSweepCell = sched.ThresholdCell
+	// SensitivitySweepCell tags a Fig. 12 panel cell on a SweepJob.
+	SensitivitySweepCell = sched.SensitivityCell
+	// MonteCarloWorkerState is the reusable per-worker scratch threaded
+	// through consecutive cells by the scheduler.
+	MonteCarloWorkerState = montecarlo.WorkerState
+)
+
+// NewSweepScheduler returns a scheduler over the engine (a fresh engine if
+// nil).
+func NewSweepScheduler(en *MonteCarloEngine, opts SweepSchedulerOptions) *SweepScheduler {
+	return sched.New(en, opts)
+}
+
+// ThresholdSweepJobs builds a Fig. 11 grid as scheduler jobs.
+func ThresholdSweepJobs(scheme Scheme, distances []int, physRates []float64, base HardwareParams, trials int, seed int64, dec DecoderKind, opts SweepOptions) []SweepJob {
+	return sched.ThresholdJobs(scheme, distances, physRates, base, trials, seed, dec, opts)
+}
+
+// SensitivitySweepJobs builds one Fig. 12 panel as scheduler jobs.
+func SensitivitySweepJobs(panel SensitivityPanel, values []float64, distances []int, trials int, seed int64, opts SweepOptions) ([]SweepJob, error) {
+	return sched.SensitivityJobs(panel, values, distances, trials, seed, opts)
+}
 
 // RunMonteCarloReference measures one logical error rate on the
 // pre-batching scalar engine (fresh model build per call, one RNG draw per
