@@ -1,0 +1,86 @@
+// Command vlqserve runs the sweep-serving front end: a long-lived HTTP
+// service that executes the paper's threshold (Fig. 11) and sensitivity
+// (Fig. 12) sweeps on demand and streams per-cell results as NDJSON or
+// SSE. One process-wide Monte-Carlo engine backs every request, so
+// repeated sweeps of the same (scheme, distance) experiment skip the
+// circuit, fault-structure, and decoding-graph builds entirely — check
+// GET /v1/stats for the cache counters.
+//
+// Example session:
+//
+//	vlqserve -addr :8324 &
+//	curl -N -d '{"scheme":"baseline","distances":[3],"trials":2000}' \
+//	    localhost:8324/v1/sweeps
+//	curl localhost:8324/v1/stats
+//
+// Flags: -addr listen address, -jobs default scheduler pool width per
+// sweep, -cache engine structure-cache entries, -max-jobs concurrent
+// sweeps, -queue waiting sweeps beyond that (further submissions get 429),
+// -retain finished jobs kept for status/replay. SIGINT/SIGTERM drain
+// in-flight requests, then cancel outstanding jobs.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/montecarlo"
+	"repro/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8324", "listen address")
+	jobs := flag.Int("jobs", 0, "default scheduler pool width per sweep (0 = GOMAXPROCS)")
+	cache := flag.Int("cache", montecarlo.DefaultCacheEntries, "engine structure-cache entries (LRU; <= 0 unbounded)")
+	maxJobs := flag.Int("max-jobs", 2, "sweep jobs running concurrently")
+	queue := flag.Int("queue", 8, "sweep jobs waiting beyond -max-jobs before submissions get 429 (negative: no queueing)")
+	retain := flag.Int("retain", 64, "finished jobs retained for status/replay")
+	flag.Parse()
+
+	server := serve.NewServer(serve.Config{
+		Engine:            montecarlo.NewEngineWithCache(*cache),
+		MaxConcurrentJobs: *maxJobs,
+		QueueDepth:        *queue,
+		DefaultPoolWidth:  *jobs,
+		RetainJobs:        *retain,
+	})
+	httpServer := &http.Server{Addr: *addr, Handler: server}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- httpServer.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "vlqserve: listening on %s (max-jobs=%d queue=%d cache=%d)\n",
+		*addr, *maxJobs, *queue, *cache)
+
+	select {
+	case err := <-errc:
+		fatal(err)
+	case <-ctx.Done():
+	}
+
+	// Graceful shutdown: stop accepting, let in-flight streams finish
+	// their current cell, then cancel whatever is still running.
+	fmt.Fprintln(os.Stderr, "vlqserve: shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	server.Close() // cancels outstanding jobs; streams end at the next cell boundary
+	if err := httpServer.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	if errors.Is(err, http.ErrServerClosed) {
+		return
+	}
+	fmt.Fprintln(os.Stderr, "vlqserve:", err)
+	os.Exit(1)
+}

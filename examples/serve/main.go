@@ -1,0 +1,100 @@
+// Example serve: submit a Fig. 11 row to the sweep-serving front end and
+// stream its cells as they finish.
+//
+// With -addr pointing at a running vlqserve, the example acts as a pure
+// client. Without it, the example starts an in-process server on a
+// loopback port first, so it is self-contained:
+//
+//	go run ./examples/serve
+//	go run ./examples/serve -addr localhost:8324
+//
+// The row is submitted twice. The first submission pays the structure
+// builds; the second is served from the engine's cache, which the example
+// shows by printing GET /v1/stats after each pass — builds stay flat on
+// the repeat while hits grow by one per cell.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", "", "address of a running vlqserve (empty: start one in-process)")
+	flag.Parse()
+
+	base := "http://" + *addr
+	if *addr == "" {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fatal(err)
+		}
+		server := serve.NewServer(serve.Config{})
+		defer server.Close()
+		go http.Serve(ln, server)
+		base = "http://" + ln.Addr().String()
+		fmt.Printf("started in-process server on %s\n", ln.Addr())
+	}
+
+	// One Fig. 11 row: Compact-Interleaved at d=3 across six physical
+	// rates, early-stopped at 50 failures per cell.
+	row := `{"scheme":"compact-interleaved","distances":[3],"trials":20000,"target_failures":50,"seed":11}`
+
+	for pass := 1; pass <= 2; pass++ {
+		fmt.Printf("\n-- pass %d: POST /v1/sweeps --\n", pass)
+		resp, err := http.Post(base+"/v1/sweeps", "application/json", strings.NewReader(row))
+		if err != nil {
+			fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			fatal(fmt.Errorf("submit: HTTP %d", resp.StatusCode))
+		}
+		fmt.Printf("job %s streaming:\n", resp.Header.Get("X-Sweep-Job"))
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			var cell serve.CellRecord
+			if err := json.Unmarshal(sc.Bytes(), &cell); err != nil {
+				fatal(err)
+			}
+			if cell.Trials == 0 { // trailing JobStatus line
+				var status serve.JobStatus
+				if json.Unmarshal(sc.Bytes(), &status) == nil && status.State != "" {
+					fmt.Printf("job %s: %s (%d/%d cells)\n",
+						status.ID, status.State, status.Completed, status.Cells)
+					continue
+				}
+			}
+			fmt.Printf("  d=%d p=%-12.4g rate=%-10.3g +/- %-10.2g (%d trials)\n",
+				cell.Distance, cell.PhysRate, cell.LogicalRate, cell.StdErr, cell.Trials)
+		}
+		resp.Body.Close()
+		if err := sc.Err(); err != nil {
+			fatal(err)
+		}
+
+		stats, err := http.Get(base + "/v1/stats")
+		if err != nil {
+			fatal(err)
+		}
+		var st serve.StatsResponse
+		if err := json.NewDecoder(stats.Body).Decode(&st); err != nil {
+			fatal(err)
+		}
+		stats.Body.Close()
+		fmt.Printf("engine cache after pass %d: %d builds, %d hits, %d entries\n",
+			pass, st.Engine.Builds, st.Engine.Hits, st.Engine.Entries)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "serve example:", err)
+	os.Exit(1)
+}

@@ -1,22 +1,3 @@
-// Package decoder implements syndrome decoders over the weighted decoding
-// graphs produced by internal/dem:
-//
-//   - UnionFind: the weighted-growth union-find decoder
-//     (Delfosse–Nickerson, arXiv:1709.06218) with peeling. Near-linear time
-//     and within a small constant of matching accuracy; the workhorse for
-//     Monte-Carlo threshold estimation.
-//
-//   - Exact: exact minimum-weight perfect matching over the detection
-//     events (Dijkstra pairwise distances + bitmask dynamic programming).
-//     Exponential in the event count, so it is gated to small instances;
-//     used as ground truth in tests and for small-distance runs.
-//
-//   - Blossom: exact minimum-weight perfect matching via the blossom
-//     algorithm, polynomial time; the paper's decoder class ("maximum
-//     likelihood perfect matching").
-//
-// All decoders answer one question per shot: given the set of fired
-// detectors, did the error most likely flip the logical observable?
 package decoder
 
 import "fmt"

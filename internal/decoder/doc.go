@@ -1,0 +1,35 @@
+// Package decoder implements syndrome decoders over the weighted decoding
+// graphs produced by internal/dem:
+//
+//   - UnionFind: the weighted-growth union-find decoder
+//     (Delfosse–Nickerson, arXiv:1709.06218) with peeling. Near-linear time
+//     and within a small constant of matching accuracy; the workhorse for
+//     Monte-Carlo threshold estimation.
+//
+//   - Exact: exact minimum-weight perfect matching over the detection
+//     events (Dijkstra pairwise distances + bitmask dynamic programming).
+//     Exponential in the event count, so it is gated to small instances;
+//     used as ground truth in tests and for small-distance runs.
+//
+//   - Blossom (NewMWPM): exact minimum-weight perfect matching via the
+//     blossom algorithm, polynomial time; the paper's decoder class
+//     ("maximum likelihood perfect matching"). NewMWPMFallback wraps it
+//     with a transparent union-find fallback on oversized event clusters.
+//
+// All decoders answer one question per shot: given the set of fired
+// detectors, did the error most likely flip the logical observable?
+//
+// Entry points:
+//
+//   - Decoder: the scalar interface — Decode(events) (obsFlip, err)
+//   - BatchDecoder + Batch: the allocation-free bulk path; Batch is a
+//     reusable flat container of many shots' events and DecodeBatch
+//     decodes them with zero per-shot allocations
+//   - UnionFind.Rebind: rebinds existing union-find state to a new graph
+//     of the same shape, so a sweep reuses all decoder arrays across
+//     noise scales instead of reallocating per cell
+//
+// Decoders reuse internal buffers and are not safe for concurrent use;
+// create one per goroutine (the Monte-Carlo engine threads one per worker
+// through montecarlo.WorkerState).
+package decoder

@@ -1,27 +1,3 @@
-// Package dem builds detector error models: it enumerates every elementary
-// Pauli fault of an experiment's circuit, propagates each one
-// deterministically through the Pauli-frame simulator, and records which
-// detectors and whether the logical observable flip. Faults with identical
-// footprints merge into a single mechanism with XOR-combined probability.
-// This mirrors how Stim derives matchable models from circuits.
-//
-// The model is split into two halves, the way Stim separates fault
-// structure from fault probability:
-//
-//   - Structure (BuildStructure) is the expensive, probability-free half:
-//     merged mechanism footprints in flat CSR form, plus, per mechanism,
-//     the list of elementary fault branches (global op index + branch
-//     divisor) that feed it. It depends only on the circuit's gates and
-//     moments, so one Structure serves every noise scale of a sweep.
-//   - Reweight is the cheap half: given per-op error probabilities it
-//     produces a Model — per-mechanism probabilities ready for sampling and
-//     for decoding-graph extraction — without re-running fault propagation.
-//
-// Build bundles both for one-shot use. The Model offers two samplers: a
-// scalar Sampler (one shot per call) and a word-packed BatchSampler that
-// draws 64 shots per pass with geometric skip-sampling over rare
-// mechanisms, plus the weighted decoding graph consumed by the union-find
-// and minimum-weight-matching decoders (graph.go).
 package dem
 
 import (

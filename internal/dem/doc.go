@@ -1,0 +1,40 @@
+// Package dem builds detector error models: it enumerates every elementary
+// Pauli fault of an experiment's circuit, propagates each one
+// deterministically through the Pauli-frame simulator, and records which
+// detectors and whether the logical observable flip. Faults with identical
+// footprints merge into a single mechanism with XOR-combined probability.
+// This mirrors how Stim derives matchable models from circuits.
+//
+// The model is split into two halves, the way Stim separates fault
+// structure from fault probability:
+//
+//   - Structure (BuildStructure) is the expensive, probability-free half:
+//     merged mechanism footprints in flat CSR form, plus, per mechanism,
+//     the list of elementary fault branches (global op index + branch
+//     divisor) that feed it. It depends only on the circuit's gates and
+//     moments, so one Structure serves every noise scale of a sweep. The
+//     decoding-graph topology (detector decomposition, edge set, boundary
+//     assignment, adjacency) is hoisted here too: Structure.Graph builds a
+//     GraphStructure once, and GraphStructure.Weight recomputes only the
+//     edge weights per noise scale.
+//   - Reweight (and the allocation-reusing ReweightInto) is the cheap
+//     half: given per-op error probabilities it produces a Model —
+//     per-mechanism probabilities ready for sampling and decoding-graph
+//     extraction — without re-running fault propagation.
+//
+// Build bundles both for one-shot use.
+//
+// Entry points:
+//
+//   - Build / BuildStructure + Structure.Reweight: circuit -> Model
+//   - Model.NewSampler: scalar sampling, one shot per call
+//   - Model.NewBatchSampler: word-packed sampling, 64 shots per pass with
+//     geometric skip-sampling over rare mechanisms (BatchShots)
+//   - Model.DecodingGraph / Structure.Graph + GraphStructure.Weight: the
+//     weighted matching graph consumed by internal/decoder
+//
+// In the paper's pipeline this package sits between the extracted noisy
+// circuits (internal/extract) and the decoders scored by the Monte-Carlo
+// engine: every Fig. 11 / Fig. 12 cell samples one Model and decodes its
+// shots against the corresponding Graph.
+package dem

@@ -1,0 +1,41 @@
+// Package montecarlo estimates logical error rates by sampling detector
+// error models and decoding each shot, reproducing the paper's §V threshold
+// experiments (Fig. 11) and §VI sensitivity studies (Fig. 12).
+//
+// Each trial is one round of the experiment defined by internal/extract:
+// sample the detector error model, decode the fired detectors, and compare
+// the decoder's observable prediction with the sampled truth. The logical
+// error rate is failures/trials, with a binomial standard error.
+//
+// The Engine is the batched production path. It caches the expensive,
+// noise-independent halves of a point — the structural circuit build and
+// the detector-error-model Structure (with its hoisted decoding-graph
+// topology) — in a bounded LRU keyed by extract.StructuralKey, so a
+// threshold sweep builds each (scheme, distance) experiment once and merely
+// Reweights it per physical rate. Shots are drawn 64 at a time by the
+// word-packed dem.BatchSampler and decoded through decoder.BatchDecoder
+// with reusable buffers; workers use independent ChaCha8 streams. An
+// optional early-stop mode (Config.TargetFailures) ends a point once a
+// target failure count is reached.
+//
+// Entry points:
+//
+//   - Config -> Engine.Run: one point, trials split over parallel workers
+//   - Engine.RunOn(cfg, *WorkerState): one point single-threaded with
+//     reusable per-worker scratch — the sweep scheduler's per-cell entry;
+//     bit-identical to Run with Workers == 1
+//   - Engine.ThresholdSweep / Engine.SensitivitySweep: sequential grid
+//     runners; ThresholdCellConfig / SensitivityCellConfig are the
+//     canonical per-cell configurations shared with internal/sched's job
+//     builders, so the pooled and sequential paths cannot drift apart
+//   - Engine.CacheStats: structure-cache counters (builds, hits,
+//     evictions, entries) — the observability hook behind the serving
+//     front end's /v1/stats
+//   - RunReference: the retained pre-batching scalar engine, the
+//     benchmark baseline and statistical cross-check
+//   - EstimateThreshold: interpolates the Fig. 11 crossing point
+//
+// One Engine is safe for concurrent use and is meant to be long-lived:
+// the scheduler (internal/sched) and the HTTP front end (internal/serve)
+// both share a single engine across whole workloads.
+package montecarlo

@@ -1,22 +1,3 @@
-// Package montecarlo estimates logical error rates by sampling detector
-// error models and decoding each shot, reproducing the paper's §V threshold
-// experiments (Fig. 11) and §VI sensitivity studies (Fig. 12).
-//
-// Each trial is one round of the experiment defined by internal/extract:
-// sample the detector error model, decode the fired detectors, and compare
-// the decoder's observable prediction with the sampled truth. The logical
-// error rate is failures/trials, with a binomial standard error.
-//
-// The Engine is the batched production path. It caches the expensive,
-// noise-independent halves of a point — the structural circuit build and
-// the detector-error-model Structure — keyed by extract.StructuralKey, so a
-// threshold sweep builds each (scheme, distance) experiment once and merely
-// Reweights it per physical rate. Shots are drawn 64 at a time by the
-// word-packed dem.BatchSampler and decoded through decoder.BatchDecoder
-// with reusable buffers; workers use independent ChaCha8 streams. An
-// optional early-stop mode ends a point once a target failure count is
-// reached. RunReference preserves the pre-batching scalar path as the
-// benchmark baseline and statistical cross-check.
 package montecarlo
 
 import (
@@ -123,6 +104,7 @@ type Engine struct {
 	order *list.List                            // of *cacheEntry, most recent at front; guarded by mu
 
 	builds    atomic.Int64
+	hits      atomic.Int64
 	evictions atomic.Int64
 }
 
@@ -168,6 +150,41 @@ func (en *Engine) CachedStructures() int {
 	return len(en.cache)
 }
 
+// CacheStats is a point-in-time snapshot of the engine's structure cache,
+// the observable contract of the structure/noise split: a sweep (or a
+// serving front end fielding repeated sweeps) should see Builds grow only
+// when a genuinely new (scheme, distance, rounds, basis, durations)
+// experiment arrives, and Hits grow on every point after that.
+type CacheStats struct {
+	// Builds counts experiment+Structure constructions — cache misses plus
+	// the rare uncached parameter-mismatch rebuilds (see Engine.prepare).
+	Builds int64 `json:"builds"`
+	// Hits counts cache lookups that found an existing entry (including
+	// entries still being built by another goroutine, which the caller
+	// then shares).
+	Hits int64 `json:"hits"`
+	// Evictions counts entries dropped by LRU eviction.
+	Evictions int64 `json:"evictions"`
+	// Entries is the current cache population (<= the configured cap).
+	Entries int `json:"entries"`
+}
+
+// CacheStats returns a consistent snapshot of the cache counters. The
+// counters are monotonic for the engine's lifetime, so two snapshots
+// bracket the work in between: equal Builds means every point in the
+// interval reused a cached structure.
+func (en *Engine) CacheStats() CacheStats {
+	en.mu.Lock()
+	entries := len(en.cache)
+	en.mu.Unlock()
+	return CacheStats{
+		Builds:    en.builds.Load(),
+		Hits:      en.hits.Load(),
+		Evictions: en.evictions.Load(),
+		Entries:   entries,
+	}
+}
+
 // structure returns the cached (or freshly built) structural halves for
 // the configuration, promoting the entry to most-recently-used and evicting
 // beyond the cap. An in-flight entry that gets evicted finishes building
@@ -177,6 +194,7 @@ func (en *Engine) structure(cfg extract.Config) (*cacheEntry, error) {
 	en.mu.Lock()
 	e, ok := en.cache[key]
 	if ok {
+		en.hits.Add(1)
 		en.order.MoveToFront(e.elem)
 	} else {
 		e = &cacheEntry{key: key}

@@ -1,0 +1,38 @@
+// Package sched is the serving-oriented sweep scheduler: a queue of
+// Monte-Carlo sweep cells drained by one shared worker pool, instead of the
+// cell-at-a-time loop with per-cell worker forking that sweeps used before.
+//
+// Each cell executes single-threaded on whichever pool worker picks it up
+// (montecarlo.Engine.RunOn as worker 0 of its own point), so a cell's
+// result depends only on its Config — never on the pool width or on which
+// cells finished first. Workers thread one montecarlo.WorkerState through
+// their consecutive cells, reusing sampler tables, union-find arrays, and
+// batch buffers across the noise scales of a row; the engine's bounded
+// structure cache does the same for the expensive structural halves.
+//
+// Results stream as cells finish — through the Options.OnResult callback
+// (serialized, completion order) or the Stream channel — while Run returns
+// them in submission order, so CLIs print rows incrementally and still end
+// with a deterministic grid. The ordering contract, precisely: completion
+// ORDER varies with pool width and cell durations, but result IDENTITY
+// does not — the CellResult carrying a given Index is bit-identical at
+// every pool width.
+//
+// Entry points:
+//
+//   - Job / CellResult: one schedulable cell and its outcome
+//   - New(engine, Options) -> Scheduler; Options.Jobs sets the pool width
+//   - Scheduler.Run / RunContext: drain jobs, results in submission order;
+//     RunContext stops picking up cells once the context is cancelled
+//     (cell-boundary granularity — the hook the HTTP front end's job
+//     cancellation is built on)
+//   - Scheduler.Stream / StreamContext: drain jobs, results on a channel
+//     in completion order
+//   - ThresholdJobs / SensitivityJobs: expand a Fig. 11 grid or Fig. 12
+//     panel into jobs, cell-for-cell identical to the sequential sweeps
+//     in internal/montecarlo
+//
+// internal/serve builds on this package to run sweeps as cancellable HTTP
+// jobs; cmd/vlqthreshold and cmd/vlqsense use it for -jobs/-csv/-json
+// streaming sweeps.
+package sched

@@ -1,21 +1,7 @@
-// Package sched is the serving-oriented sweep scheduler: a queue of
-// Monte-Carlo sweep cells drained by one shared worker pool, instead of the
-// cell-at-a-time loop with per-cell worker forking that sweeps used before.
-//
-// Each cell executes single-threaded on whichever pool worker picks it up
-// (montecarlo.Engine.RunOn as worker 0 of its own point), so a cell's
-// result depends only on its Config — never on the pool width or on which
-// cells finished first. Workers thread one montecarlo.WorkerState through
-// their consecutive cells, reusing sampler tables, union-find arrays, and
-// batch buffers across the noise scales of a row; the engine's bounded
-// structure cache does the same for the expensive structural halves.
-// Results stream as cells finish — through the Options.OnResult callback
-// (serialized, completion order) or the Stream channel — while Run returns
-// them in submission order, so CLIs print rows incrementally and still end
-// with a deterministic grid.
 package sched
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -53,6 +39,15 @@ type Options struct {
 	// OnResult, when set, is called once per cell as it finishes, in
 	// completion order. Calls are serialized; the callback may write to
 	// shared state (e.g. stdout) without locking.
+	//
+	// Ordering guarantee: completion order is NOT deterministic — it
+	// depends on the pool width and on how long each cell takes. What is
+	// deterministic is result identity: the CellResult delivered for a
+	// given Index carries exactly the Result that cell's Config produces
+	// single-threaded, at any pool width. Consumers that need a stable
+	// order must sort by Index (or use Run, which already returns
+	// submission order); consumers that only key rows by the cell's Tag or
+	// Index may stream directly.
 	OnResult func(CellResult)
 }
 
@@ -91,8 +86,11 @@ func (s *Scheduler) width(n int) int {
 }
 
 // run drains the jobs through the pool, storing each cell at its index and
-// emitting it (serialized) as it finishes.
-func (s *Scheduler) run(jobs []Job, results []CellResult, emit func(CellResult)) {
+// emitting it (serialized) as it finishes. Cancellation is observed at cell
+// boundaries: once ctx is done, workers stop picking up new cells and mark
+// the remaining ones with ctx's error (without emitting them); cells
+// already decoding run to completion.
+func (s *Scheduler) run(ctx context.Context, jobs []Job, results []CellResult, emit func(CellResult)) {
 	var next atomic.Int64
 	var emitMu sync.Mutex
 	var wg sync.WaitGroup
@@ -107,6 +105,10 @@ func (s *Scheduler) run(jobs []Job, results []CellResult, emit func(CellResult))
 					return
 				}
 				job := jobs[i]
+				if err := ctx.Err(); err != nil {
+					results[i] = CellResult{Index: i, Job: job, Err: err}
+					continue
+				}
 				var res montecarlo.Result
 				var err error
 				if job.Cfg.Workers > 1 {
@@ -132,8 +134,21 @@ func (s *Scheduler) run(jobs []Job, results []CellResult, emit func(CellResult))
 // runs even if others fail; the returned error is the first failing cell's
 // (by submission order), with per-cell errors in each CellResult.
 func (s *Scheduler) Run(jobs []Job) ([]CellResult, error) {
+	return s.RunContext(context.Background(), jobs)
+}
+
+// RunContext is Run with cancellation: when ctx is cancelled the pool stops
+// picking up new cells (cells already decoding finish — cancellation has
+// cell granularity), the skipped cells carry ctx's error in their
+// CellResult, and RunContext returns ctx's error. Skipped cells are never
+// delivered to Options.OnResult, so a streaming consumer sees only cells
+// that genuinely ran.
+func (s *Scheduler) RunContext(ctx context.Context, jobs []Job) ([]CellResult, error) {
 	results := make([]CellResult, len(jobs))
-	s.run(jobs, results, s.opts.OnResult)
+	s.run(ctx, jobs, results, s.opts.OnResult)
+	if err := ctx.Err(); err != nil {
+		return results, err
+	}
 	for i := range results {
 		if results[i].Err != nil {
 			return results, fmt.Errorf("sched: cell %d: %w", i, results[i].Err)
@@ -146,12 +161,25 @@ func (s *Scheduler) Run(jobs []Job) ([]CellResult, error) {
 // completion order, closing it when the sweep is done. The channel is
 // buffered to len(jobs), so the sweep never blocks on a slow consumer.
 // Options.OnResult, if set, also fires per cell.
+//
+// Completion order is nondeterministic (it depends on pool width and cell
+// durations), but result identity is not: for a given seed, the CellResult
+// carrying Index i is identical at every pool width. Consumers needing a
+// stable order should collect and sort by Index.
 func (s *Scheduler) Stream(jobs []Job) <-chan CellResult {
+	return s.StreamContext(context.Background(), jobs)
+}
+
+// StreamContext is Stream with cancellation semantics matching RunContext:
+// after ctx is done, in-flight cells still arrive on the channel (they ran
+// to completion) and the channel then closes; cells that never started are
+// silently dropped from the stream.
+func (s *Scheduler) StreamContext(ctx context.Context, jobs []Job) <-chan CellResult {
 	ch := make(chan CellResult, len(jobs))
 	results := make([]CellResult, len(jobs))
 	go func() {
 		defer close(ch)
-		s.run(jobs, results, func(r CellResult) {
+		s.run(ctx, jobs, results, func(r CellResult) {
 			if s.opts.OnResult != nil {
 				s.opts.OnResult(r)
 			}

@@ -1,7 +1,10 @@
 package sched
 
 import (
+	"context"
+	"errors"
 	"math"
+	"slices"
 	"strings"
 	"sync"
 	"testing"
@@ -194,6 +197,87 @@ func TestSensitivitySweepGrid(t *testing.T) {
 		if pts[i].Result.Trials != 200 {
 			t.Errorf("point %d: %d trials", i, pts[i].Result.Trials)
 		}
+	}
+}
+
+// The documented ordering guarantee on OnResult/Stream, pinned: arrival
+// order may vary with the pool width, but result identity may not. Collect
+// the stream at several widths, sort by Index, and require bit-identical
+// per-cell statistics.
+func TestStreamResultIdentityDeterministicAtAnyWidth(t *testing.T) {
+	var ref []CellResult
+	for _, width := range []int{1, 3, 8} {
+		var got []CellResult
+		for r := range New(montecarlo.NewEngine(), Options{Jobs: width}).Stream(thresholdGrid(300)) {
+			if r.Err != nil {
+				t.Fatalf("width %d: cell %d: %v", width, r.Index, r.Err)
+			}
+			got = append(got, r)
+		}
+		slices.SortFunc(got, func(a, b CellResult) int { return a.Index - b.Index })
+		for i, r := range got {
+			if r.Index != i {
+				t.Fatalf("width %d: missing or duplicated cell %d", width, i)
+			}
+		}
+		if ref == nil {
+			ref = got
+			continue
+		}
+		for i := range got {
+			a, b := got[i].Result, ref[i].Result
+			if a.Failures != b.Failures || a.Trials != b.Trials {
+				t.Errorf("width %d cell %d: %d/%d failures/trials, want %d/%d (width 1)",
+					width, i, a.Failures, a.Trials, b.Failures, b.Trials)
+			}
+		}
+	}
+}
+
+// Cancelling mid-sweep stops the pool at the next cell boundary: cells
+// that never started carry the context error and are not emitted, while
+// every emitted cell genuinely ran. Width 1 makes the split deterministic:
+// cancel during cell 0's emission and cells 1..n must all be skipped.
+func TestRunContextCancelSkipsRemainingCells(t *testing.T) {
+	jobs := thresholdGrid(150)
+	ctx, cancel := context.WithCancel(context.Background())
+	var emitted []int
+	s := New(nil, Options{Jobs: 1, OnResult: func(r CellResult) {
+		emitted = append(emitted, r.Index)
+		cancel()
+	}})
+	results, err := s.RunContext(ctx, jobs)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunContext error = %v, want context.Canceled", err)
+	}
+	if len(emitted) != 1 || emitted[0] != 0 {
+		t.Fatalf("emitted cells %v, want exactly [0]", emitted)
+	}
+	if results[0].Err != nil || results[0].Result.Trials == 0 {
+		t.Errorf("cell 0 should have completed: %+v", results[0])
+	}
+	for i := 1; i < len(results); i++ {
+		if !errors.Is(results[i].Err, context.Canceled) {
+			t.Errorf("cell %d err = %v, want context.Canceled", i, results[i].Err)
+		}
+		if results[i].Result.Trials != 0 {
+			t.Errorf("cell %d ran %d trials after cancel", i, results[i].Result.Trials)
+		}
+	}
+}
+
+// StreamContext closes its channel after cancellation without delivering
+// the skipped cells.
+func TestStreamContextCancelClosesChannel(t *testing.T) {
+	jobs := thresholdGrid(150)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // cancelled before any cell starts
+	n := 0
+	for range New(nil, Options{Jobs: 2}).StreamContext(ctx, jobs) {
+		n++
+	}
+	if n != 0 {
+		t.Errorf("pre-cancelled stream delivered %d cells, want 0", n)
 	}
 }
 

@@ -1,0 +1,239 @@
+package serve
+
+import (
+	"fmt"
+	"slices"
+	"time"
+
+	"repro/internal/extract"
+	"repro/internal/hardware"
+	"repro/internal/montecarlo"
+	"repro/internal/sched"
+)
+
+// maxCells bounds one submission; a request expanding to a larger grid is
+// rejected with 400 rather than silently truncated or allowed to occupy a
+// worker pool for hours.
+const maxCells = 4096
+
+// SweepRequest is the body of POST /v1/sweeps: one threshold (Fig. 11) or
+// sensitivity (Fig. 12) sweep job. Zero fields take the documented
+// defaults, so the smallest useful threshold submission is `{}` and the
+// smallest sensitivity submission is `{"type":"sensitivity","panel":
+// "cavity-t1"}`.
+type SweepRequest struct {
+	// Type selects the experiment: "threshold" (default) or "sensitivity".
+	Type string `json:"type,omitempty"`
+	// Scheme names the extraction setup for threshold sweeps (default
+	// "compact-interleaved"; see extract.Schemes for the five names).
+	Scheme string `json:"scheme,omitempty"`
+	// Panel names the Fig. 12 study for sensitivity sweeps (required for
+	// them; see montecarlo.Panels for the seven names).
+	Panel string `json:"panel,omitempty"`
+	// Distances are the code distances (default 3,5,7 for threshold,
+	// 3,5 for sensitivity).
+	Distances []int `json:"distances,omitempty"`
+	// Rates are the physical error rates of a threshold grid (default: a
+	// 6-point log grid bracketing the paper's thresholds).
+	Rates []float64 `json:"rates,omitempty"`
+	// Values are the swept parameter values of a sensitivity panel
+	// (default: the paper's range for the panel, 5 points).
+	Values []float64 `json:"values,omitempty"`
+	// Trials is the Monte-Carlo shot count per cell (default 2000; a cap
+	// when TargetFailures is set).
+	Trials int `json:"trials,omitempty"`
+	// TargetFailures, when positive, ends each cell early once this many
+	// logical failures accumulate.
+	TargetFailures int `json:"target_failures,omitempty"`
+	// Seed fixes the sweep's randomness; equal requests return
+	// bit-identical cells.
+	Seed int64 `json:"seed,omitempty"`
+	// Decoder is "uf" (default) or "mwpm" (threshold sweeps only).
+	Decoder string `json:"decoder,omitempty"`
+	// Jobs is this sweep's scheduler pool width (0 = the server default).
+	Jobs int `json:"jobs,omitempty"`
+}
+
+// CellRecord is one finished sweep cell as streamed to clients (NDJSON
+// line or SSE "cell" event). Threshold cells carry scheme/phys_rate,
+// sensitivity cells panel/value; both carry the distance and statistics.
+type CellRecord struct {
+	Index       int     `json:"index"`
+	Scheme      string  `json:"scheme,omitempty"`
+	Panel       string  `json:"panel,omitempty"`
+	Distance    int     `json:"distance"`
+	PhysRate    float64 `json:"phys_rate,omitempty"`
+	Value       float64 `json:"value,omitempty"`
+	LogicalRate float64 `json:"logical_rate"`
+	StdErr      float64 `json:"stderr"`
+	Trials      int     `json:"trials"`
+	Failures    int     `json:"failures"`
+	Error       string  `json:"error,omitempty"`
+}
+
+// JobStatus is the wire form of one sweep job: GET /v1/sweeps/{id}, the
+// trailing line of an NDJSON stream, and the SSE "done" event.
+type JobStatus struct {
+	ID         string     `json:"id"`
+	State      string     `json:"state"`
+	Type       string     `json:"type"`
+	Cells      int        `json:"cells"`
+	Completed  int        `json:"completed"`
+	Error      string     `json:"error,omitempty"`
+	CreatedAt  time.Time  `json:"created_at"`
+	StartedAt  *time.Time `json:"started_at,omitempty"`
+	FinishedAt *time.Time `json:"finished_at,omitempty"`
+}
+
+// StatsResponse is GET /v1/stats: the shared engine's structure-cache
+// counters plus the job registry's population.
+type StatsResponse struct {
+	Engine montecarlo.CacheStats `json:"engine"`
+	Jobs   JobCounts             `json:"jobs"`
+}
+
+// JobCounts summarizes the registry.
+type JobCounts struct {
+	Queued    int   `json:"queued"`
+	Running   int   `json:"running"`
+	Retained  int   `json:"retained"`  // jobs currently in the registry
+	Submitted int64 `json:"submitted"` // total accepted since startup
+}
+
+// errorResponse is the JSON body of every non-2xx response.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func schemeByName(name string) (extract.Scheme, error) {
+	for _, s := range extract.Schemes {
+		if s.String() == name {
+			return s, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown scheme %q", name)
+}
+
+// buildCells validates the request, fills defaults, and expands it to
+// scheduler jobs. All failures here are client errors (HTTP 400).
+func buildCells(req SweepRequest) (typ string, cells []sched.Job, err error) {
+	if req.Trials == 0 {
+		req.Trials = 2000
+	}
+	if req.Trials < 0 {
+		return "", nil, fmt.Errorf("trials must be positive, got %d", req.Trials)
+	}
+	if req.TargetFailures < 0 {
+		return "", nil, fmt.Errorf("target_failures must be non-negative, got %d", req.TargetFailures)
+	}
+	if req.Jobs < 0 {
+		return "", nil, fmt.Errorf("jobs must be non-negative, got %d", req.Jobs)
+	}
+	for _, d := range req.Distances {
+		if d < 3 || d%2 == 0 {
+			return "", nil, fmt.Errorf("distance %d invalid: want an odd distance >= 3", d)
+		}
+	}
+	opts := montecarlo.SweepOptions{TargetFailures: req.TargetFailures}
+
+	switch req.Type {
+	case "", "threshold":
+		typ = "threshold"
+		if req.Panel != "" {
+			return "", nil, fmt.Errorf("panel is a sensitivity-sweep field; set type to %q", "sensitivity")
+		}
+		if len(req.Values) != 0 {
+			return "", nil, fmt.Errorf("values is a sensitivity-sweep field; threshold sweeps take rates")
+		}
+		if req.Scheme == "" {
+			req.Scheme = extract.CompactInterleaved.String()
+		}
+		scheme, err := schemeByName(req.Scheme)
+		if err != nil {
+			return "", nil, err
+		}
+		dec := montecarlo.UF
+		switch req.Decoder {
+		case "", "uf":
+		case "mwpm":
+			dec = montecarlo.MWPM
+		default:
+			return "", nil, fmt.Errorf("unknown decoder %q (want %q or %q)", req.Decoder, montecarlo.UF, montecarlo.MWPM)
+		}
+		if len(req.Distances) == 0 {
+			req.Distances = []int{3, 5, 7}
+		}
+		if len(req.Rates) == 0 {
+			req.Rates = montecarlo.DefaultPhysRates(6)
+		}
+		for _, p := range req.Rates {
+			if p <= 0 || p >= 1 {
+				return "", nil, fmt.Errorf("physical rate %g out of range (0, 1)", p)
+			}
+		}
+		cells = sched.ThresholdJobs(scheme, req.Distances, req.Rates, hardware.Default(),
+			req.Trials, req.Seed, dec, opts)
+
+	case "sensitivity":
+		typ = "sensitivity"
+		if req.Decoder != "" && req.Decoder != "uf" {
+			return "", nil, fmt.Errorf("sensitivity sweeps use the %q decoder", montecarlo.UF)
+		}
+		if req.Scheme != "" {
+			return "", nil, fmt.Errorf("scheme is fixed to compact-interleaved for sensitivity sweeps")
+		}
+		if len(req.Rates) != 0 {
+			return "", nil, fmt.Errorf("rates is a threshold-sweep field; sensitivity sweeps take values")
+		}
+		panel := montecarlo.Panel(req.Panel)
+		if !slices.Contains(montecarlo.Panels, panel) {
+			return "", nil, fmt.Errorf("unknown panel %q (want one of %v)", req.Panel, montecarlo.Panels)
+		}
+		if len(req.Distances) == 0 {
+			req.Distances = []int{3, 5}
+		}
+		if len(req.Values) == 0 {
+			req.Values = panel.DefaultValues(5)
+		}
+		cells, err = sched.SensitivityJobs(panel, req.Values, req.Distances, req.Trials, req.Seed, opts)
+		if err != nil {
+			return "", nil, err
+		}
+
+	default:
+		return "", nil, fmt.Errorf("unknown sweep type %q (want %q or %q)", req.Type, "threshold", "sensitivity")
+	}
+
+	if len(cells) == 0 {
+		return "", nil, fmt.Errorf("request expands to an empty grid")
+	}
+	if len(cells) > maxCells {
+		return "", nil, fmt.Errorf("request expands to %d cells; the per-job limit is %d", len(cells), maxCells)
+	}
+	return typ, cells, nil
+}
+
+// cellRecord converts one scheduler result to its wire form.
+func cellRecord(r sched.CellResult) CellRecord {
+	rec := CellRecord{
+		Index:       r.Index,
+		LogicalRate: r.Result.Rate(),
+		StdErr:      r.Result.StdErr(),
+		Trials:      r.Result.Trials,
+		Failures:    r.Result.Failures,
+	}
+	if r.Err != nil {
+		rec.Error = r.Err.Error()
+	}
+	switch tag := r.Job.Tag.(type) {
+	case sched.ThresholdCell:
+		rec.Scheme = tag.Scheme.String()
+		rec.Distance = tag.Distance
+		rec.PhysRate = tag.Phys
+	case sched.SensitivityCell:
+		rec.Panel = string(tag.Panel)
+		rec.Value = tag.Value
+		rec.Distance = tag.Distance
+	}
+	return rec
+}

@@ -1,0 +1,398 @@
+// Package serve is the sweep-serving front end: an HTTP/JSON interface
+// that turns the library's scheduler into a long-running service for the
+// paper's threshold (Fig. 11) and sensitivity (Fig. 12) experiments.
+//
+// One process-wide montecarlo.Engine backs every request, so the
+// structure/noise split pays off across clients: the first sweep of a
+// (scheme, distance, rounds) experiment builds its circuit, fault
+// Structure, and decoding-graph topology; every later sweep touching the
+// same experiment — from any client — reweights cached structures and
+// skips the builds entirely. GET /v1/stats exposes the cache counters
+// that make this observable.
+//
+// The API:
+//
+//	POST   /v1/sweeps              submit a sweep (SweepRequest JSON);
+//	                               streams CellRecord NDJSON lines (or SSE
+//	                               with ?stream=sse) as cells finish and
+//	                               ends with the JobStatus; with ?async=1
+//	                               returns 202 + JobStatus immediately
+//	GET    /v1/sweeps/{id}         JobStatus snapshot
+//	GET    /v1/sweeps/{id}/results replay finished cells and follow live
+//	DELETE /v1/sweeps/{id}         cancel (observed at the next cell boundary)
+//	GET    /v1/stats               engine cache + job registry counters
+//	GET    /healthz                liveness
+//
+// A synchronous POST ties the job to the request: if the client
+// disconnects mid-stream, the job's context is cancelled and the pool
+// stops at the next cell boundary. Async jobs detach from their request
+// and are cancelled only by DELETE or server shutdown; observers on
+// /results can come and go freely.
+//
+// Backpressure is explicit: at most Config.MaxConcurrentJobs sweeps run at
+// once, at most Config.QueueDepth wait behind them, and submissions beyond
+// that are rejected with 429 rather than queued unboundedly. Finished jobs
+// are retained (bounded by Config.RetainJobs) for status and replay, then
+// evicted oldest-first.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+
+	"repro/internal/montecarlo"
+	"repro/internal/sched"
+)
+
+// Config tunes a Server. The zero value serves with a fresh default
+// engine, 2 concurrent sweeps, a queue of 8, and 64 retained jobs.
+type Config struct {
+	// Engine is the process-wide Monte-Carlo engine shared by every
+	// request (a fresh montecarlo.NewEngine if nil). Sharing it is the
+	// point of the server: its structure cache is what lets repeated
+	// sweeps skip circuit and decoding-graph builds.
+	Engine *montecarlo.Engine
+	// MaxConcurrentJobs bounds sweeps running at once (default 2). Each
+	// job gets its own scheduler pool, so this times DefaultPoolWidth is
+	// the worst-case decode parallelism.
+	MaxConcurrentJobs int
+	// QueueDepth bounds jobs waiting for a run slot; once
+	// running+queued reaches MaxConcurrentJobs+QueueDepth, POST
+	// /v1/sweeps returns 429. Zero means the default of 8; a negative
+	// value disables queueing entirely (submissions are rejected
+	// whenever every run slot is busy).
+	QueueDepth int
+	// DefaultPoolWidth is the scheduler pool width for requests that do
+	// not set Jobs (0 = GOMAXPROCS).
+	DefaultPoolWidth int
+	// RetainJobs bounds finished jobs kept for status/replay (default 64);
+	// older finished jobs are evicted as new ones finish.
+	RetainJobs int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Engine == nil {
+		c.Engine = montecarlo.NewEngine()
+	}
+	if c.MaxConcurrentJobs <= 0 {
+		c.MaxConcurrentJobs = 2
+	}
+	if c.QueueDepth < 0 {
+		c.QueueDepth = 0
+	} else if c.QueueDepth == 0 {
+		c.QueueDepth = 8
+	}
+	if c.RetainJobs <= 0 {
+		c.RetainJobs = 64
+	}
+	return c
+}
+
+// Server is the HTTP front end. It implements http.Handler; mount it on
+// any mux or serve it directly. Create with NewServer and Close it when
+// done to cancel outstanding jobs.
+type Server struct {
+	cfg     Config
+	en      *montecarlo.Engine
+	mux     *http.ServeMux
+	baseCtx context.Context
+	stop    context.CancelFunc
+	slots   chan struct{}
+
+	mu        sync.Mutex
+	jobs      map[string]*job
+	order     []*job // submission order, for oldest-first eviction
+	submitted int64
+	nextID    int
+
+	// beforeRun, when non-nil, gates each job between acquiring its run
+	// slot and executing cells — a test hook for holding jobs in the
+	// running state deterministically. It must return promptly once the
+	// context is done.
+	beforeRun func(context.Context) error
+}
+
+// NewServer builds a Server from cfg (zero value is usable).
+func NewServer(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:     cfg,
+		en:      cfg.Engine,
+		mux:     http.NewServeMux(),
+		baseCtx: ctx,
+		stop:    cancel,
+		slots:   make(chan struct{}, cfg.MaxConcurrentJobs),
+		jobs:    make(map[string]*job),
+	}
+	s.mux.HandleFunc("POST /v1/sweeps", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/sweeps/{id}", s.handleStatus)
+	s.mux.HandleFunc("DELETE /v1/sweeps/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /v1/sweeps/{id}/results", s.handleResults)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Engine returns the server's shared Monte-Carlo engine.
+func (s *Server) Engine() *montecarlo.Engine { return s.en }
+
+// Close cancels every outstanding job and makes further submissions fail
+// with 503. In-flight streams end after their current cell.
+func (s *Server) Close() { s.stop() }
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// counts tallies the registry by state. Callers hold s.mu.
+func (s *Server) countsLocked() JobCounts {
+	c := JobCounts{Retained: len(s.jobs), Submitted: s.submitted}
+	for _, j := range s.jobs {
+		switch j.stateNow() {
+		case StateQueued:
+			c.Queued++
+		case StateRunning:
+			c.Running++
+		}
+	}
+	return c
+}
+
+func (s *Server) lookup(id string) *job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jobs[id]
+}
+
+// evictFinished drops the oldest finished jobs beyond the retention cap.
+// Queued and running jobs are never evicted.
+func (s *Server) evictFinished() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	finished := 0
+	for _, j := range s.order {
+		if terminal(j.stateNow()) {
+			finished++
+		}
+	}
+	for i := 0; finished > s.cfg.RetainJobs && i < len(s.order); {
+		j := s.order[i]
+		if !terminal(j.stateNow()) {
+			i++
+			continue
+		}
+		delete(s.jobs, j.id)
+		s.order = append(s.order[:i], s.order[i+1:]...)
+		finished--
+	}
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.baseCtx.Err() != nil {
+		writeError(w, http.StatusServiceUnavailable, "server shutting down")
+		return
+	}
+	var req SweepRequest
+	body := http.MaxBytesReader(w, r.Body, 1<<20)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil && !errors.Is(err, io.EOF) {
+		writeError(w, http.StatusBadRequest, "invalid request body: %v", err)
+		return
+	}
+	typ, cells, err := buildCells(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	width := req.Jobs
+	if width == 0 {
+		width = s.cfg.DefaultPoolWidth
+	}
+
+	// Admission control: reject rather than queue unboundedly. The sum is
+	// what bounds the system — comparing running and queued separately
+	// would admit a whole burst that lands before any job's execute
+	// goroutine has moved it to running.
+	s.mu.Lock()
+	c := s.countsLocked()
+	if c.Running+c.Queued >= s.cfg.MaxConcurrentJobs+s.cfg.QueueDepth {
+		s.mu.Unlock()
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests,
+			"job queue full (%d running, %d queued)", c.Running, c.Queued)
+		return
+	}
+	s.nextID++
+	s.submitted++
+	jb := newJob(fmt.Sprintf("sw-%06d", s.nextID), typ, cells, width, s.baseCtx)
+	s.jobs[jb.id] = jb
+	s.order = append(s.order, jb)
+	s.mu.Unlock()
+
+	go s.execute(jb)
+
+	if q := r.URL.Query(); q.Get("async") == "1" || q.Get("async") == "true" {
+		w.Header().Set("X-Sweep-Job", jb.id)
+		writeJSON(w, http.StatusAccepted, jb.status())
+		return
+	}
+	// Synchronous submission: the stream owns the job — a client that
+	// disconnects mid-stream cancels it.
+	s.streamJob(w, r, jb, true)
+}
+
+// execute drives one job through its lifecycle on a background goroutine:
+// wait for a run slot, run the sweep through a scheduler sharing the
+// server engine, and record the terminal state.
+func (s *Server) execute(jb *job) {
+	select {
+	case s.slots <- struct{}{}:
+	case <-jb.ctx.Done():
+		jb.finish(StateCancelled, jb.ctx.Err())
+		s.evictFinished()
+		return
+	}
+	defer func() { <-s.slots }()
+	jb.setRunning()
+	if s.beforeRun != nil {
+		if err := s.beforeRun(jb.ctx); err != nil {
+			jb.finish(StateCancelled, err)
+			s.evictFinished()
+			return
+		}
+	}
+	scheduler := sched.New(s.en, sched.Options{
+		Jobs:     jb.poolWidth,
+		OnResult: func(r sched.CellResult) { jb.appendCell(cellRecord(r)) },
+	})
+	_, err := scheduler.RunContext(jb.ctx, jb.cells)
+	switch {
+	case jb.ctx.Err() != nil:
+		jb.finish(StateCancelled, jb.ctx.Err())
+	case err != nil:
+		jb.finish(StateFailed, err)
+	default:
+		jb.finish(StateDone, nil)
+	}
+	s.evictFinished()
+}
+
+// streamJob writes the job's cells to the client as they finish — NDJSON
+// by default, SSE with ?stream=sse — replaying anything already recorded,
+// and ends with the terminal JobStatus. When own is true the client's
+// disconnect cancels the job (synchronous POST); observers pass false.
+func (s *Server) streamJob(w http.ResponseWriter, r *http.Request, jb *job, own bool) {
+	sse := r.URL.Query().Get("stream") == "sse"
+	if sse {
+		w.Header().Set("Content-Type", "text/event-stream")
+	} else {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	}
+	w.Header().Set("Cache-Control", "no-store")
+	w.Header().Set("X-Sweep-Job", jb.id)
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	flush := func() {
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	flush() // deliver headers (and the job id) before the first cell lands
+
+	enc := json.NewEncoder(w)
+	writeEvent := func(event string, v any) {
+		if !sse {
+			enc.Encode(v)
+			return
+		}
+		b, err := json.Marshal(v)
+		if err != nil {
+			return
+		}
+		fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, b)
+	}
+
+	cursor := 0
+	for {
+		recs, state, updated := jb.next(cursor)
+		for _, rec := range recs {
+			writeEvent("cell", rec)
+		}
+		cursor += len(recs)
+		if len(recs) > 0 {
+			flush()
+		}
+		if terminal(state) {
+			writeEvent("done", jb.status())
+			flush()
+			return
+		}
+		select {
+		case <-updated:
+		case <-r.Context().Done():
+			if own {
+				jb.cancel()
+			}
+			return
+		}
+	}
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	jb := s.lookup(r.PathValue("id"))
+	if jb == nil {
+		writeError(w, http.StatusNotFound, "no such sweep job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, jb.status())
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	jb := s.lookup(r.PathValue("id"))
+	if jb == nil {
+		writeError(w, http.StatusNotFound, "no such sweep job %q", r.PathValue("id"))
+		return
+	}
+	jb.cancel()
+	// The pool observes cancellation at the next cell boundary, so the
+	// status returned here may still read "running"; poll GET until it
+	// settles on "cancelled" (or "done" if completion won the race).
+	writeJSON(w, http.StatusOK, jb.status())
+}
+
+func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
+	jb := s.lookup(r.PathValue("id"))
+	if jb == nil {
+		writeError(w, http.StatusNotFound, "no such sweep job %q", r.PathValue("id"))
+		return
+	}
+	s.streamJob(w, r, jb, false)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	counts := s.countsLocked()
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, StatsResponse{Engine: s.en.CacheStats(), Jobs: counts})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}

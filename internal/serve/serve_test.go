@@ -1,0 +1,498 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// rowBody is a small but real Fig. 11 row: the baseline scheme at d=3
+// across three physical rates. Fixed seed, so repeat submissions must
+// return bit-identical cells.
+const rowBody = `{"scheme":"baseline","distances":[3],"rates":[0.004,0.008,0.016],"trials":300,"seed":7}`
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := NewServer(cfg)
+	ts := httptest.NewServer(s)
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, ts
+}
+
+func postSweep(t *testing.T, ts *httptest.Server, path, body string) *http.Response {
+	t.Helper()
+	resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// readStream consumes one NDJSON response: the cell lines and the trailing
+// JobStatus line.
+func readStream(t *testing.T, resp *http.Response) ([]CellRecord, JobStatus) {
+	t.Helper()
+	defer resp.Body.Close()
+	var lines []string
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		if s := strings.TrimSpace(sc.Text()); s != "" {
+			lines = append(lines, s)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) == 0 {
+		t.Fatal("empty stream")
+	}
+	var status JobStatus
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &status); err != nil {
+		t.Fatalf("trailing status line %q: %v", lines[len(lines)-1], err)
+	}
+	var cells []CellRecord
+	for _, ln := range lines[:len(lines)-1] {
+		var rec CellRecord
+		if err := json.Unmarshal([]byte(ln), &rec); err != nil {
+			t.Fatalf("cell line %q: %v", ln, err)
+		}
+		cells = append(cells, rec)
+	}
+	return cells, status
+}
+
+func getStats(t *testing.T, ts *httptest.Server) StatsResponse {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func getStatus(t *testing.T, ts *httptest.Server, id string) (JobStatus, int) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/sweeps/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st JobStatus
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return st, resp.StatusCode
+}
+
+func waitForState(t *testing.T, ts *httptest.Server, id, want string) JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		st, code := getStatus(t, ts, id)
+		if code != http.StatusOK {
+			t.Fatalf("status %s: HTTP %d", id, code)
+		}
+		if st.State == want {
+			return st
+		}
+		if terminal(st.State) {
+			t.Fatalf("job %s settled on %q, want %q", id, st.State, want)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("job %s never reached state %q", id, want)
+	return JobStatus{}
+}
+
+// The acceptance path: a Fig. 11 row streams per-cell NDJSON records and
+// ends done; an identical second submission is served entirely from the
+// engine's structure cache — zero new builds, hits for every cell —
+// observable through /v1/stats, and returns bit-identical cells.
+func TestSubmitStreamCompleteAndRepeatHitsCache(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	first, status := readStream(t, postSweep(t, ts, "/v1/sweeps", rowBody))
+	if status.State != StateDone {
+		t.Fatalf("first sweep state %q, want %q (error %q)", status.State, StateDone, status.Error)
+	}
+	if len(first) != 3 || status.Cells != 3 || status.Completed != 3 {
+		t.Fatalf("first sweep: %d cells streamed, status %+v", len(first), status)
+	}
+	for _, rec := range first {
+		if rec.Scheme != "baseline" || rec.Distance != 3 || rec.Trials != 300 || rec.Error != "" {
+			t.Errorf("bad cell record %+v", rec)
+		}
+	}
+	if st, code := getStatus(t, ts, status.ID); code != http.StatusOK || st.State != StateDone {
+		t.Errorf("GET status: HTTP %d, %+v", code, st)
+	}
+
+	before := getStats(t, ts)
+	if before.Engine.Builds == 0 {
+		t.Fatalf("first sweep reported no structure builds: %+v", before.Engine)
+	}
+
+	second, status2 := readStream(t, postSweep(t, ts, "/v1/sweeps", rowBody))
+	if status2.State != StateDone {
+		t.Fatalf("second sweep state %q (error %q)", status2.State, status2.Error)
+	}
+	after := getStats(t, ts)
+	if after.Engine.Builds != before.Engine.Builds {
+		t.Errorf("second identical sweep rebuilt structures: %d -> %d builds",
+			before.Engine.Builds, after.Engine.Builds)
+	}
+	if got := after.Engine.Hits - before.Engine.Hits; got < int64(len(second)) {
+		t.Errorf("second sweep recorded %d cache hits, want >= %d", got, len(second))
+	}
+
+	for i := range first {
+		if first[i] != second[i] {
+			t.Errorf("cell %d differs between identical submissions:\n  %+v\n  %+v",
+				i, first[i], second[i])
+		}
+	}
+}
+
+// Concurrent submissions of the same experiment share one structure build:
+// the engine's once-guarded cache entry serves every pool.
+func TestConcurrentSubmitsShareCachedStructures(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxConcurrentJobs: 4})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, status := readStream(t, postSweep(t, ts, "/v1/sweeps", rowBody))
+			if status.State != StateDone {
+				t.Errorf("sweep state %q (error %q)", status.State, status.Error)
+			}
+		}()
+	}
+	wg.Wait()
+	st := getStats(t, ts)
+	if st.Engine.Builds != 1 {
+		t.Errorf("4 concurrent identical sweeps built %d structures, want 1", st.Engine.Builds)
+	}
+	if st.Engine.Hits < 11 { // 4 sweeps x 3 cells, minus the one miss
+		t.Errorf("cache hits = %d, want >= 11", st.Engine.Hits)
+	}
+}
+
+// A synchronous submitter owns its job: disconnecting mid-stream cancels
+// it. The beforeRun gate holds the job in "running" so the disconnect
+// deterministically precedes any cell work.
+func TestClientDisconnectCancelsJob(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	release := make(chan struct{})
+	defer close(release)
+	s.beforeRun = func(ctx context.Context) error {
+		select {
+		case <-release:
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+
+	resp := postSweep(t, ts, "/v1/sweeps", rowBody)
+	id := resp.Header.Get("X-Sweep-Job")
+	if id == "" {
+		t.Fatal("no X-Sweep-Job header on streaming response")
+	}
+	waitForState(t, ts, id, StateRunning)
+	resp.Body.Close() // disconnect mid-stream
+
+	st := waitForState(t, ts, id, StateCancelled)
+	if st.Completed != 0 {
+		t.Errorf("cancelled job completed %d cells, want 0", st.Completed)
+	}
+}
+
+// Async submission detaches from the request: 202 immediately, status
+// polls to done, and /results replays the full stream afterwards. DELETE
+// cancels a held job.
+func TestAsyncSubmitResultsReplayAndCancel(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+
+	resp := postSweep(t, ts, "/v1/sweeps?async=1", rowBody)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("async submit: HTTP %d", resp.StatusCode)
+	}
+	var st JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	waitForState(t, ts, st.ID, StateDone)
+
+	rresp, err := http.Get(ts.URL + "/v1/sweeps/" + st.ID + "/results")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells, final := readStream(t, rresp)
+	if len(cells) != 3 || final.State != StateDone {
+		t.Fatalf("replay: %d cells, state %q", len(cells), final.State)
+	}
+
+	// DELETE cancels a job held before any cell runs.
+	release := make(chan struct{})
+	defer close(release)
+	s.beforeRun = func(ctx context.Context) error {
+		select {
+		case <-release:
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	resp = postSweep(t, ts, "/v1/sweeps?async=1", rowBody)
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	waitForState(t, ts, st.ID, StateRunning)
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/sweeps/"+st.ID, nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	waitForState(t, ts, st.ID, StateCancelled)
+}
+
+// Admission control: with one run slot and a queue of one, the third
+// simultaneous job is rejected with 429 instead of queueing unboundedly.
+func TestBackpressureRejectsBeyondQueueDepth(t *testing.T) {
+	s, ts := newTestServer(t, Config{MaxConcurrentJobs: 1, QueueDepth: 1})
+	release := make(chan struct{})
+	s.beforeRun = func(ctx context.Context) error {
+		select {
+		case <-release:
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+
+	var ids []string
+	for i := 0; i < 2; i++ {
+		resp := postSweep(t, ts, "/v1/sweeps?async=1", rowBody)
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit %d: HTTP %d", i, resp.StatusCode)
+		}
+		var st JobStatus
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		ids = append(ids, st.ID)
+	}
+	waitForState(t, ts, ids[0], StateRunning) // slot taken, ids[1] queued
+
+	resp := postSweep(t, ts, "/v1/sweeps?async=1", rowBody)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("third submit: HTTP %d, want 429", resp.StatusCode)
+	}
+
+	close(release)
+	for _, id := range ids {
+		waitForState(t, ts, id, StateDone)
+	}
+}
+
+// Admission is bounded by running+queued, not by the two counts
+// separately: a burst landing before any job's goroutine reaches the
+// running state must still be capped at MaxConcurrentJobs + QueueDepth.
+func TestBackpressureBoundsSimultaneousBurst(t *testing.T) {
+	s, ts := newTestServer(t, Config{MaxConcurrentJobs: 1, QueueDepth: 1})
+	release := make(chan struct{})
+	defer close(release)
+	s.beforeRun = func(ctx context.Context) error {
+		select {
+		case <-release:
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+
+	accepted := 0
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < 20; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp := postSweep(t, ts, "/v1/sweeps?async=1", rowBody)
+			defer resp.Body.Close()
+			switch resp.StatusCode {
+			case http.StatusAccepted:
+				mu.Lock()
+				accepted++
+				mu.Unlock()
+			case http.StatusTooManyRequests:
+			default:
+				t.Errorf("burst submit: HTTP %d", resp.StatusCode)
+			}
+		}()
+	}
+	wg.Wait()
+	if accepted > 2 {
+		t.Errorf("burst admitted %d jobs, want <= 2 (1 running + 1 queued)", accepted)
+	}
+	if accepted == 0 {
+		t.Error("burst admitted no jobs")
+	}
+}
+
+// Every malformed submission is a 4xx with a JSON error body, and unknown
+// job ids are 404s.
+func TestMalformedRequests(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	cases := []struct {
+		name, body string
+	}{
+		{"bad json", `{"trials":`},
+		{"unknown field", `{"trails":100}`},
+		{"unknown type", `{"type":"tomography"}`},
+		{"unknown scheme", `{"scheme":"qldpc"}`},
+		{"unknown decoder", `{"decoder":"bp-osd"}`},
+		{"negative trials", `{"trials":-5}`},
+		{"negative target", `{"target_failures":-1}`},
+		{"even distance", `{"distances":[4]}`},
+		{"rate out of range", `{"rates":[1.5]}`},
+		{"sensitivity without panel", `{"type":"sensitivity"}`},
+		{"unknown panel", `{"type":"sensitivity","panel":"gate-fidelity"}`},
+		{"panel on threshold", `{"panel":"cavity-t1"}`},
+		{"values on threshold", `{"values":[0.001]}`},
+		{"rates on sensitivity", `{"type":"sensitivity","panel":"cavity-t1","rates":[0.008]}`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp := postSweep(t, ts, "/v1/sweeps", tc.body)
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("HTTP %d, want 400", resp.StatusCode)
+			}
+			var e errorResponse
+			if err := json.NewDecoder(resp.Body).Decode(&e); err != nil || e.Error == "" {
+				t.Fatalf("error body not JSON: %v (%q)", err, e.Error)
+			}
+		})
+	}
+
+	if _, code := getStatus(t, ts, "sw-999999"); code != http.StatusNotFound {
+		t.Errorf("unknown id status: HTTP %d, want 404", code)
+	}
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/sweeps/sw-999999", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown id delete: HTTP %d, want 404", resp.StatusCode)
+	}
+	gresp, err := http.Get(ts.URL + "/v1/sweeps")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gresp.Body.Close()
+	if gresp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/sweeps: HTTP %d, want 405", gresp.StatusCode)
+	}
+}
+
+// A sensitivity sweep goes through the same pipeline with panel/value
+// coordinates on its records, and SSE framing works end to end.
+func TestSensitivitySweepAndSSE(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	body := `{"type":"sensitivity","panel":"cavity-t1","distances":[3],"values":[0.0001,0.01],"trials":200}`
+
+	cells, status := readStream(t, postSweep(t, ts, "/v1/sweeps", body))
+	if status.State != StateDone || len(cells) != 2 {
+		t.Fatalf("sensitivity sweep: state %q, %d cells", status.State, len(cells))
+	}
+	for _, rec := range cells {
+		if rec.Panel != "cavity-t1" || rec.Distance != 3 || rec.Value == 0 {
+			t.Errorf("bad sensitivity record %+v", rec)
+		}
+	}
+
+	resp := postSweep(t, ts, "/v1/sweeps?stream=sse", body)
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("SSE content type %q", ct)
+	}
+	raw := new(bytes.Buffer)
+	if _, err := raw.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	text := raw.String()
+	if got := strings.Count(text, "event: cell"); got != 2 {
+		t.Errorf("SSE stream has %d cell events, want 2:\n%s", got, text)
+	}
+	if !strings.Contains(text, "event: done") {
+		t.Errorf("SSE stream missing done event:\n%s", text)
+	}
+}
+
+// The registry retains only the configured number of finished jobs.
+func TestFinishedJobEviction(t *testing.T) {
+	_, ts := newTestServer(t, Config{RetainJobs: 2})
+	var ids []string
+	for i := 0; i < 4; i++ {
+		// Distinct seeds keep the jobs distinct; structures still share.
+		body := fmt.Sprintf(`{"scheme":"baseline","distances":[3],"rates":[0.008],"trials":100,"seed":%d}`, i)
+		_, status := readStream(t, postSweep(t, ts, "/v1/sweeps", body))
+		if status.State != StateDone {
+			t.Fatalf("sweep %d state %q", i, status.State)
+		}
+		ids = append(ids, status.ID)
+	}
+	st := getStats(t, ts)
+	if st.Jobs.Retained > 2 {
+		t.Errorf("registry retains %d jobs, want <= 2", st.Jobs.Retained)
+	}
+	if st.Jobs.Submitted != 4 {
+		t.Errorf("submitted = %d, want 4", st.Jobs.Submitted)
+	}
+	if _, code := getStatus(t, ts, ids[0]); code != http.StatusNotFound {
+		t.Errorf("oldest job still queryable: HTTP %d, want 404", code)
+	}
+	if _, code := getStatus(t, ts, ids[3]); code != http.StatusOK {
+		t.Errorf("newest job evicted: HTTP %d, want 200", code)
+	}
+}
+
+// Liveness endpoint.
+func TestHealthz(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz: HTTP %d", resp.StatusCode)
+	}
+}

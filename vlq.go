@@ -19,10 +19,12 @@
 //     skip-sampling over rare mechanisms, union-find and exact
 //     minimum-weight-matching decoders with allocation-free batch entry
 //     points, a parallel Monte-Carlo engine with a bounded LRU structure
-//     cache, per-worker ChaCha8 streams, and optional early stopping, and
-//     a sweep scheduler draining whole threshold/sensitivity grids
+//     cache, per-worker ChaCha8 streams, and optional early stopping, a
+//     sweep scheduler draining whole threshold/sensitivity grids
 //     (Fig. 11 / Fig. 12) through one shared worker pool with streamed,
-//     deterministic per-cell results;
+//     deterministic per-cell results, and an HTTP/JSON serving front end
+//     (SweepServer, cmd/vlqserve) that runs sweeps as cancellable jobs
+//     streaming NDJSON/SSE cells, sharing one engine across clients;
 //   - the virtualized-logical-qubit machine: virtual/physical addressing,
 //     load/store paging, DRAM-like refresh scheduling, qubit movement, and
 //     transversal-CNOT vs lattice-surgery operation latencies (§III);
@@ -53,6 +55,7 @@ import (
 	"repro/internal/magic"
 	"repro/internal/montecarlo"
 	"repro/internal/sched"
+	"repro/internal/serve"
 	"repro/internal/surgery"
 	"repro/internal/tomo"
 )
@@ -264,6 +267,33 @@ func ThresholdSweepJobs(scheme Scheme, distances []int, physRates []float64, bas
 func SensitivitySweepJobs(panel SensitivityPanel, values []float64, distances []int, trials int, seed int64, opts SweepOptions) ([]SweepJob, error) {
 	return sched.SensitivityJobs(panel, values, distances, trials, seed, opts)
 }
+
+// The sweep-serving front end (HTTP/JSON over the scheduler).
+type (
+	// SweepServer is the HTTP front end: POST /v1/sweeps submits
+	// threshold/sensitivity jobs whose cells stream back as NDJSON or SSE,
+	// with job status/cancel, engine cache stats, and bounded concurrency.
+	// It implements http.Handler; see cmd/vlqserve for a ready-made binary.
+	SweepServer = serve.Server
+	// SweepServerConfig tunes the server: shared engine, concurrent-job
+	// and queue-depth bounds, default pool width, retained finished jobs.
+	SweepServerConfig = serve.Config
+	// SweepServerRequest is the POST /v1/sweeps body.
+	SweepServerRequest = serve.SweepRequest
+	// SweepServerCellRecord is one streamed cell (NDJSON line / SSE event).
+	SweepServerCellRecord = serve.CellRecord
+	// SweepServerJobStatus is one job's wire-form status.
+	SweepServerJobStatus = serve.JobStatus
+	// SweepServerStats is the GET /v1/stats payload.
+	SweepServerStats = serve.StatsResponse
+	// EngineCacheStats is a snapshot of a MonteCarloEngine's structure
+	// cache counters (builds, hits, evictions, entries).
+	EngineCacheStats = montecarlo.CacheStats
+)
+
+// NewSweepServer builds the HTTP sweep service (zero Config is usable: a
+// fresh default engine, 2 concurrent sweeps, queue of 8).
+func NewSweepServer(cfg SweepServerConfig) *SweepServer { return serve.NewServer(cfg) }
 
 // RunMonteCarloReference measures one logical error rate on the
 // pre-batching scalar engine (fresh model build per call, one RNG draw per
