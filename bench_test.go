@@ -153,7 +153,7 @@ func sensitivityBench(b *testing.B, panel montecarlo.Panel, expectation string) 
 	var pts []montecarlo.SensitivityPoint
 	for i := 0; i < b.N; i++ {
 		var err error
-		pts, err = montecarlo.SensitivitySweep(panel, values, ds, trials, 13)
+		pts, err = montecarlo.SensitivitySweep(panel, values, ds, trials, 13, montecarlo.UF)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -509,6 +509,137 @@ func BenchmarkSweepRow(b *testing.B) {
 				fmt.Printf("  (could not write BENCH_sweep.json: %v)\n", werr)
 			} else {
 				fmt.Println("  baseline written to BENCH_sweep.json")
+			}
+		}
+	})
+}
+
+// BenchmarkSweepRowDecoders is the per-decoder leg of the sweep-row
+// harness: warm-engine per-shot decode cost of the union-find and blossom
+// kinds at d in {7, 9, 11} on Compact-Interleaved cells across three
+// physical rates — 1e-3 (the paper's hardware operating point), 2e-3
+// (below threshold, the regime Fig. 11's scaling is read from), and 4e-3
+// (at threshold, maximum event density). Structures and graph topologies
+// are prebuilt and each cell runs single-threaded through RunOn with a
+// persistent WorkerState (the sweep scheduler's steady state), so the
+// comparison isolates sample+decode cost. Each cell is timed three times
+// taking the minimum; the measurements and per-distance speedups at the
+// below-threshold operating row (p=2e-3) are written to BENCH_decoder.json
+// as the regression baseline.
+//
+//	VLQ_DECODER_TRIALS  trials per timed cell (default 2000)
+func BenchmarkSweepRowDecoders(b *testing.B) {
+	trials := envInt("VLQ_DECODER_TRIALS", 2000)
+	ds := []int{7, 9, 11}
+	physRates := []float64{1e-3, 2e-3, 4e-3}
+	const opPhys = 2e-3 // speedup headline: below threshold, dense enough to matter
+	decs := []montecarlo.DecoderKind{montecarlo.UF, montecarlo.Blossom}
+	const seed = 23
+	scheme := extract.CompactInterleaved
+
+	en := montecarlo.NewEngine()
+	cfg := func(phys float64, d int, dec montecarlo.DecoderKind) montecarlo.Config {
+		return montecarlo.ThresholdCellConfig(scheme, d, phys, hardware.Default(), trials, seed, dec, montecarlo.SweepOptions{})
+	}
+	states := map[montecarlo.DecoderKind]*montecarlo.WorkerState{}
+	for _, dec := range decs {
+		states[dec] = &montecarlo.WorkerState{}
+	}
+	// Untimed warm-up: build every structure and topology, fault in the
+	// worker states' samplers and decoder arenas.
+	for _, phys := range physRates {
+		for _, d := range ds {
+			for _, dec := range decs {
+				c := cfg(phys, d, dec)
+				c.Trials = min(trials, 128)
+				if _, err := en.RunOn(c, states[dec]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	b.ResetTimer()
+
+	type leg struct {
+		PhysRate  float64 `json:"phys_rate"`
+		Distance  int     `json:"distance"`
+		Decoder   string  `json:"decoder"`
+		Trials    int     `json:"trials"`
+		NsPerShot float64 `json:"ns_per_shot"`
+		Rate      float64 `json:"logical_rate"`
+	}
+	var legs []leg
+	for i := 0; i < b.N; i++ {
+		legs = legs[:0]
+		for _, phys := range physRates {
+			for _, d := range ds {
+				for _, dec := range decs {
+					best := time.Duration(math.MaxInt64)
+					var res montecarlo.Result
+					for rep := 0; rep < 3; rep++ {
+						start := time.Now()
+						var err error
+						res, err = en.RunOn(cfg(phys, d, dec), states[dec])
+						if err != nil {
+							b.Fatal(err)
+						}
+						if t := time.Since(start); t < best {
+							best = t
+						}
+					}
+					legs = append(legs, leg{
+						PhysRate: phys, Distance: d, Decoder: string(dec), Trials: res.Trials,
+						NsPerShot: float64(best.Nanoseconds()) / float64(res.Trials),
+						Rate:      res.Rate(),
+					})
+				}
+			}
+		}
+	}
+	b.StopTimer()
+
+	printTableOnce(b, func() {
+		fmt.Printf("\nDecoder leg — %s, %d trials/cell, warm engine:\n", scheme, trials)
+		speedups := map[int]float64{}
+		for _, phys := range physRates {
+			fmt.Printf("  p=%g:\n", phys)
+			for _, d := range ds {
+				var uf, bl leg
+				for _, l := range legs {
+					if l.Distance != d || l.PhysRate != phys {
+						continue
+					}
+					if l.Decoder == string(montecarlo.UF) {
+						uf = l
+					} else {
+						bl = l
+					}
+				}
+				sp := uf.NsPerShot / bl.NsPerShot
+				if phys == opPhys {
+					speedups[d] = sp
+				}
+				fmt.Printf("    d=%-3d union-find %8.0f ns/shot (rate %.4f)   blossom %8.0f ns/shot (rate %.4f)   speedup %.2fx\n",
+					d, uf.NsPerShot, uf.Rate, bl.NsPerShot, bl.Rate, sp)
+			}
+		}
+		fmt.Printf("  target: blossom >= 1.5x union-find at d=11, p=%g (got %.2fx)\n", opPhys, speedups[11])
+
+		baseline := struct {
+			Scheme        string          `json:"scheme"`
+			OpPhysRate    float64         `json:"op_phys_rate"`
+			TrialsPerCell int             `json:"trials_per_cell"`
+			Legs          []leg           `json:"legs"`
+			Speedups      map[int]float64 `json:"blossom_vs_uf_speedup"`
+		}{
+			Scheme: scheme.String(), OpPhysRate: opPhys, TrialsPerCell: trials,
+			Legs: legs, Speedups: speedups,
+		}
+		if buf, err := json.MarshalIndent(baseline, "", "  "); err == nil {
+			if werr := os.WriteFile("BENCH_decoder.json", append(buf, '\n'), 0o644); werr != nil {
+				fmt.Printf("  (could not write BENCH_decoder.json: %v)\n", werr)
+			} else {
+				fmt.Println("  baseline written to BENCH_decoder.json")
 			}
 		}
 	})

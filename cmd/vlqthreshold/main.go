@@ -36,7 +36,7 @@ func main() {
 	trials := flag.Int("trials", 4000, "Monte-Carlo trials per point (a cap when -target-failures is set)")
 	target := flag.Int("target-failures", 0, "end each point once this many failures accumulate (0 = fixed trial count)")
 	seed := flag.Int64("seed", 1, "random seed")
-	dec := flag.String("decoder", "uf", "decoder: uf or mwpm")
+	dec := flag.String("decoder", "uf", "decoder: uf, blossom, mwpm, or exact")
 	jobs := flag.Int("jobs", 0, "scheduler pool width: sweep cells decoded concurrently (0 = GOMAXPROCS)")
 	csv := flag.Bool("csv", false, "stream CSV rows as cells finish instead of printing a table")
 	jsonOut := flag.Bool("json", false, "stream one JSON object per cell as it finishes")

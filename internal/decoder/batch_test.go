@@ -44,7 +44,7 @@ func fillBatch(t testing.TB, m *dem.Model, b *Batch, seed byte) {
 // DecodeBatch must agree shot for shot with Decode.
 func TestDecodeBatchMatchesScalarDecode(t *testing.T) {
 	m, g := batchFixture(t, 6e-3)
-	for _, dec := range []BatchDecoder{NewUnionFind(g), NewMWPMFallback(g)} {
+	for _, dec := range []BatchDecoder{NewUnionFind(g), NewMWPMFallback(g), NewBlossom(g), NewExactFallback(g)} {
 		var b Batch
 		out := make([]bool, dem.BatchShots)
 		for trial := byte(0); trial < 20; trial++ {
@@ -69,7 +69,7 @@ func TestDecodeBatchMatchesScalarDecode(t *testing.T) {
 // bar for the Monte-Carlo hot loop.
 func TestDecodeBatchZeroAllocs(t *testing.T) {
 	m, g := batchFixture(t, 6e-3)
-	for _, dec := range []BatchDecoder{NewUnionFind(g), NewMWPMFallback(g)} {
+	for _, dec := range []BatchDecoder{NewUnionFind(g), NewMWPMFallback(g), NewBlossom(g)} {
 		var b Batch
 		out := make([]bool, dem.BatchShots)
 		// Warm up buffers on a spread of batches.
@@ -95,8 +95,9 @@ func TestDecodeBatchZeroAllocs(t *testing.T) {
 // count union-find fallbacks when it does not.
 func TestMWPMFallbackCounts(t *testing.T) {
 	_, g := batchFixture(t, 6e-3)
-	f := NewMWPMFallback(g)
-	f.mw.MaxComponent = 0 // force every nonempty shot to fall back
+	mw := NewMWPM(g)
+	mw.MaxComponent = 0 // force every nonempty shot to fall back
+	f := NewFallback(mw, g)
 	pred, err := f.Decode([]int{0, 1})
 	if err != nil {
 		t.Fatal(err)

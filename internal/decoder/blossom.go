@@ -1,0 +1,802 @@
+package decoder
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dem"
+)
+
+// Blossom is the sparse-blossom-style exact minimum-weight matching decoder:
+// the production matcher that replaces the MWPM-with-fallback pair on the
+// hot path. It produces strictly-minimum-weight corrections (the same
+// matching weight as Exact) at a per-shot cost governed by the grown
+// regions, not the graph:
+//
+//  1. Boundary distances are hoisted: one multi-source Dijkstra from the
+//     virtual boundary per graph (paid at construction or Rebind, amortized
+//     over every shot) gives each node its cheapest boundary exit and that
+//     path's logical mask.
+//  2. Per shot, a region grows from each detection event along the hoisted
+//     adjacency out to a small adaptive pop radius. Grown regions leave
+//     epoch-stamped distance labels behind; when a later region pops a node
+//     another region labeled, the label sum is a pairing candidate. A
+//     candidate no longer than the two regions' summed radii is provably
+//     the exact geodesic distance (one region's pop radius covers its side
+//     of the geodesic, the other region's frontier relaxations label the
+//     crossing node), and a pair farther than the sum of its two boundary
+//     distances can be replaced in any matching by the two boundary exits
+//     at no extra cost — so the regions only ever need to grow to their own
+//     boundary distance, and usually stop far earlier.
+//  3. Exact pairs carry positive savings s(a,b) = bdist(a) + bdist(b) -
+//     d(a,b) and split the events into independent components (events
+//     interact only through the boundary otherwise). Components of one or
+//     two events have closed-form optima; larger ones are matched exactly
+//     by a primal-dual alternating-tree matcher with blossom formation and
+//     shattering, run directly on the component's events with the savings
+//     as edge weights — a maximum-weight (not necessarily perfect)
+//     matching, whose unmatched events take their boundary exits.
+//  4. The matcher's LP duals certify the radii: a pair whose exact distance
+//     is still unknown provably cannot improve the matching when the duals
+//     of its two events cover the pair's best-case savings, upper-bounded
+//     through the grown radii and hoisted landmark distances (d(a,b) >=
+//     max over landmarks of |D(l,a) - D(l,b)|). Events on pairs failing
+//     the certificate double their radii and the shot re-solves; radii are
+//     capped at each event's boundary distance, where every useful pair is
+//     exact and the certificate passes unconditionally — so the loop always
+//     lands on a strictly-minimum-weight matching, while below threshold
+//     regions stay a couple of edges wide.
+//
+// All weights are integers (float matching weights scaled once per graph),
+// so dual updates and slack comparisons are exact. All per-shot state is
+// epoch-stamped arena storage: a node's Dijkstra entry or label list is
+// implicitly absent unless its stamp matches the current search or shot, so
+// DecodeBatch performs zero per-shot heap allocations in steady state.
+type Blossom struct {
+	g *dem.Graph
+	n int // real nodes; the boundary is virtual
+
+	// Hoisted per-graph state (rebuilt by Rebind).
+	wInt   []int64   // integer edge weights
+	wF     []float64 // float edge weights (reporting only)
+	bdist  []int64   // per-node integer distance to the boundary (capped)
+	bdistF []float64 // float boundary distance; +Inf when no exit exists
+	bmask  []bool    // logical mask of the cheapest boundary path
+	bCap   int64     // "no boundary exit" stand-in: longer than any simple path
+	r0     int64     // initial pop radius for region growth
+	lmk    []int64   // landmark distance tables, numLandmarks x n flattened
+
+	// Epoch-stamped per-search Dijkstra arena.
+	epoch     uint64
+	distEpoch []uint64
+	dist      []int64
+	distF     []float64
+	mask      []bool
+	touched   []int32
+	heap      bHeap
+
+	// Per-shot cross-region labels: labHead[v] chains this shot's region
+	// labels on node v through the labels arena.
+	shotEpoch uint64
+	labEpoch  []uint64
+	labHead   []int32
+	labels    []bLabel
+
+	// Per-shot pair candidates, keyed i*k+j (i < j) into epoch-stamped
+	// k x k cells; candKeys lists the touched cells.
+	candEpoch []uint64
+	candD     []int64
+	candF     []float64
+	candM     []bool
+	candKeys  []int32
+
+	// Per-shot matching rounds: adaptive radii, the per-round exact edge
+	// list, event duals, and escalation flags.
+	rad   []int64
+	edgeI []int32
+	edgeJ []int32
+	edgeS []int64
+	evY   []int64
+	esc   []bool
+	dirty []bool    // events whose region grew since the last match round
+	evObs []bool    // per-event matching contribution: observable flip ...
+	evW   []float64 // ... and float weight (pairs credited to the lower event)
+
+	// Per-shot component bucketing over events.
+	evPar   []int32 // union-find over events
+	evCid   []int32 // event -> component id
+	members []int32 // events grouped by component
+	mOff    []int32
+	pairIdx []int32 // edge indices grouped by component
+	pOff    []int32
+	counts  []int32
+	local   []int32 // event index -> matcher-local index within its component
+
+	wm wmatch
+}
+
+// numLandmarks is the number of hoisted landmark distance tables; a few
+// well-spread landmarks give useful lower bounds on far pair distances.
+const numLandmarks = 8
+
+// bLabel is one region's distance label on a node: the best-known walk from
+// event reg, with the float weight and logical mask of that walk.
+type bLabel struct {
+	d    int64
+	dF   float64
+	reg  int32
+	next int32 // arena index of the next label on the same node, -1 ends
+	mask bool
+}
+
+// blossomScale converts float matching weights to integers; 2^26 keeps about
+// eight significant digits so integer-optimal matchings are float-optimal
+// within reporting tolerance.
+const blossomScale = 1 << 26
+
+// NewBlossom builds the sparse-blossom decoder over g.
+func NewBlossom(g *dem.Graph) *Blossom {
+	n := g.NumNodes
+	bl := &Blossom{g: g, n: n}
+	bl.wInt = make([]int64, len(g.Edges))
+	bl.wF = make([]float64, len(g.Edges))
+	bl.bdist = make([]int64, n)
+	bl.bdistF = make([]float64, n)
+	bl.bmask = make([]bool, n)
+	bl.distEpoch = make([]uint64, n)
+	bl.dist = make([]int64, n)
+	bl.distF = make([]float64, n)
+	bl.mask = make([]bool, n)
+	bl.labEpoch = make([]uint64, n)
+	bl.labHead = make([]int32, n)
+	bl.loadGraph(g)
+	return bl
+}
+
+// Rebind points the decoder at a new graph, reusing every buffer when the
+// shape matches (same node and edge counts — e.g. the same hoisted topology
+// at a different noise scale). It reports whether the rebind happened; on
+// false the decoder is unchanged and the caller should build a fresh one.
+func (bl *Blossom) Rebind(g *dem.Graph) bool {
+	if g.NumNodes != bl.n || len(g.Edges) != len(bl.wInt) {
+		return false
+	}
+	bl.g = g
+	bl.loadGraph(g)
+	return true
+}
+
+// loadGraph recomputes the integer weights and the boundary-distance table.
+func (bl *Blossom) loadGraph(g *dem.Graph) {
+	minW := math.Inf(1)
+	for i := range g.Edges {
+		if w := g.Edges[i].W; w > 0 && w < minW {
+			minW = w
+		}
+	}
+	if math.IsInf(minW, 1) {
+		minW = 1
+	}
+	// Cap each integer weight so the all-edge sum stays below 2^59: bCap,
+	// pair sums, and the doubled certificate arithmetic then all fit in
+	// int64 even for degenerate weight ratios (an edge saturating near
+	// p = 0.5 alongside a rare-mechanism edge), where the float-to-int
+	// conversion would otherwise overflow and silently reorder weights.
+	capC := (int64(1) << 59) / int64(max(len(g.Edges), 1))
+	sum := int64(0)
+	for i := range g.Edges {
+		w := g.Edges[i].W
+		bl.wF[i] = w
+		r := w / minW * blossomScale
+		c := capC
+		if r < float64(capC) {
+			c = int64(math.Round(r))
+		}
+		if c < 1 {
+			c = 1
+		}
+		bl.wInt[i] = c
+		sum += c
+	}
+	// Longer than any simple path, so a node with no boundary exit loses
+	// every comparison yet sums stay far from overflow.
+	bl.bCap = sum + 1
+
+	// Multi-source Dijkstra from the boundary: seed every node with its
+	// cheapest boundary edge, then relax inward over the bulk edges. Done
+	// once per graph, this is what bounds per-shot region growth.
+	for v := 0; v < bl.n; v++ {
+		bl.bdist[v] = bl.bCap
+		bl.bdistF[v] = math.Inf(1)
+		bl.bmask[v] = false
+	}
+	bl.heap = bl.heap[:0]
+	for i := range g.Edges {
+		if g.Edges[i].V != dem.BoundaryNode {
+			continue
+		}
+		u := g.Edges[i].U
+		if bl.wInt[i] < bl.bdist[u] {
+			bl.bdist[u] = bl.wInt[i]
+			bl.bdistF[u] = bl.wF[i]
+			bl.bmask[u] = g.Edges[i].Obs
+			bl.heap.push(bItem{bl.wInt[i], u})
+		}
+	}
+	for len(bl.heap) > 0 {
+		it := bl.heap.pop()
+		v := it.node
+		if it.d > bl.bdist[v] {
+			continue
+		}
+		for _, ei := range g.Adj[v] {
+			e := &g.Edges[ei]
+			if e.V == dem.BoundaryNode {
+				continue
+			}
+			w := e.U
+			if w == v {
+				w = e.V
+			}
+			nd := it.d + bl.wInt[ei]
+			if nd < bl.bdist[w] {
+				bl.bdist[w] = nd
+				bl.bdistF[w] = bl.bdistF[v] + bl.wF[ei]
+				bl.bmask[w] = bl.bmask[v] != e.Obs
+				bl.heap.push(bItem{nd, w})
+			}
+		}
+	}
+
+	// Initial pop radius: half a typical edge, so two grown regions span
+	// one edge. Below threshold an event's matching partner is usually
+	// adjacent; the escalation loop covers everything farther, and a small
+	// start keeps first-round components (and the matcher) tiny.
+	if len(g.Edges) > 0 {
+		bl.r0 = sum / int64(len(g.Edges)) * 3 / 4
+	}
+	if bl.r0 < 1 {
+		bl.r0 = 1
+	}
+
+	// Landmark distance tables for pair lower bounds, spread by
+	// farthest-point sampling seeded at the deepest-interior node.
+	nl := numLandmarks
+	if nl > bl.n {
+		nl = bl.n
+	}
+	bl.lmk = grown(bl.lmk, nl*bl.n)
+	minD := bl.dist // scratch outside any shot; epochs invalidate it anyway
+	for v := 0; v < bl.n; v++ {
+		minD[v] = math.MaxInt64
+	}
+	cur := 0
+	for v := 1; v < bl.n; v++ {
+		if bl.bdist[v] > bl.bdist[cur] {
+			cur = v
+		}
+	}
+	for l := 0; l < nl; l++ {
+		row := bl.lmk[l*bl.n : (l+1)*bl.n]
+		bl.landmarkDijkstra(cur, row)
+		for v := 0; v < bl.n; v++ {
+			if row[v] < minD[v] {
+				minD[v] = row[v]
+			}
+		}
+		for v := 0; v < bl.n; v++ {
+			if minD[v] > minD[cur] {
+				cur = v
+			}
+		}
+	}
+}
+
+// landmarkDijkstra fills row with bulk-edge distances from src (bCap where
+// unreachable) — the same metric region growth uses, so |row[a] - row[b]|
+// lower-bounds every pair distance.
+func (bl *Blossom) landmarkDijkstra(src int, row []int64) {
+	for v := range row {
+		row[v] = bl.bCap
+	}
+	row[src] = 0
+	bl.heap = bl.heap[:0]
+	bl.heap.push(bItem{0, int32(src)})
+	for len(bl.heap) > 0 {
+		it := bl.heap.pop()
+		if it.d > row[it.node] {
+			continue
+		}
+		for _, ei := range bl.g.Adj[it.node] {
+			e := &bl.g.Edges[ei]
+			if e.V == dem.BoundaryNode {
+				continue
+			}
+			w := e.U
+			if w == it.node {
+				w = e.V
+			}
+			nd := it.d + bl.wInt[ei]
+			if nd < row[w] {
+				row[w] = nd
+				bl.heap.push(bItem{nd, w})
+			}
+		}
+	}
+}
+
+// landmarkLB lower-bounds the bulk distance between nodes a and b.
+func (bl *Blossom) landmarkLB(a, b int) int64 {
+	best := int64(0)
+	for off := 0; off < len(bl.lmk); off += bl.n {
+		d := bl.lmk[off+a] - bl.lmk[off+b]
+		if d < 0 {
+			d = -d
+		}
+		if d > best {
+			best = d
+		}
+	}
+	return best
+}
+
+// Name implements Decoder.
+func (bl *Blossom) Name() string { return "blossom" }
+
+// Decode implements Decoder.
+func (bl *Blossom) Decode(events []int) (bool, error) {
+	obs, _, err := bl.DecodeWithWeight(events)
+	return obs, err
+}
+
+// DecodeBatch implements BatchDecoder. Zero per-shot heap allocations in
+// steady state.
+func (bl *Blossom) DecodeBatch(b *Batch, out []bool) error {
+	return decodeSerial(bl, b, out)
+}
+
+// labAdd records region reg's best-known walk to node v, keeping the
+// minimum per (node, region).
+func (bl *Blossom) labAdd(v int32, reg int32, d int64, dF float64, mask bool) {
+	if bl.labEpoch[v] != bl.shotEpoch {
+		bl.labEpoch[v] = bl.shotEpoch
+		bl.labHead[v] = -1
+	}
+	for li := bl.labHead[v]; li >= 0; li = bl.labels[li].next {
+		if bl.labels[li].reg == reg {
+			if d < bl.labels[li].d {
+				bl.labels[li].d = d
+				bl.labels[li].dF = dF
+				bl.labels[li].mask = mask
+			}
+			return
+		}
+	}
+	bl.labels = append(bl.labels, bLabel{d: d, dF: dF, reg: reg, next: bl.labHead[v], mask: mask})
+	bl.labHead[v] = int32(len(bl.labels) - 1)
+}
+
+// candAdd records a pairing candidate between events i and j at total
+// integer distance d, keeping the minimum per pair.
+func (bl *Blossom) candAdd(i, j int32, k int, d int64, dF float64, mask bool) {
+	if j < i {
+		i, j = j, i
+	}
+	key := int(i)*k + int(j)
+	if bl.candEpoch[key] != bl.shotEpoch {
+		bl.candEpoch[key] = bl.shotEpoch
+		bl.candD[key] = d
+		bl.candF[key] = dF
+		bl.candM[key] = mask
+		bl.candKeys = append(bl.candKeys, int32(key))
+		return
+	}
+	if d < bl.candD[key] {
+		bl.candD[key] = d
+		bl.candF[key] = dF
+		bl.candM[key] = mask
+	}
+}
+
+// grow runs the bounded Dijkstra from event i: nodes pop while their
+// distance is within the event's current radius, and relaxations from
+// popped nodes — including past the pop radius — are tracked so the region
+// leaves one label per touched node for later regions to meet. Popping a
+// node carrying other regions' labels records the pair candidates.
+func (bl *Blossom) grow(i int, events []int, k int) {
+	src := int32(events[i])
+	rad := bl.rad[i]
+	bl.epoch++
+	bl.distEpoch[src] = bl.epoch
+	bl.dist[src] = 0
+	bl.distF[src] = 0
+	bl.mask[src] = false
+	bl.touched = bl.touched[:0]
+	bl.touched = append(bl.touched, src)
+	bl.heap = bl.heap[:0]
+	bl.heap.push(bItem{0, src})
+	edges := bl.g.Edges
+	for len(bl.heap) > 0 {
+		it := bl.heap.pop()
+		v := it.node
+		if it.d > bl.dist[v] {
+			continue
+		}
+		// Meet the labels earlier regions left here.
+		if bl.labEpoch[v] == bl.shotEpoch {
+			for li := bl.labHead[v]; li >= 0; li = bl.labels[li].next {
+				lb := &bl.labels[li]
+				if lb.reg != int32(i) {
+					bl.candAdd(int32(i), lb.reg, k, it.d+lb.d, bl.distF[v]+lb.dF, bl.mask[v] != lb.mask)
+				}
+			}
+		}
+		for _, ei := range bl.g.Adj[v] {
+			e := &edges[ei]
+			if e.V == dem.BoundaryNode {
+				continue
+			}
+			w := e.U
+			if w == v {
+				w = e.V
+			}
+			nd := it.d + bl.wInt[ei]
+			if bl.distEpoch[w] != bl.epoch {
+				bl.distEpoch[w] = bl.epoch
+				bl.touched = append(bl.touched, w)
+			} else if nd >= bl.dist[w] {
+				continue
+			}
+			bl.dist[w] = nd
+			bl.distF[w] = bl.distF[v] + bl.wF[ei]
+			bl.mask[w] = bl.mask[v] != e.Obs
+			if nd <= rad {
+				bl.heap.push(bItem{nd, w})
+			}
+		}
+	}
+	// One label per touched node: popped nodes carry their exact distance,
+	// frontier nodes the best relaxation seen — both are walk lengths, and
+	// the crossing node of any discoverable pair's geodesic is exact.
+	for _, v := range bl.touched {
+		bl.labAdd(v, int32(i), bl.dist[v], bl.distF[v], bl.mask[v])
+	}
+}
+
+func (bl *Blossom) evFind(x int32) int32 {
+	for bl.evPar[x] != x {
+		bl.evPar[x] = bl.evPar[bl.evPar[x]]
+		x = bl.evPar[x]
+	}
+	return x
+}
+
+// DecodeWithWeight additionally returns the total weight of the minimum
+// matching (the float sum of the chosen pair paths and boundary exits;
+// equivalence tests compare it against Exact, where observable predictions
+// may legitimately differ on exact weight ties).
+func (bl *Blossom) DecodeWithWeight(events []int) (bool, float64, error) {
+	k := len(events)
+	if k == 0 {
+		return false, 0, nil
+	}
+	bl.shotEpoch++
+	bl.labels = bl.labels[:0]
+	bl.candKeys = bl.candKeys[:0]
+	bl.candEpoch = grown(bl.candEpoch, k*k)
+	bl.candD = grown(bl.candD, k*k)
+	bl.candF = grown(bl.candF, k*k)
+	bl.candM = grown(bl.candM, k*k)
+	// Seed each event's node with its own zero label so direct pops of a
+	// partner's node meet immediately.
+	for i, ev := range events {
+		if ev < 0 || ev >= bl.n {
+			return false, 0, fmt.Errorf("blossom: event %d out of range [0, %d)", ev, bl.n)
+		}
+		bl.labAdd(int32(ev), int32(i), 0, 0, false)
+	}
+	bl.rad = grown(bl.rad, k)
+	bl.esc = grown(bl.esc, k)
+	bl.evY = grown(bl.evY, k)
+	bl.dirty = grown(bl.dirty, k)
+	bl.evObs = grown(bl.evObs, k)
+	bl.evW = grown(bl.evW, k)
+	bl.local = grown(bl.local, k)
+	bl.evPar = grown(bl.evPar, k)
+	bl.evCid = grown(bl.evCid, k)
+	for i, ev := range events {
+		bl.rad[i] = min(bl.r0, bl.bdist[ev])
+		bl.dirty[i] = true
+	}
+	for i := range events {
+		bl.grow(i, events, k)
+	}
+
+	for {
+		if err := bl.matchRound(events, k); err != nil {
+			return false, 0, err
+		}
+		// Certify the radii through the matching duals: an undiscovered
+		// pair (i, j) could only enter an optimal matching if its best-case
+		// savings exceeded what the duals already account for. Pairs of two
+		// clean events re-certify for free: nothing they depend on moved.
+		failed := false
+		for i := 0; i < k; i++ {
+			bi := bl.bdist[events[i]]
+			for j := i + 1; j < k; j++ {
+				if !bl.dirty[i] && !bl.dirty[j] {
+					continue
+				}
+				radSum := bl.rad[i] + bl.rad[j]
+				key := int32(i*k + j)
+				if bl.candEpoch[key] == bl.shotEpoch && bl.candD[key] <= radSum {
+					continue // exact pair: dual-feasible by construction
+				}
+				ySum := bl.evY[i] + bl.evY[j]
+				bsum := bi + bl.bdist[events[j]]
+				if 2*(bsum-radSum) <= ySum {
+					continue
+				}
+				if lm := bl.landmarkLB(events[i], events[j]); 2*(bsum-lm) <= ySum {
+					continue
+				}
+				failed = true
+				bl.esc[i] = true
+				bl.esc[j] = true
+			}
+		}
+		if !failed {
+			obs := false
+			total := 0.0
+			for i := 0; i < k; i++ {
+				obs = obs != bl.evObs[i]
+				total += bl.evW[i]
+			}
+			return obs, total, nil
+		}
+		for i := range events {
+			bl.dirty[i] = false
+		}
+		for i, ev := range events {
+			if !bl.esc[i] {
+				continue
+			}
+			bl.esc[i] = false
+			if nr := min(2*bl.rad[i], bl.bdist[ev]); nr > bl.rad[i] {
+				bl.rad[i] = nr
+				bl.dirty[i] = true
+				bl.grow(i, events, k)
+			}
+		}
+	}
+}
+
+// matchRound matches the events once at the current radii: exact
+// positive-savings pairs split the events into components, each matched
+// independently, filling bl.evY with the doubled matching duals the radius
+// certificate reads.
+func (bl *Blossom) matchRound(events []int, k int) error {
+	// Collect exact useful pairs: candidates within the summed radii carry
+	// true geodesic distances; positive savings make them matchable.
+	bl.edgeI = bl.edgeI[:0]
+	bl.edgeJ = bl.edgeJ[:0]
+	bl.edgeS = bl.edgeS[:0]
+	for i := range bl.evPar[:k] {
+		bl.evPar[i] = int32(i)
+		bl.esc[i] = false
+	}
+	for _, key := range bl.candKeys {
+		i, j := int(key)/k, int(key)%k
+		if bl.candD[key] > bl.rad[i]+bl.rad[j] {
+			continue
+		}
+		s := bl.bdist[events[i]] + bl.bdist[events[j]] - bl.candD[key]
+		if s <= 0 {
+			continue
+		}
+		bl.edgeI = append(bl.edgeI, int32(i))
+		bl.edgeJ = append(bl.edgeJ, int32(j))
+		bl.edgeS = append(bl.edgeS, s)
+		ra, rb := bl.evFind(int32(i)), bl.evFind(int32(j))
+		if ra != rb {
+			bl.evPar[ra] = rb
+		}
+	}
+	// Assign dense component ids in event order, then bucket members and
+	// edges by component with counting sorts (no per-shot maps).
+	ncomp := int32(0)
+	for i := 0; i < k; i++ {
+		r := bl.evFind(int32(i))
+		if int(r) == i {
+			bl.evCid[i] = ncomp
+			ncomp++
+		}
+	}
+	for i := 0; i < k; i++ {
+		bl.evCid[i] = bl.evCid[bl.evFind(int32(i))]
+	}
+	bl.counts = grown(bl.counts, int(ncomp))
+	for i := range bl.counts[:ncomp] {
+		bl.counts[i] = 0
+	}
+	for i := 0; i < k; i++ {
+		bl.counts[bl.evCid[i]]++
+	}
+	bl.mOff = grown(bl.mOff, int(ncomp)+1)
+	bl.mOff[0] = 0
+	for c := int32(0); c < ncomp; c++ {
+		bl.mOff[c+1] = bl.mOff[c] + bl.counts[c]
+		bl.counts[c] = bl.mOff[c]
+	}
+	bl.members = grown(bl.members, k)
+	for i := 0; i < k; i++ {
+		c := bl.evCid[i]
+		bl.members[bl.counts[c]] = int32(i)
+		bl.counts[c]++
+	}
+	for i := range bl.counts[:ncomp] {
+		bl.counts[i] = 0
+	}
+	for _, ei := range bl.edgeI {
+		bl.counts[bl.evCid[ei]]++
+	}
+	bl.pOff = grown(bl.pOff, int(ncomp)+1)
+	bl.pOff[0] = 0
+	for c := int32(0); c < ncomp; c++ {
+		bl.pOff[c+1] = bl.pOff[c] + bl.counts[c]
+		bl.counts[c] = bl.pOff[c]
+	}
+	bl.pairIdx = grown(bl.pairIdx, len(bl.edgeI))
+	for e := range bl.edgeI {
+		c := bl.evCid[bl.edgeI[e]]
+		bl.pairIdx[bl.counts[c]] = int32(e)
+		bl.counts[c]++
+	}
+
+	// Re-match only components a grown region touched; a clean component's
+	// matching, duals, and per-event contributions all stand. Members of a
+	// re-solved component count as dirty afterwards — their duals may have
+	// moved, so the certificate must look at their pairs again.
+	for c := int32(0); c < ncomp; c++ {
+		members := bl.members[bl.mOff[c]:bl.mOff[c+1]]
+		solve := false
+		for _, ev := range members {
+			if bl.dirty[ev] {
+				solve = true
+				break
+			}
+		}
+		if !solve {
+			continue
+		}
+		for _, ev := range members {
+			bl.dirty[ev] = true
+		}
+		if err := bl.matchComponent(events, k, members,
+			bl.pairIdx[bl.pOff[c]:bl.pOff[c+1]]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// boundaryExit records event i's boundary exit as its contribution,
+// failing when none exists.
+func (bl *Blossom) boundaryExit(events []int, i int32) error {
+	ev := events[i]
+	if math.IsInf(bl.bdistF[ev], 1) {
+		return fmt.Errorf("blossom: no feasible matching (event %d has no boundary exit)", ev)
+	}
+	bl.evObs[i] = bl.bmask[ev]
+	bl.evW[i] = bl.bdistF[ev]
+	return nil
+}
+
+// matchComponent matches one component of events exactly, recording each
+// member's doubled dual in bl.evY and its share of the matching (pairs
+// credited to the lower event) in bl.evObs/bl.evW. Components of one or two
+// events have closed forms; larger ones go through the blossom matcher on
+// the component's events with the pairing savings as weights — its
+// maximum-weight matching leaves exactly the events whose boundary exits
+// beat any pairing unmatched.
+func (bl *Blossom) matchComponent(events []int, k int, members []int32, edges []int32) error {
+	m := len(members)
+	for _, ev := range members {
+		bl.evY[ev] = 0
+		bl.evObs[ev] = false
+		bl.evW[ev] = 0
+	}
+	if m == 1 {
+		return bl.boundaryExit(events, members[0])
+	}
+	if m == 2 {
+		// The component exists because pairing beats the boundary exits;
+		// splitting the savings evenly is a tight feasible dual.
+		e := edges[0]
+		i, j := bl.edgeI[e], bl.edgeJ[e]
+		bl.evY[i] = bl.edgeS[e]
+		bl.evY[j] = bl.edgeS[e]
+		key := int(i)*k + int(j)
+		bl.evObs[i] = bl.candM[key]
+		bl.evW[i] = bl.candF[key]
+		return nil
+	}
+
+	for li, ev := range members {
+		bl.local[ev] = int32(li)
+	}
+	bl.wm.reset(m)
+	for _, e := range edges {
+		bl.wm.setEdge(int(bl.local[bl.edgeI[e]])+1, int(bl.local[bl.edgeJ[e]])+1, bl.edgeS[e])
+	}
+	bl.wm.solve()
+
+	for li := 0; li < m; li++ {
+		bl.evY[members[li]] = bl.wm.lab[li+1]
+		mt := int(bl.wm.match[li+1])
+		if mt == 0 {
+			if err := bl.boundaryExit(events, members[li]); err != nil {
+				return err
+			}
+			continue
+		}
+		if mt-1 < li {
+			continue // counted from the lower side
+		}
+		gi, gj := int(members[li]), int(members[mt-1])
+		if gj < gi {
+			gi, gj = gj, gi
+		}
+		key := gi*k + gj
+		bl.evObs[members[li]] = bl.candM[key]
+		bl.evW[members[li]] = bl.candF[key]
+	}
+	return nil
+}
+
+// bItem / bHeap: the integer-weight binary heap behind both the hoisted
+// boundary table and per-shot region growth.
+type bItem struct {
+	d    int64
+	node int32
+}
+
+type bHeap []bItem
+
+func (h *bHeap) push(it bItem) {
+	*h = append(*h, it)
+	i := len(*h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if (*h)[p].d <= (*h)[i].d {
+			break
+		}
+		(*h)[p], (*h)[i] = (*h)[i], (*h)[p]
+		i = p
+	}
+}
+
+func (h *bHeap) pop() bItem {
+	old := *h
+	top := old[0]
+	last := len(old) - 1
+	old[0] = old[last]
+	*h = old[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		if l >= last {
+			break
+		}
+		m := l
+		if r < last && old[r].d < old[l].d {
+			m = r
+		}
+		if old[i].d <= old[m].d {
+			break
+		}
+		old[i], old[m] = old[m], old[i]
+		i = m
+	}
+	return top
+}

@@ -1,20 +1,35 @@
 // Package decoder implements syndrome decoders over the weighted decoding
-// graphs produced by internal/dem:
+// graphs produced by internal/dem. The selectable strategies share one
+// vocabulary, decoder.Kind ("uf" | "blossom" | "mwpm" | "exact"), threaded
+// through the Monte-Carlo engine, the sweep scheduler, the serving front
+// end, and the sweep CLIs; decoder.New builds the production BatchDecoder
+// for a kind:
 //
-//   - UnionFind: the weighted-growth union-find decoder
+//   - UnionFind (KindUF): the weighted-growth union-find decoder
 //     (Delfosse–Nickerson, arXiv:1709.06218) with peeling. Near-linear time
-//     and within a small constant of matching accuracy; the workhorse for
-//     Monte-Carlo threshold estimation.
+//     and within a small constant of matching accuracy; the conservative
+//     workhorse and the fallback target.
 //
-//   - Exact: exact minimum-weight perfect matching over the detection
-//     events (Dijkstra pairwise distances + bitmask dynamic programming).
-//     Exponential in the event count, so it is gated to small instances;
-//     used as ground truth in tests and for small-distance runs.
+//   - Blossom (KindBlossom): sparse-blossom-style exact minimum-weight
+//     matching — the production matcher. Regions grow from detection
+//     events to small adaptive radii over hoisted boundary/landmark
+//     distance tables, meeting regions prove exact pair distances, a
+//     primal-dual alternating-tree matcher (with blossom formation and
+//     shattering) matches each component on the pairs' savings, and the
+//     matcher's LP duals certify the radii or escalate them — so every
+//     shot ends in a strictly-minimum-weight correction, at less than
+//     union-find cost on warm engines (BENCH_decoder.json).
 //
-//   - Blossom (NewMWPM): exact minimum-weight perfect matching via the
-//     blossom algorithm, polynomial time; the paper's decoder class
-//     ("maximum likelihood perfect matching"). NewMWPMFallback wraps it
-//     with a transparent union-find fallback on oversized event clusters.
+//   - MWPM (KindMWPM): component-decomposed exact matching over full
+//     per-event Dijkstra distances. NewMWPMFallback wraps it with a
+//     transparent union-find fallback on oversized event clusters.
+//     Retained as an exact implementation independent of Blossom; slower.
+//
+//   - Exact (KindExact): exact minimum-weight perfect matching over the
+//     detection events (Dijkstra pairwise distances + bitmask dynamic
+//     programming). Exponential in the event count, so NewExactFallback
+//     gates it to small instances; ground truth for the conformance and
+//     fuzz suites.
 //
 // All decoders answer one question per shot: given the set of fired
 // detectors, did the error most likely flip the logical observable?
@@ -25,9 +40,10 @@
 //   - BatchDecoder + Batch: the allocation-free bulk path; Batch is a
 //     reusable flat container of many shots' events and DecodeBatch
 //     decodes them with zero per-shot allocations
-//   - UnionFind.Rebind: rebinds existing union-find state to a new graph
-//     of the same shape, so a sweep reuses all decoder arrays across
-//     noise scales instead of reallocating per cell
+//   - ParseKind / New: flag- and request-level selection of a strategy
+//   - UnionFind.Rebind / Blossom.Rebind: rebind existing decoder state to
+//     a new graph of the same shape, so a sweep reuses all decoder arrays
+//     across noise scales instead of reallocating per cell
 //
 // Decoders reuse internal buffers and are not safe for concurrent use;
 // create one per goroutine (the Monte-Carlo engine threads one per worker

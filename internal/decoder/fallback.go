@@ -2,30 +2,40 @@ package decoder
 
 import "repro/internal/dem"
 
-// MWPMFallback is the paper-faithful production decoder: exact
-// minimum-weight perfect matching, transparently falling back to union-find
-// on the rare oversized event cluster (or any other MWPM failure). It
-// implements both Decoder and BatchDecoder and counts fallbacks, replacing
-// the ad-hoc fallback loop the Monte-Carlo engine used to carry.
-type MWPMFallback struct {
-	mw *MWPM
-	uf *UnionFind
+// Fallback pairs a matching decoder with union-find: shots the primary
+// cannot handle (oversized event clusters past its DP ceiling, or any other
+// failure) decode through union-find instead, and are counted. It
+// implements both Decoder and BatchDecoder, replacing the ad-hoc fallback
+// loop the Monte-Carlo engine used to carry.
+type Fallback struct {
+	primary Decoder
+	uf      *UnionFind
+	name    string
 
-	// Fallbacks counts shots decoded by union-find instead of matching.
+	// Fallbacks counts shots decoded by union-find instead of the primary.
 	Fallbacks int64
 }
 
-// NewMWPMFallback builds the combined decoder over g.
-func NewMWPMFallback(g *dem.Graph) *MWPMFallback {
-	return &MWPMFallback{mw: NewMWPM(g), uf: NewUnionFind(g)}
+// NewFallback wraps primary with a union-find fallback over g.
+func NewFallback(primary Decoder, g *dem.Graph) *Fallback {
+	return &Fallback{primary: primary, uf: NewUnionFind(g), name: primary.Name() + "+uf"}
 }
 
+// NewMWPMFallback builds the paper-faithful matching decoder: component-
+// decomposed exact MWPM falling back to union-find on oversized clusters.
+func NewMWPMFallback(g *dem.Graph) *Fallback { return NewFallback(NewMWPM(g), g) }
+
+// NewExactFallback builds the whole-problem DP with a union-find fallback
+// past its event ceiling — exact matching for engine runs that want the
+// independently-coded ground-truth matcher.
+func NewExactFallback(g *dem.Graph) *Fallback { return NewFallback(NewExact(g), g) }
+
 // Name implements Decoder.
-func (f *MWPMFallback) Name() string { return "mwpm+uf" }
+func (f *Fallback) Name() string { return f.name }
 
 // Decode implements Decoder.
-func (f *MWPMFallback) Decode(events []int) (bool, error) {
-	pred, err := f.mw.Decode(events)
+func (f *Fallback) Decode(events []int) (bool, error) {
+	pred, err := f.primary.Decode(events)
 	if err == nil {
 		return pred, nil
 	}
@@ -35,6 +45,6 @@ func (f *MWPMFallback) Decode(events []int) (bool, error) {
 
 // DecodeBatch implements BatchDecoder. Zero per-shot heap allocations in
 // steady state.
-func (f *MWPMFallback) DecodeBatch(b *Batch, out []bool) error {
+func (f *Fallback) DecodeBatch(b *Batch, out []bool) error {
 	return decodeSerial(f, b, out)
 }

@@ -1,0 +1,51 @@
+package decoder
+
+import (
+	"math"
+	"testing"
+)
+
+// fuzzGraph is the small fixed graph behind FuzzDecodeSyndrome: 12 nodes
+// with ring, chord, and boundary edges (cyclicGraph), so arbitrary syndrome
+// words exercise blossom formation and shattering, boundary exits, and
+// multi-component splits. Built once; the decoders under test reuse their
+// arenas across fuzz executions exactly like the engine's hot loop does.
+var fuzzGraph = cyclicGraph(12, 5)
+
+// FuzzDecodeSyndrome feeds arbitrary 12-bit syndrome words through Blossom
+// and Exact on the fixed graph: both must agree on feasibility and on the
+// minimum matching weight, and Blossom must be deterministic across a
+// repeated decode (the arena-reuse contract). The seeded corpus lives under
+// testdata/fuzz/FuzzDecodeSyndrome; CI runs a short -fuzztime smoke leg.
+func FuzzDecodeSyndrome(f *testing.F) {
+	for _, seed := range []uint64{0, 1, 0b101, 0b111000111, 0xfff, 0b010101010101, 0x8a1, 0x7fe} {
+		f.Add(seed)
+	}
+	ex := NewExact(fuzzGraph)
+	blos := NewBlossom(fuzzGraph)
+	f.Fuzz(func(t *testing.T, word uint64) {
+		var events []int
+		for i := 0; i < fuzzGraph.NumNodes; i++ {
+			if word&(1<<i) != 0 {
+				events = append(events, i)
+			}
+		}
+		wantObs, wantW, wantErr := ex.DecodeWithWeight(events)
+		gotObs, gotW, gotErr := blos.DecodeWithWeight(events)
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Fatalf("word %#x: exact err %v vs blossom err %v", word, wantErr, gotErr)
+		}
+		if wantErr != nil {
+			return
+		}
+		if math.Abs(wantW-gotW) > weightTol(wantW) {
+			t.Fatalf("word %#x (events %v): exact weight %g vs blossom %g", word, events, wantW, gotW)
+		}
+		obs2, w2, err2 := blos.DecodeWithWeight(events)
+		if err2 != nil || obs2 != gotObs || w2 != gotW {
+			t.Fatalf("word %#x: blossom not deterministic: (%v, %g, %v) then (%v, %g, %v)",
+				word, gotObs, gotW, gotErr, obs2, w2, err2)
+		}
+		_ = wantObs
+	})
+}

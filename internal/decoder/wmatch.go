@@ -1,0 +1,478 @@
+package decoder
+
+import (
+	"math"
+	"slices"
+)
+
+// wmatch is the primal-dual weighted-matching core of the Blossom decoder:
+// the classic O(n^3) alternating-tree algorithm for maximum-weight matching
+// in general graphs (Galil's exposition of Edmonds' blossom algorithm).
+// Each phase grows alternating trees from the free vertices, contracting
+// odd cycles into blossom pseudo-vertices as they form and shattering
+// (expanding) blossoms whose dual reaches zero, with dual adjustments
+// between growth steps; a phase ends when an augmenting path connects two
+// trees. All weights and duals are integers, so slack comparisons are
+// exact and the matching found is exactly optimal.
+//
+// Vertices are 1-indexed; ids above n are blossoms. Matrix state is stored
+// flat with a stride fixed by reset. The matching need not be perfect:
+// vertices whose dual reaches zero stay unmatched (Blossom leaves them to
+// their boundary exits). After solve, match[u] is u's partner (0 =
+// unmatched) and lab[u] is twice u's dual — a valid optimality certificate:
+// lab[a] + lab[b] >= 2*w(a,b) over every recorded edge, with equality on
+// matched pairs, and lab[u] = 0 on unmatched vertices.
+//
+// The matcher is reused across decodes: reset re-initializes in place and
+// buffers grow to the largest component seen, so steady state allocates
+// nothing.
+type wmatch struct {
+	n, nx  int32 // real vertices; current id high-water incl. blossoms
+	stride int32
+
+	// w[u][v] is the (copied-down) best edge between groups u and v:
+	// weight 0 means no edge; eu/ev are its real endpoints.
+	w      []int64
+	eu, ev []int32
+
+	lab        []int64 // duals (vertex duals implicitly doubled; blossom duals stored doubled)
+	match      []int32
+	slack      []int32 // best real vertex with minimum slack to reach group x
+	st         []int32 // group (blossom root) of each id
+	pa         []int32 // parent real-vertex in the alternating tree
+	s          []int8  // group label: 0 = outer (S), 1 = inner (T), -1 = free
+	vis        []int32
+	visT       int32
+	flowerFrom []int32 // (group, real vertex) -> direct child containing it
+	ffStride   int32
+	flower     [][]int32 // blossom cycle, base first
+	q          []int32
+	qh         int
+}
+
+const wmInf = int64(math.MaxInt64) / 4
+
+func (wm *wmatch) idx(u, v int32) int   { return int(u)*int(wm.stride) + int(v) }
+func (wm *wmatch) ffIdx(u, x int32) int { return int(u)*int(wm.ffStride) + int(x) }
+
+// reset prepares the matcher for n real vertices with no edges.
+func (wm *wmatch) reset(n int) {
+	tot := int32(2*n + 1) // blossom ids never exceed n + n/2
+	wm.n = int32(n)
+	wm.nx = int32(n)
+	wm.stride = tot + 1
+	wm.ffStride = int32(n) + 1
+	size := int(tot+1) * int(tot+1)
+	wm.w = grown(wm.w, size)
+	wm.eu = grown(wm.eu, size)
+	wm.ev = grown(wm.ev, size)
+	for u := int32(0); u <= tot; u++ {
+		base := int(u) * int(wm.stride)
+		for v := int32(0); v <= tot; v++ {
+			wm.w[base+int(v)] = 0
+			wm.eu[base+int(v)] = u
+			wm.ev[base+int(v)] = v
+		}
+	}
+	wm.lab = grown(wm.lab, int(tot)+1)
+	wm.match = grown(wm.match, int(tot)+1)
+	wm.slack = grown(wm.slack, int(tot)+1)
+	wm.st = grown(wm.st, int(tot)+1)
+	wm.pa = grown(wm.pa, int(tot)+1)
+	wm.s = grown(wm.s, int(tot)+1)
+	wm.vis = grown(wm.vis, int(tot)+1)
+	ffSize := (int(tot) + 1) * int(wm.ffStride)
+	wm.flowerFrom = grown(wm.flowerFrom, ffSize)
+	for i := range wm.flowerFrom[:ffSize] {
+		wm.flowerFrom[i] = 0
+	}
+	if cap(wm.flower) < int(tot)+1 {
+		wm.flower = append(wm.flower, make([][]int32, int(tot)+1-len(wm.flower))...)
+	}
+	wm.flower = wm.flower[:int(tot)+1]
+	for i := int32(0); i <= tot; i++ {
+		wm.lab[i] = 0
+		wm.match[i] = 0
+		wm.slack[i] = 0
+		wm.pa[i] = 0
+		wm.s[i] = -1
+		wm.vis[i] = 0
+		if i <= wm.n {
+			wm.st[i] = i
+		} else {
+			wm.st[i] = 0
+		}
+		wm.flower[i] = wm.flower[i][:0]
+	}
+	for u := int32(1); u <= wm.n; u++ {
+		wm.flowerFrom[wm.ffIdx(u, u)] = u
+	}
+	wm.visT = 0
+}
+
+// setEdge records an undirected edge (1-indexed); w must be positive.
+func (wm *wmatch) setEdge(u, v int, weight int64) {
+	wm.w[wm.idx(int32(u), int32(v))] = weight
+	wm.w[wm.idx(int32(v), int32(u))] = weight
+}
+
+// eDelta is the slack of the best edge recorded between u and v: zero means
+// tight (usable by the alternating tree).
+func (wm *wmatch) eDelta(u, v int32) int64 {
+	i := wm.idx(u, v)
+	a, b := wm.eu[i], wm.ev[i]
+	return wm.lab[a] + wm.lab[b] - 2*wm.w[wm.idx(a, b)]
+}
+
+func (wm *wmatch) updateSlack(u, x int32) {
+	if wm.slack[x] == 0 || wm.eDelta(u, x) < wm.eDelta(wm.slack[x], x) {
+		wm.slack[x] = u
+	}
+}
+
+func (wm *wmatch) setSlack(x int32) {
+	wm.slack[x] = 0
+	for u := int32(1); u <= wm.n; u++ {
+		if wm.w[wm.idx(u, x)] > 0 && wm.st[u] != x && wm.s[wm.st[u]] == 0 {
+			wm.updateSlack(u, x)
+		}
+	}
+}
+
+// qPush enqueues the real vertices of group x for edge scanning.
+func (wm *wmatch) qPush(x int32) {
+	if x <= wm.n {
+		wm.q = append(wm.q, x)
+		return
+	}
+	for _, v := range wm.flower[x] {
+		wm.qPush(v)
+	}
+}
+
+func (wm *wmatch) setSt(x, b int32) {
+	wm.st[x] = b
+	if x > wm.n {
+		for _, v := range wm.flower[x] {
+			wm.setSt(v, b)
+		}
+	}
+}
+
+// getPr locates child xr on blossom b's cycle, re-orienting the cycle if xr
+// sits at an odd position so the even-length side is traversed.
+func (wm *wmatch) getPr(b, xr int32) int32 {
+	fl := wm.flower[b]
+	pr := int32(0)
+	for i, v := range fl {
+		if v == xr {
+			pr = int32(i)
+			break
+		}
+	}
+	if pr%2 == 1 {
+		slices.Reverse(fl[1:])
+		return int32(len(fl)) - pr
+	}
+	return pr
+}
+
+// setMatch matches group u to group v through the recorded (u, v) edge,
+// recursively rematching blossom interiors along their cycles.
+func (wm *wmatch) setMatch(u, v int32) {
+	i := wm.idx(u, v)
+	wm.match[u] = wm.ev[i]
+	if u <= wm.n {
+		return
+	}
+	xr := wm.flowerFrom[wm.ffIdx(u, wm.eu[i])]
+	pr := wm.getPr(u, xr)
+	fl := wm.flower[u]
+	for k := int32(0); k < pr; k++ {
+		wm.setMatch(fl[k], fl[k^1])
+	}
+	wm.setMatch(xr, v)
+	// Rotate the cycle in place so the newly exposed base leads.
+	slices.Reverse(fl[:pr])
+	slices.Reverse(fl[pr:])
+	slices.Reverse(fl)
+}
+
+// augment flips the alternating path from group u back to its tree root,
+// starting with the tight edge (u, v).
+func (wm *wmatch) augment(u, v int32) {
+	for {
+		xnv := wm.st[wm.match[u]]
+		wm.setMatch(u, v)
+		if xnv == 0 {
+			return
+		}
+		wm.setMatch(xnv, wm.st[wm.pa[xnv]])
+		u, v = wm.st[wm.pa[xnv]], xnv
+	}
+}
+
+func (wm *wmatch) getLca(u, v int32) int32 {
+	wm.visT++
+	for u != 0 || v != 0 {
+		if u != 0 {
+			if wm.vis[u] == wm.visT {
+				return u
+			}
+			wm.vis[u] = wm.visT
+			u = wm.st[wm.match[u]]
+			if u != 0 {
+				u = wm.st[wm.pa[u]]
+			}
+		}
+		u, v = v, u
+	}
+	return 0
+}
+
+// addBlossom contracts the odd cycle through groups u, lca, v into a new
+// pseudo-vertex, copying each member's best edges onto it.
+func (wm *wmatch) addBlossom(u, lca, v int32) {
+	b := wm.n + 1
+	for b <= wm.nx && wm.st[b] != 0 {
+		b++
+	}
+	if b > wm.nx {
+		wm.nx = b
+	}
+	wm.lab[b] = 0
+	wm.s[b] = 0
+	wm.match[b] = wm.match[lca]
+	fl := wm.flower[b][:0]
+	fl = append(fl, lca)
+	for x := u; x != lca; {
+		fl = append(fl, x)
+		y := wm.st[wm.match[x]]
+		fl = append(fl, y)
+		wm.qPush(y)
+		x = wm.st[wm.pa[y]]
+	}
+	slices.Reverse(fl[1:])
+	for x := v; x != lca; {
+		fl = append(fl, x)
+		y := wm.st[wm.match[x]]
+		fl = append(fl, y)
+		wm.qPush(y)
+		x = wm.st[wm.pa[y]]
+	}
+	wm.flower[b] = fl
+	wm.setSt(b, b)
+	for x := int32(1); x <= wm.nx; x++ {
+		wm.w[wm.idx(b, x)] = 0
+		wm.w[wm.idx(x, b)] = 0
+	}
+	for x := int32(1); x <= wm.n; x++ {
+		wm.flowerFrom[wm.ffIdx(b, x)] = 0
+	}
+	for _, xs := range wm.flower[b] {
+		for x := int32(1); x <= wm.nx; x++ {
+			if wm.w[wm.idx(b, x)] == 0 || wm.eDelta(xs, x) < wm.eDelta(b, x) {
+				wm.copyEdge(b, x, xs, x)
+				wm.copyEdge(x, b, x, xs)
+			}
+		}
+		for x := int32(1); x <= wm.n; x++ {
+			if wm.flowerFrom[wm.ffIdx(xs, x)] != 0 {
+				wm.flowerFrom[wm.ffIdx(b, x)] = xs
+			}
+		}
+	}
+	wm.setSlack(b)
+}
+
+func (wm *wmatch) copyEdge(du, dv, su, sv int32) {
+	d, s := wm.idx(du, dv), wm.idx(su, sv)
+	wm.w[d] = wm.w[s]
+	wm.eu[d] = wm.eu[s]
+	wm.ev[d] = wm.ev[s]
+}
+
+// expandBlossom shatters blossom b (its dual has reached zero while inner):
+// the even side of its cycle rejoins the tree, the rest becomes free.
+func (wm *wmatch) expandBlossom(b int32) {
+	for _, x := range wm.flower[b] {
+		wm.setSt(x, x)
+	}
+	xr := wm.flowerFrom[wm.ffIdx(b, wm.eu[wm.idx(b, wm.pa[b])])]
+	pr := wm.getPr(b, xr)
+	fl := wm.flower[b]
+	for i := int32(0); i < pr; i += 2 {
+		xs, xns := fl[i], fl[i+1]
+		wm.pa[xs] = wm.eu[wm.idx(xns, xs)]
+		wm.s[xs] = 1
+		wm.s[xns] = 0
+		wm.slack[xs] = 0
+		wm.setSlack(xns)
+		wm.qPush(xns)
+	}
+	wm.s[xr] = 1
+	wm.pa[xr] = wm.pa[b]
+	for i := pr + 1; i < int32(len(fl)); i++ {
+		wm.s[fl[i]] = -1
+		wm.setSlack(fl[i])
+	}
+	wm.st[b] = 0
+}
+
+// onFoundEdge processes a tight edge from the scan queue: grow the tree,
+// contract a blossom, or augment (ending the phase).
+func (wm *wmatch) onFoundEdge(u0, v0 int32) bool {
+	u, v := wm.st[u0], wm.st[v0]
+	if wm.s[v] == -1 {
+		wm.pa[v] = u0
+		wm.s[v] = 1
+		nu := wm.st[wm.match[v]]
+		wm.slack[v] = 0
+		wm.slack[nu] = 0
+		wm.s[nu] = 0
+		wm.qPush(nu)
+	} else if wm.s[v] == 0 {
+		lca := wm.getLca(u, v)
+		if lca == 0 {
+			wm.augment(u, v)
+			wm.augment(v, u)
+			return true
+		}
+		wm.addBlossom(u, lca, v)
+	}
+	return false
+}
+
+// matching runs one phase: grow alternating trees from every free group
+// until an augmenting path is found (true) or the duals prove none exists
+// (false).
+func (wm *wmatch) matching() bool {
+	for i := int32(0); i <= wm.nx; i++ {
+		wm.s[i] = -1
+		wm.slack[i] = 0
+	}
+	wm.q = wm.q[:0]
+	wm.qh = 0
+	for x := int32(1); x <= wm.nx; x++ {
+		if wm.st[x] == x && wm.match[x] == 0 {
+			wm.pa[x] = 0
+			wm.s[x] = 0
+			wm.qPush(x)
+		}
+	}
+	if len(wm.q) == 0 {
+		return false
+	}
+	for {
+		for wm.qh < len(wm.q) {
+			u := wm.q[wm.qh]
+			wm.qh++
+			if wm.s[wm.st[u]] == 1 {
+				continue
+			}
+			for v := int32(1); v <= wm.n; v++ {
+				if wm.w[wm.idx(u, v)] > 0 && wm.st[u] != wm.st[v] {
+					if wm.eDelta(u, v) == 0 {
+						if wm.onFoundEdge(u, v) {
+							return true
+						}
+					} else {
+						wm.updateSlack(u, wm.st[v])
+					}
+				}
+			}
+		}
+		// Dual adjustment: the largest step keeping every constraint tight.
+		d := wmInf
+		for b := wm.n + 1; b <= wm.nx; b++ {
+			if wm.st[b] == b && wm.s[b] == 1 {
+				if half := wm.lab[b] / 2; half < d {
+					d = half
+				}
+			}
+		}
+		for x := int32(1); x <= wm.nx; x++ {
+			if wm.st[x] == x && wm.slack[x] != 0 {
+				delta := wm.eDelta(wm.slack[x], x)
+				if wm.s[x] == 0 {
+					delta /= 2
+				}
+				if wm.s[x] == -1 || wm.s[x] == 0 {
+					if delta < d {
+						d = delta
+					}
+				}
+			}
+		}
+		// Vertex duals must stay nonnegative: cap the step at the smallest
+		// outer dual, and stop once one reaches zero. The final adjustment
+		// is applied consistently (not aborted mid-loop) so the duals are a
+		// valid optimality certificate after solve: free vertices decrease
+		// in every adjustment of every phase, so they carry the minimum
+		// dual and end exactly at zero.
+		done := false
+		for u := int32(1); u <= wm.n; u++ {
+			if wm.s[wm.st[u]] == 0 && wm.lab[u] < d {
+				d = wm.lab[u]
+			}
+		}
+		for u := int32(1); u <= wm.n; u++ {
+			switch wm.s[wm.st[u]] {
+			case 0:
+				wm.lab[u] -= d
+				if wm.lab[u] == 0 {
+					done = true
+				}
+			case 1:
+				wm.lab[u] += d
+			}
+		}
+		for b := wm.n + 1; b <= wm.nx; b++ {
+			if wm.st[b] == b {
+				switch wm.s[b] {
+				case 0:
+					wm.lab[b] += 2 * d
+				case 1:
+					wm.lab[b] -= 2 * d
+				}
+			}
+		}
+		if done {
+			return false // a free vertex's dual hit zero: no augmenting path
+		}
+		wm.q = wm.q[:0]
+		wm.qh = 0
+		for x := int32(1); x <= wm.nx; x++ {
+			if wm.st[x] == x && wm.slack[x] != 0 && wm.st[wm.slack[x]] != x && wm.eDelta(wm.slack[x], x) == 0 {
+				i := wm.idx(wm.slack[x], x)
+				if wm.onFoundEdge(wm.eu[i], wm.ev[i]) {
+					return true
+				}
+			}
+		}
+		for b := wm.n + 1; b <= wm.nx; b++ {
+			if wm.st[b] == b && wm.s[b] == 1 && wm.lab[b] == 0 {
+				wm.expandBlossom(b)
+			}
+		}
+	}
+}
+
+// solve computes the maximum-weight matching over the recorded edges. The
+// caller reads partners from match[1..n] afterwards (0 = unmatched).
+func (wm *wmatch) solve() {
+	wMax := int64(0)
+	for u := int32(1); u <= wm.n; u++ {
+		base := int(u) * int(wm.stride)
+		for v := int32(1); v <= wm.n; v++ {
+			if w := wm.w[base+int(v)]; w > wMax {
+				wMax = w
+			}
+		}
+	}
+	for u := int32(1); u <= wm.n; u++ {
+		wm.lab[u] = wMax
+	}
+	for wm.matching() {
+	}
+}

@@ -31,14 +31,14 @@ func TestSweepReusesStructures(t *testing.T) {
 // one structure per distance; duration-moving panels rebuild per value.
 func TestSensitivityStructureReuse(t *testing.T) {
 	en := NewEngine()
-	if _, err := en.SensitivitySweep(PanelCavityT1, []float64{1e-4, 1e-3, 1e-2}, []int{3}, 100, 1, SweepOptions{}); err != nil {
+	if _, err := en.SensitivitySweep(PanelCavityT1, []float64{1e-4, 1e-3, 1e-2}, []int{3}, 100, 1, UF, SweepOptions{}); err != nil {
 		t.Fatal(err)
 	}
 	if got := en.StructureBuilds(); got != 1 {
 		t.Errorf("cavity-T1 panel built %d structures, want 1", got)
 	}
 	en2 := NewEngine()
-	if _, err := en2.SensitivitySweep(PanelLoadStoreDuration, []float64{1e-7, 1e-6}, []int{3}, 100, 1, SweepOptions{}); err != nil {
+	if _, err := en2.SensitivitySweep(PanelLoadStoreDuration, []float64{1e-7, 1e-6}, []int{3}, 100, 1, UF, SweepOptions{}); err != nil {
 		t.Fatal(err)
 	}
 	if got := en2.StructureBuilds(); got != 2 {
@@ -195,7 +195,7 @@ func TestUnderflowedIdleRunsDoNotWedgeEngine(t *testing.T) {
 // structure cache is keyed by basis and scheme, not by decoder).
 func TestEngineMixedConfigs(t *testing.T) {
 	en := NewEngine()
-	for _, dec := range []DecoderKind{UF, MWPM} {
+	for _, dec := range []DecoderKind{UF, Blossom, MWPM, Exact} {
 		for _, basis := range []extract.Basis{extract.BasisZ, extract.BasisX} {
 			res, err := en.Run(Config{
 				Scheme:   extract.Baseline,

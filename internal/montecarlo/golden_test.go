@@ -1,0 +1,104 @@
+package montecarlo
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/extract"
+	"repro/internal/hardware"
+)
+
+// goldenCell is one pinned-seed sweep cell of the committed regression
+// fixture testdata/golden_rates.json.
+type goldenCell struct {
+	Scheme   string  `json:"scheme"`
+	Distance int     `json:"distance"`
+	PhysRate float64 `json:"phys_rate"`
+	Decoder  string  `json:"decoder"`
+	Trials   int     `json:"trials"`
+	Failures int     `json:"failures"`
+}
+
+const goldenPath = "testdata/golden_rates.json"
+
+// goldenRow recomputes the fixture's Fig. 11 row: Compact-Interleaved,
+// d in {3, 5, 7} over the default 6-point rate grid, decoded with both the
+// union-find and blossom kinds, every cell via the single-threaded RunOn
+// path (bit-identical at any pool width or GOMAXPROCS).
+func goldenRow(t *testing.T) []goldenCell {
+	t.Helper()
+	const (
+		trials = 250
+		seed   = 17
+	)
+	en := NewEngine()
+	var out []goldenCell
+	for _, dec := range []DecoderKind{UF, Blossom} {
+		var st WorkerState
+		for _, d := range []int{3, 5, 7} {
+			for _, p := range DefaultPhysRates(6) {
+				cfg := ThresholdCellConfig(extract.CompactInterleaved, d, p, hardware.Default(), trials, seed, dec, SweepOptions{})
+				res, err := en.RunOn(cfg, &st)
+				if err != nil {
+					t.Fatalf("golden cell d=%d p=%g dec=%s: %v", d, p, dec, err)
+				}
+				out = append(out, goldenCell{
+					Scheme:   extract.CompactInterleaved.String(),
+					Distance: d, PhysRate: p, Decoder: string(dec),
+					Trials: res.Trials, Failures: res.Failures,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// TestGoldenRates recomputes the committed logical-error-rate fixture and
+// diffs it cell by cell, so a decoder or decoding-graph change that shifts
+// any pinned-seed result — however slightly — fails tier 1 instead of
+// silently moving the paper's Fig. 11 numbers. The fixture is pinned on
+// linux/amd64 (float sampling is deterministic per platform); regenerate
+// with VLQ_UPDATE_GOLDEN=1 go test ./internal/montecarlo -run TestGoldenRates
+// after an intentional change and review the diff.
+func TestGoldenRates(t *testing.T) {
+	got := goldenRow(t)
+	if os.Getenv("VLQ_UPDATE_GOLDEN") != "" {
+		buf, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(buf, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %d golden cells to %s", len(got), goldenPath)
+		return
+	}
+	buf, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden fixture (run with VLQ_UPDATE_GOLDEN=1 to create): %v", err)
+	}
+	var want []goldenCell
+	if err := json.Unmarshal(buf, &want); err != nil {
+		t.Fatalf("corrupt golden fixture: %v", err)
+	}
+	if len(want) != len(got) {
+		t.Fatalf("golden fixture has %d cells, recomputation produced %d", len(want), len(got))
+	}
+	for i := range want {
+		w, g := want[i], got[i]
+		if w.Scheme != g.Scheme || w.Distance != g.Distance || w.Decoder != g.Decoder ||
+			math.Abs(w.PhysRate-g.PhysRate) > 1e-12*(1+w.PhysRate) {
+			t.Fatalf("cell %d identity drifted: fixture %+v vs recomputed %+v", i, w, g)
+		}
+		if w.Trials != g.Trials || w.Failures != g.Failures {
+			t.Errorf("cell %d (%s d=%d p=%.4g %s): fixture %d/%d failures/trials, recomputed %d/%d",
+				i, w.Scheme, w.Distance, w.PhysRate, w.Decoder, w.Failures, w.Trials, g.Failures, g.Trials)
+		}
+	}
+}

@@ -18,14 +18,20 @@ import (
 	"repro/internal/hardware"
 )
 
-// DecoderKind selects the decoder used for trials.
-type DecoderKind string
+// DecoderKind selects the decoder used for trials — an alias of
+// decoder.Kind so the same vocabulary flows from CLI flags and serve
+// requests through job specs to the per-worker decode loop.
+type DecoderKind = decoder.Kind
 
-// Available decoders. UF is the workhorse; MWPM is exact matching with a
-// transparent fallback to union-find on oversized event clusters.
+// Available decoders. UF is the conservative workhorse; Blossom is the
+// sparse-blossom exact matcher (minimum-weight corrections at
+// union-find-like cost); MWPM and Exact are the older exact matchers, each
+// with a transparent fallback to union-find past their size ceilings.
 const (
-	UF   DecoderKind = "uf"
-	MWPM DecoderKind = "mwpm"
+	UF      = decoder.KindUF
+	Blossom = decoder.KindBlossom
+	MWPM    = decoder.KindMWPM
+	Exact   = decoder.KindExact
 )
 
 // Config describes one Monte-Carlo point.
@@ -64,7 +70,7 @@ type Result struct {
 	Config    Config
 	Trials    int // shots actually taken (< Config.Trials under early stop)
 	Failures  int
-	Fallbacks int // MWPM trials that fell back to union-find
+	Fallbacks int // mwpm/exact trials that fell back to union-find
 	// Mechanisms and DetectorCount describe the underlying model.
 	Mechanisms    int
 	DetectorCount int
@@ -235,12 +241,11 @@ func (cfg *Config) normalize() error {
 	if cfg.Trials <= 0 {
 		return fmt.Errorf("montecarlo: trials must be positive")
 	}
-	switch cfg.Decoder {
-	case "":
+	if cfg.Decoder == "" {
 		cfg.Decoder = UF
-	case UF, MWPM:
-	default:
-		return fmt.Errorf("montecarlo: unknown decoder %q (want %q or %q)", cfg.Decoder, UF, MWPM)
+	}
+	if _, err := decoder.ParseKind(string(cfg.Decoder)); err != nil {
+		return fmt.Errorf("montecarlo: %w", err)
 	}
 	return nil
 }
@@ -310,6 +315,7 @@ type WorkerState struct {
 	batch decoder.Batch
 	bs    *dem.BatchSampler
 	uf    *decoder.UnionFind
+	bl    *decoder.Blossom
 }
 
 // sampler returns a batch sampler over model, reusing the worker's buffers.
@@ -323,12 +329,23 @@ func (st *WorkerState) sampler(model *dem.Model) *dem.BatchSampler {
 }
 
 // decoderFor returns the shot decoder for one cell, reusing the worker's
-// union-find state when the graph shape allows. The fallback pointer is
-// non-nil only for MWPM, for reading the fallback count afterwards.
-func (st *WorkerState) decoderFor(kind DecoderKind, graph *dem.Graph) (decoder.BatchDecoder, *decoder.MWPMFallback) {
-	if kind == MWPM {
+// union-find or blossom state when the graph shape allows (the same hoisted
+// topology at a different noise scale rebinds in place). The fallback
+// pointer is non-nil only for the fallback-wrapped matching kinds, for
+// reading the fallback count afterwards.
+func (st *WorkerState) decoderFor(kind DecoderKind, graph *dem.Graph) (decoder.BatchDecoder, *decoder.Fallback) {
+	switch kind {
+	case MWPM:
 		fb := decoder.NewMWPMFallback(graph)
 		return fb, fb
+	case Exact:
+		fb := decoder.NewExactFallback(graph)
+		return fb, fb
+	case Blossom:
+		if st.bl == nil || !st.bl.Rebind(graph) {
+			st.bl = decoder.NewBlossom(graph)
+		}
+		return st.bl, nil
 	}
 	if st.uf == nil || !st.uf.Rebind(graph) {
 		st.uf = decoder.NewUnionFind(graph)
@@ -483,12 +500,11 @@ func RunReference(cfg Config) (Result, error) {
 	if cfg.Trials <= 0 {
 		return Result{}, fmt.Errorf("montecarlo: trials must be positive")
 	}
-	switch cfg.Decoder {
-	case "":
+	if cfg.Decoder == "" {
 		cfg.Decoder = UF
-	case UF, MWPM:
-	default:
-		return Result{}, fmt.Errorf("montecarlo: unknown decoder %q (want %q or %q)", cfg.Decoder, UF, MWPM)
+	}
+	if _, err := decoder.ParseKind(string(cfg.Decoder)); err != nil {
+		return Result{}, fmt.Errorf("montecarlo: %w", err)
 	}
 	exp, err := extract.Build(cfg.extractConfig())
 	if err != nil {
@@ -530,16 +546,21 @@ func RunReference(cfg Config) (Result, error) {
 			rng := rand.New(rand.NewPCG(uint64(cfg.Seed), uint64(w)*1_000_003))
 			sampler := model.NewSampler()
 			uf := decoder.NewUnionFind(graph)
-			var mw *decoder.MWPM
-			if cfg.Decoder == MWPM {
-				mw = decoder.NewMWPM(graph)
+			var primary decoder.Decoder
+			switch cfg.Decoder {
+			case MWPM:
+				primary = decoder.NewMWPM(graph)
+			case Exact:
+				primary = decoder.NewExact(graph)
+			case Blossom:
+				primary = decoder.NewBlossom(graph)
 			}
 			for n := 0; n < trials; n++ {
 				events, truth := sampler.Sample(rng)
 				var pred bool
 				var derr error
-				if mw != nil {
-					pred, derr = mw.Decode(events)
+				if primary != nil {
+					pred, derr = primary.Decode(events)
 					if derr != nil {
 						tallies[w].fallbacks++
 						pred, derr = uf.Decode(events)

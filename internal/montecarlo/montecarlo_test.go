@@ -146,7 +146,7 @@ func TestPanelApply(t *testing.T) {
 }
 
 func TestSensitivitySweepSmoke(t *testing.T) {
-	pts, err := SensitivitySweep(PanelSCSC, []float64{1e-4, 5e-3}, []int{3}, 400, 3)
+	pts, err := SensitivitySweep(PanelSCSC, []float64{1e-4, 5e-3}, []int{3}, 400, 3, UF)
 	if err != nil {
 		t.Fatal(err)
 	}

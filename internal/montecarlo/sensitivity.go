@@ -108,7 +108,7 @@ type SensitivityPoint struct {
 // SensitivitySweep and the scheduler's job builder, so the two paths
 // cannot drift apart: Compact-Interleaved at the §VI operating point with
 // the panel's parameter set to value, cavity serialization gaps included.
-func SensitivityCellConfig(panel Panel, value float64, d int, trials int, seed int64, opts SweepOptions) (Config, error) {
+func SensitivityCellConfig(panel Panel, value float64, d int, trials int, seed int64, dec DecoderKind, opts SweepOptions) (Config, error) {
 	params, err := panel.Apply(OperatingPoint(), value)
 	if err != nil {
 		return Config{}, err
@@ -120,6 +120,7 @@ func SensitivityCellConfig(panel Panel, value float64, d int, trials int, seed i
 		Params:         params,
 		Trials:         trials,
 		Seed:           seed + int64(d)*104729 + int64(value*1e9),
+		Decoder:        dec,
 		ChargeGapIdle:  true,
 		TargetFailures: opts.TargetFailures,
 	}, nil
@@ -132,11 +133,11 @@ func SensitivityCellConfig(panel Panel, value float64, d int, trials int, seed i
 // probabilities or coherence times reuse one cached structure per
 // distance; panels varying durations or cavity size rebuild per value
 // (their circuits genuinely differ).
-func (en *Engine) SensitivitySweep(panel Panel, values []float64, distances []int, trials int, seed int64, opts SweepOptions) ([]SensitivityPoint, error) {
+func (en *Engine) SensitivitySweep(panel Panel, values []float64, distances []int, trials int, seed int64, dec DecoderKind, opts SweepOptions) ([]SensitivityPoint, error) {
 	var out []SensitivityPoint
 	for _, d := range distances {
 		for _, v := range values {
-			cfg, err := SensitivityCellConfig(panel, v, d, trials, seed, opts)
+			cfg, err := SensitivityCellConfig(panel, v, d, trials, seed, dec, opts)
 			if err != nil {
 				return nil, err
 			}
@@ -151,8 +152,8 @@ func (en *Engine) SensitivitySweep(panel Panel, values []float64, distances []in
 }
 
 // SensitivitySweep runs one Fig. 12 panel on the shared default engine.
-func SensitivitySweep(panel Panel, values []float64, distances []int, trials int, seed int64) ([]SensitivityPoint, error) {
-	return defaultEngine.SensitivitySweep(panel, values, distances, trials, seed, SweepOptions{})
+func SensitivitySweep(panel Panel, values []float64, distances []int, trials int, seed int64, dec DecoderKind) ([]SensitivityPoint, error) {
+	return defaultEngine.SensitivitySweep(panel, values, distances, trials, seed, dec, SweepOptions{})
 }
 
 // GateBudgetPerRound is the gate-induced error charged to one data qubit per

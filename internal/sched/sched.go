@@ -239,11 +239,11 @@ type SensitivityCell struct {
 // SensitivityJobs builds one Fig. 12 panel as scheduler jobs, cell-for-cell
 // identical to montecarlo.SensitivitySweep (both build each cell through
 // montecarlo.SensitivityCellConfig).
-func SensitivityJobs(panel montecarlo.Panel, values []float64, distances []int, trials int, seed int64, opts montecarlo.SweepOptions) ([]Job, error) {
+func SensitivityJobs(panel montecarlo.Panel, values []float64, distances []int, trials int, seed int64, dec montecarlo.DecoderKind, opts montecarlo.SweepOptions) ([]Job, error) {
 	jobs := make([]Job, 0, len(distances)*len(values))
 	for _, d := range distances {
 		for _, v := range values {
-			cfg, err := montecarlo.SensitivityCellConfig(panel, v, d, trials, seed, opts)
+			cfg, err := montecarlo.SensitivityCellConfig(panel, v, d, trials, seed, dec, opts)
 			if err != nil {
 				return nil, err
 			}
@@ -258,8 +258,8 @@ func SensitivityJobs(panel montecarlo.Panel, values []float64, distances []int, 
 
 // SensitivitySweep runs one Fig. 12 panel through the scheduler, returning
 // points in grid order like montecarlo.SensitivitySweep.
-func (s *Scheduler) SensitivitySweep(panel montecarlo.Panel, values []float64, distances []int, trials int, seed int64, opts montecarlo.SweepOptions) ([]montecarlo.SensitivityPoint, error) {
-	jobs, err := SensitivityJobs(panel, values, distances, trials, seed, opts)
+func (s *Scheduler) SensitivitySweep(panel montecarlo.Panel, values []float64, distances []int, trials int, seed int64, dec montecarlo.DecoderKind, opts montecarlo.SweepOptions) ([]montecarlo.SensitivityPoint, error) {
+	jobs, err := SensitivityJobs(panel, values, distances, trials, seed, dec, opts)
 	if err != nil {
 		return nil, err
 	}

@@ -183,7 +183,7 @@ func TestThresholdSweepMatchesSequential(t *testing.T) {
 // through the scheduler.
 func TestSensitivitySweepGrid(t *testing.T) {
 	pts, err := New(nil, Options{Jobs: 2}).SensitivitySweep(
-		montecarlo.PanelCavityT1, []float64{1e-4, 1e-2}, []int{3}, 200, 1, montecarlo.SweepOptions{})
+		montecarlo.PanelCavityT1, []float64{1e-4, 1e-2}, []int{3}, 200, 1, montecarlo.UF, montecarlo.SweepOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -5,6 +5,7 @@ import (
 	"slices"
 	"time"
 
+	"repro/internal/decoder"
 	"repro/internal/extract"
 	"repro/internal/hardware"
 	"repro/internal/montecarlo"
@@ -48,7 +49,10 @@ type SweepRequest struct {
 	// Seed fixes the sweep's randomness; equal requests return
 	// bit-identical cells.
 	Seed int64 `json:"seed,omitempty"`
-	// Decoder is "uf" (default) or "mwpm" (threshold sweeps only).
+	// Decoder selects the per-shot decoder for either sweep type: "uf"
+	// (default), "blossom" (exact minimum-weight matching at union-find-
+	// like cost), "mwpm", or "exact" (the older exact matchers, union-find
+	// fallback past their size ceilings).
 	Decoder string `json:"decoder,omitempty"`
 	// Jobs is this sweep's scheduler pool width (0 = the server default).
 	Jobs int `json:"jobs,omitempty"`
@@ -59,6 +63,7 @@ type SweepRequest struct {
 // sensitivity cells panel/value; both carry the distance and statistics.
 type CellRecord struct {
 	Index       int     `json:"index"`
+	Decoder     string  `json:"decoder,omitempty"`
 	Scheme      string  `json:"scheme,omitempty"`
 	Panel       string  `json:"panel,omitempty"`
 	Distance    int     `json:"distance"`
@@ -135,6 +140,14 @@ func buildCells(req SweepRequest) (typ string, cells []sched.Job, err error) {
 		}
 	}
 	opts := montecarlo.SweepOptions{TargetFailures: req.TargetFailures}
+	dec := montecarlo.UF
+	if req.Decoder != "" {
+		k, err := decoder.ParseKind(req.Decoder)
+		if err != nil {
+			return "", nil, err
+		}
+		dec = k
+	}
 
 	switch req.Type {
 	case "", "threshold":
@@ -152,14 +165,6 @@ func buildCells(req SweepRequest) (typ string, cells []sched.Job, err error) {
 		if err != nil {
 			return "", nil, err
 		}
-		dec := montecarlo.UF
-		switch req.Decoder {
-		case "", "uf":
-		case "mwpm":
-			dec = montecarlo.MWPM
-		default:
-			return "", nil, fmt.Errorf("unknown decoder %q (want %q or %q)", req.Decoder, montecarlo.UF, montecarlo.MWPM)
-		}
 		if len(req.Distances) == 0 {
 			req.Distances = []int{3, 5, 7}
 		}
@@ -176,9 +181,6 @@ func buildCells(req SweepRequest) (typ string, cells []sched.Job, err error) {
 
 	case "sensitivity":
 		typ = "sensitivity"
-		if req.Decoder != "" && req.Decoder != "uf" {
-			return "", nil, fmt.Errorf("sensitivity sweeps use the %q decoder", montecarlo.UF)
-		}
 		if req.Scheme != "" {
 			return "", nil, fmt.Errorf("scheme is fixed to compact-interleaved for sensitivity sweeps")
 		}
@@ -195,7 +197,7 @@ func buildCells(req SweepRequest) (typ string, cells []sched.Job, err error) {
 		if len(req.Values) == 0 {
 			req.Values = panel.DefaultValues(5)
 		}
-		cells, err = sched.SensitivityJobs(panel, req.Values, req.Distances, req.Trials, req.Seed, opts)
+		cells, err = sched.SensitivityJobs(panel, req.Values, req.Distances, req.Trials, req.Seed, dec, opts)
 		if err != nil {
 			return "", nil, err
 		}
@@ -217,6 +219,7 @@ func buildCells(req SweepRequest) (typ string, cells []sched.Job, err error) {
 func cellRecord(r sched.CellResult) CellRecord {
 	rec := CellRecord{
 		Index:       r.Index,
+		Decoder:     string(r.Job.Cfg.Decoder),
 		LogicalRate: r.Result.Rate(),
 		StdErr:      r.Result.StdErr(),
 		Trials:      r.Result.Trials,

@@ -197,6 +197,11 @@ func NewMWPMDecoder(g *DecodingGraph) Decoder { return decoder.NewMWPM(g) }
 // union-find fallback on oversized clusters (also a BatchDecoder).
 func NewMWPMFallbackDecoder(g *DecodingGraph) Decoder { return decoder.NewMWPMFallback(g) }
 
+// NewBlossomDecoder returns the sparse-blossom exact minimum-weight
+// matching decoder (also a BatchDecoder): strictly minimum-weight
+// corrections at union-find-like per-shot cost.
+func NewBlossomDecoder(g *DecodingGraph) Decoder { return decoder.NewBlossom(g) }
+
 // Monte-Carlo engine (Fig. 11 / Fig. 12).
 type (
 	// MonteCarloConfig describes one logical-error-rate measurement.
@@ -209,7 +214,8 @@ type (
 	SensitivityPanel = montecarlo.Panel
 	// SensitivityPoint is one cell of a sensitivity sweep.
 	SensitivityPoint = montecarlo.SensitivityPoint
-	// DecoderKind selects the trial decoder ("uf" or "mwpm").
+	// DecoderKind selects the trial decoder ("uf", "blossom", "mwpm", or
+	// "exact").
 	DecoderKind = montecarlo.DecoderKind
 	// MonteCarloEngine caches circuit structures and detector-error-model
 	// Structures across the points of a sweep.
@@ -264,8 +270,8 @@ func ThresholdSweepJobs(scheme Scheme, distances []int, physRates []float64, bas
 }
 
 // SensitivitySweepJobs builds one Fig. 12 panel as scheduler jobs.
-func SensitivitySweepJobs(panel SensitivityPanel, values []float64, distances []int, trials int, seed int64, opts SweepOptions) ([]SweepJob, error) {
-	return sched.SensitivityJobs(panel, values, distances, trials, seed, opts)
+func SensitivitySweepJobs(panel SensitivityPanel, values []float64, distances []int, trials int, seed int64, dec DecoderKind, opts SweepOptions) ([]SweepJob, error) {
+	return sched.SensitivityJobs(panel, values, distances, trials, seed, dec, opts)
 }
 
 // The sweep-serving front end (HTTP/JSON over the scheduler).
@@ -303,11 +309,18 @@ func RunMonteCarloReference(cfg MonteCarloConfig) (MonteCarloResult, error) {
 	return montecarlo.RunReference(cfg)
 }
 
-// Decoder kinds for Monte-Carlo trials.
+// Decoder kinds for Monte-Carlo trials: union-find, sparse-blossom exact
+// matching (the production matcher), and the older exact matchers (wrapped
+// with a union-find fallback past their size ceilings when used in runs).
 const (
 	DecodeUnionFind = montecarlo.UF
+	DecodeBlossom   = montecarlo.Blossom
 	DecodeMWPM      = montecarlo.MWPM
+	DecodeExact     = montecarlo.Exact
 )
+
+// DecoderKinds lists every selectable decoder kind.
+var DecoderKinds = decoder.Kinds
 
 // SensitivityPanels lists the seven Fig. 12 panels.
 var SensitivityPanels = montecarlo.Panels
@@ -327,8 +340,8 @@ func EstimateThreshold(points []SweepPoint) float64 { return montecarlo.Estimate
 func DefaultPhysRates(n int) []float64 { return montecarlo.DefaultPhysRates(n) }
 
 // SensitivitySweep runs one Fig. 12 panel on Compact-Interleaved.
-func SensitivitySweep(panel SensitivityPanel, values []float64, distances []int, trials int, seed int64) ([]SensitivityPoint, error) {
-	return montecarlo.SensitivitySweep(panel, values, distances, trials, seed)
+func SensitivitySweep(panel SensitivityPanel, values []float64, distances []int, trials int, seed int64, dec DecoderKind) ([]SensitivityPoint, error) {
+	return montecarlo.SensitivitySweep(panel, values, distances, trials, seed, dec)
 }
 
 // OperatingPoint returns the §VI baseline parameters (all gate errors 2e-3).
