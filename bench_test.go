@@ -645,6 +645,183 @@ func BenchmarkSweepRowDecoders(b *testing.B) {
 	})
 }
 
+// BenchmarkSweepRowSkewed measures the makespan win of the cost-aware,
+// work-stealing scheduler on the workload that motivated it: a skewed grid
+// where one d=13 cell with a deep shot budget dominates a row of smaller
+// cells (d in {3..11}), on an 8-worker pool. Four legs run the identical
+// grid:
+//
+//	sequential        width-1 pool (no intra-sweep parallelism)
+//	fifo              8 workers, submission-order queue — the pre-cost-model
+//	                  scheduler, the baseline the >= 1.3x target is against
+//	ordered           8 workers, longest-cell-first (cost model only)
+//	ordered+stealing  8 workers, cost order plus the huge cell split into
+//	                  stolen ~1k-shot shards
+//
+// The fifo and ordered legs must agree with each other bit for bit, and the
+// stealing leg must be bit-identical across pool widths for its fixed shard
+// plan (the determinism half of the acceptance bar; the montecarlo golden
+// tests pin the unsharded counts). Measurements are written to
+// BENCH_sched.json as the regression baseline.
+//
+//	VLQ_SKEW_TRIALS  trials per small cell (default 400; the huge cell runs 16x)
+func BenchmarkSweepRowSkewed(b *testing.B) {
+	smallTrials := envInt("VLQ_SKEW_TRIALS", 400)
+	hugeTrials := 16 * smallTrials
+	const (
+		workers  = 8
+		seed     = 29
+		hugeDist = 13
+		hugePhys = 2e-3
+	)
+	scheme := extract.CompactInterleaved
+	smallDs := []int{3, 5, 7, 9, 11}
+	rates := montecarlo.DefaultPhysRates(6)
+	shardShots := montecarlo.MinShardShots
+
+	buildJobs := func() []sched.Job {
+		jobs := sched.ThresholdJobs(scheme, smallDs, rates, hardware.Default(), smallTrials, seed, montecarlo.UF, montecarlo.SweepOptions{})
+		huge := montecarlo.ThresholdCellConfig(scheme, hugeDist, hugePhys, hardware.Default(), hugeTrials, seed, montecarlo.UF, montecarlo.SweepOptions{})
+		return append(jobs, sched.Job{Cfg: huge, Tag: sched.ThresholdCell{Scheme: scheme, Distance: hugeDist, Phys: hugePhys}})
+	}
+
+	en := montecarlo.NewEngine()
+	// Untimed warm-up: build every structure and graph topology once.
+	if _, err := sched.New(en, sched.Options{Jobs: workers}).Run(func() []sched.Job {
+		jobs := buildJobs()
+		for i := range jobs {
+			jobs[i].Cfg.Trials = min(jobs[i].Cfg.Trials, 64)
+		}
+		return jobs
+	}()); err != nil {
+		b.Fatal(err)
+	}
+
+	runLeg := func(opts sched.Options) ([]sched.CellResult, time.Duration) {
+		start := time.Now()
+		results, err := sched.New(en, opts).Run(buildJobs())
+		if err != nil {
+			b.Fatal(err)
+		}
+		return results, time.Since(start)
+	}
+	b.ResetTimer()
+
+	// The b.N loop feeds only the benchmark's ns/op; the reported ratios
+	// come from the equal-sample comparison below.
+	stealOpts := sched.Options{Jobs: workers, ShardShots: shardShots}
+	for i := 0; i < b.N; i++ {
+		runLeg(stealOpts)
+	}
+	b.StopTimer()
+
+	printTableOnce(b, func() {
+		var seqPts, fifoPts, ordPts, stealPts []sched.CellResult
+		seqDur := time.Duration(math.MaxInt64)
+		fifoDur := time.Duration(math.MaxInt64)
+		ordDur := time.Duration(math.MaxInt64)
+		// The recorded ratios compare equal sample counts: every leg's
+		// duration is the min of the 3 interleaved runs below, independent
+		// of how many extra stealing runs the b.N loop above performed.
+		stealDur := time.Duration(math.MaxInt64)
+		for i := 0; i < 3; i++ {
+			var d time.Duration
+			if seqPts, d = runLeg(sched.Options{Jobs: 1}); d < seqDur {
+				seqDur = d
+			}
+			if fifoPts, d = runLeg(sched.Options{Jobs: workers, Queue: sched.OrderFIFO}); d < fifoDur {
+				fifoDur = d
+			}
+			if ordPts, d = runLeg(sched.Options{Jobs: workers}); d < ordDur {
+				ordDur = d
+			}
+			if stealPts, d = runLeg(stealOpts); d < stealDur {
+				stealDur = d
+			}
+		}
+
+		// Identity checks. The unsharded legs must agree bit for bit at
+		// every width and order; the stealing leg must reproduce itself
+		// bit for bit at a different pool width (fixed shard plan).
+		for i := range seqPts {
+			s, f, o := seqPts[i].Result, fifoPts[i].Result, ordPts[i].Result
+			if s.Trials != f.Trials || s.Failures != f.Failures || s.Trials != o.Trials || s.Failures != o.Failures {
+				b.Errorf("cell %d: sequential %d/%d, fifo %d/%d, ordered %d/%d failures/trials diverge",
+					i, s.Failures, s.Trials, f.Failures, f.Trials, o.Failures, o.Trials)
+			}
+		}
+		narrow, err := sched.New(en, sched.Options{Jobs: 2, ShardShots: shardShots}).Run(buildJobs())
+		if err != nil {
+			b.Fatal(err)
+		}
+		identical := true
+		for i := range stealPts {
+			a, c := stealPts[i].Result, narrow[i].Result
+			if a.Trials != c.Trials || a.Failures != c.Failures {
+				identical = false
+				b.Errorf("cell %d: stealing at width %d gave %d/%d failures/trials, width 2 gave %d/%d",
+					i, workers, a.Failures, a.Trials, c.Failures, c.Trials)
+			}
+		}
+
+		vsFifo := float64(fifoDur) / float64(stealDur)
+		vsOrdered := float64(ordDur) / float64(stealDur)
+		plan := montecarlo.PlanShards(hugeTrials, shardShots)
+		procs := runtime.GOMAXPROCS(0)
+		fmt.Printf("\nSkewed sweep row — %s, d in %v x %d rates at %d trials + one d=%d cell at %d trials, %d workers (GOMAXPROCS=%d):\n",
+			scheme, smallDs, len(rates), smallTrials, hugeDist, hugeTrials, workers, procs)
+		fmt.Printf("  sequential:        %v\n", seqDur)
+		fmt.Printf("  fifo pool:         %v\n", fifoDur)
+		fmt.Printf("  ordered:           %v  (vs fifo %.2fx)\n", ordDur, float64(fifoDur)/float64(ordDur))
+		fmt.Printf("  ordered+stealing:  %v  (%d shards; vs fifo %.2fx, vs ordered %.2fx; target >= 1.3x vs fifo)\n",
+			stealDur, plan.Shards, vsFifo, vsOrdered)
+		fmt.Printf("  merged results bit-identical across widths: %v\n", identical)
+		switch {
+		case procs == 1:
+			fmt.Printf("  NOTE: 1 CPU available — the %d-worker pool is fully serialized, so makespan\n", workers)
+			fmt.Println("  ratios here measure overhead, not the stealing win; run on a multicore host for the target.")
+		case procs < workers:
+			fmt.Printf("  NOTE: %d CPUs < %d workers — the stealing win is real but bounded by the core\n", procs, workers)
+			fmt.Printf("  count; run on >= %d cores for the full ratio.\n", workers)
+		}
+
+		baseline := struct {
+			Scheme            string  `json:"scheme"`
+			SmallDistances    []int   `json:"small_distances"`
+			Rates             int     `json:"rates"`
+			SmallTrials       int     `json:"small_trials"`
+			HugeDistance      int     `json:"huge_distance"`
+			HugePhysRate      float64 `json:"huge_phys_rate"`
+			HugeTrials        int     `json:"huge_trials"`
+			Workers           int     `json:"workers"`
+			GoMaxProcs        int     `json:"gomaxprocs"`
+			ShardShots        int     `json:"shard_shots"`
+			HugeShards        int     `json:"huge_shards"`
+			SequentialNS      int64   `json:"sequential_ns"`
+			FifoNS            int64   `json:"fifo_ns"`
+			OrderedNS         int64   `json:"ordered_ns"`
+			StealingNS        int64   `json:"stealing_ns"`
+			StealingVsFifo    float64 `json:"stealing_vs_fifo"`
+			StealingVsOrdered float64 `json:"stealing_vs_ordered"`
+			IdenticalAcross   bool    `json:"bit_identical_across_widths"`
+		}{
+			Scheme: scheme.String(), SmallDistances: smallDs, Rates: len(rates),
+			SmallTrials: smallTrials, HugeDistance: hugeDist, HugePhysRate: hugePhys, HugeTrials: hugeTrials,
+			Workers: workers, GoMaxProcs: procs, ShardShots: shardShots, HugeShards: plan.Shards,
+			SequentialNS: seqDur.Nanoseconds(), FifoNS: fifoDur.Nanoseconds(),
+			OrderedNS: ordDur.Nanoseconds(), StealingNS: stealDur.Nanoseconds(),
+			StealingVsFifo: vsFifo, StealingVsOrdered: vsOrdered, IdenticalAcross: identical,
+		}
+		if buf, err := json.MarshalIndent(baseline, "", "  "); err == nil {
+			if werr := os.WriteFile("BENCH_sched.json", append(buf, '\n'), 0o644); werr != nil {
+				fmt.Printf("  (could not write BENCH_sched.json: %v)\n", werr)
+			} else {
+				fmt.Println("  baseline written to BENCH_sched.json")
+			}
+		}
+	})
+}
+
 // --- Microbenchmarks (real performance measurements) ---------------------------
 
 func BenchmarkMicro_DEMSampler(b *testing.B) {

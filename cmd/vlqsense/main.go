@@ -36,11 +36,15 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	dec := flag.String("decoder", "uf", "decoder: uf, blossom, mwpm, or exact")
 	jobs := flag.Int("jobs", 0, "scheduler pool width: sweep cells decoded concurrently (0 = GOMAXPROCS)")
+	shardShots := flag.Int("shard-shots", 0, fmt.Sprintf("split cells into stolen shard units of ~this many trials; cells below twice the size stay whole (0 = off; floor %d)", montecarlo.MinShardShots))
 	csv := flag.Bool("csv", false, "stream CSV rows as cells finish instead of printing a table")
 	jsonOut := flag.Bool("json", false, "stream one JSON object per cell as it finishes")
 	flag.Parse()
 	if *csv && *jsonOut {
 		fatal(fmt.Errorf("-csv and -json are mutually exclusive"))
+	}
+	if *shardShots < 0 {
+		fatal(fmt.Errorf("-shard-shots must be non-negative, got %d", *shardShots))
 	}
 
 	var panels []montecarlo.Panel
@@ -78,8 +82,9 @@ func main() {
 
 	// One engine for the whole invocation: probability and coherence-time
 	// panels share one structure (and graph topology) per distance; one
-	// shared worker pool drains each panel's grid.
-	opts := sched.Options{Jobs: *jobs}
+	// shared worker pool drains each panel's grid, longest-cell-first,
+	// stealing shards of cells above -shard-shots.
+	opts := sched.Options{Jobs: *jobs, ShardShots: *shardShots}
 	if *csv || *jsonOut {
 		opts.OnResult = stream
 	}

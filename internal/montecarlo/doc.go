@@ -24,6 +24,13 @@
 //   - Engine.RunOn(cfg, *WorkerState): one point single-threaded with
 //     reusable per-worker scratch — the sweep scheduler's per-cell entry;
 //     bit-identical to Run with Workers == 1
+//   - PlanShards / Engine.RunShardOn / MergeShards: the partial-run API —
+//     a fixed decomposition of one point into shard units the scheduler's
+//     idle workers steal. Shard i consumes worker stream i, a shared
+//     ShardBudget coordinates TargetFailures early stop and abort across
+//     shards, and a fully executed plan merges bit-identically to Run
+//     with Workers == Shards. PlanShards never splits below the
+//     MinShardShots floor, protecting pinned small cells
 //   - Engine.ThresholdSweep / Engine.SensitivitySweep: sequential grid
 //     runners; ThresholdCellConfig / SensitivityCellConfig are the
 //     canonical per-cell configurations shared with internal/sched's job

@@ -24,6 +24,24 @@ type goldenCell struct {
 
 const goldenPath = "testdata/golden_rates.json"
 
+// goldenTrials is the fixture's per-cell shot count. It sits below
+// MinShardShots by design: sharding must never engage on the pinned cells,
+// whatever threshold a caller passes.
+const goldenTrials = 250
+
+func loadGolden(t *testing.T) []goldenCell {
+	t.Helper()
+	buf, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden fixture (run with VLQ_UPDATE_GOLDEN=1 to create): %v", err)
+	}
+	var want []goldenCell
+	if err := json.Unmarshal(buf, &want); err != nil {
+		t.Fatalf("corrupt golden fixture: %v", err)
+	}
+	return want
+}
+
 // goldenRow recomputes the fixture's Fig. 11 row: Compact-Interleaved,
 // d in {3, 5, 7} over the default 6-point rate grid, decoded with both the
 // union-find and blossom kinds, every cell via the single-threaded RunOn
@@ -31,7 +49,7 @@ const goldenPath = "testdata/golden_rates.json"
 func goldenRow(t *testing.T) []goldenCell {
 	t.Helper()
 	const (
-		trials = 250
+		trials = goldenTrials
 		seed   = 17
 	)
 	en := NewEngine()
@@ -79,14 +97,7 @@ func TestGoldenRates(t *testing.T) {
 		t.Logf("wrote %d golden cells to %s", len(got), goldenPath)
 		return
 	}
-	buf, err := os.ReadFile(goldenPath)
-	if err != nil {
-		t.Fatalf("missing golden fixture (run with VLQ_UPDATE_GOLDEN=1 to create): %v", err)
-	}
-	var want []goldenCell
-	if err := json.Unmarshal(buf, &want); err != nil {
-		t.Fatalf("corrupt golden fixture: %v", err)
-	}
+	want := loadGolden(t)
 	if len(want) != len(got) {
 		t.Fatalf("golden fixture has %d cells, recomputation produced %d", len(want), len(got))
 	}
@@ -100,5 +111,57 @@ func TestGoldenRates(t *testing.T) {
 			t.Errorf("cell %d (%s d=%d p=%.4g %s): fixture %d/%d failures/trials, recomputed %d/%d",
 				i, w.Scheme, w.Distance, w.PhysRate, w.Decoder, w.Failures, w.Trials, g.Failures, g.Trials)
 		}
+	}
+}
+
+// TestGoldenRatesSharded is the sharded leg of the golden harness: the row
+// recomputed through the partial-run API (PlanShards + RunShardOn +
+// MergeShards) with the most aggressive threshold a caller can request
+// must pass the committed fixture unchanged. The cells run 250 trials,
+// below the MinShardShots floor, so every plan must collapse to a single
+// shard — if the floor ever drops below the fixture's shot count, or
+// PlanShards stops honoring it, the pinned counts shift and this leg fails
+// tier 1 instead of silently moving Fig. 11.
+func TestGoldenRatesSharded(t *testing.T) {
+	if goldenTrials >= MinShardShots {
+		t.Fatalf("golden fixture runs %d-trial cells but MinShardShots is %d; the floor no longer protects the pinned rates",
+			goldenTrials, MinShardShots)
+	}
+	want := loadGolden(t)
+	const seed = 17
+	en := NewEngine()
+	i := 0
+	for _, dec := range []DecoderKind{UF, Blossom} {
+		var st WorkerState
+		for _, d := range []int{3, 5, 7} {
+			for _, p := range DefaultPhysRates(6) {
+				cfg := ThresholdCellConfig(extract.CompactInterleaved, d, p, hardware.Default(), goldenTrials, seed, dec, SweepOptions{})
+				plan := PlanShards(cfg.Trials, 1) // most aggressive request, clamped to the floor
+				if plan.Shards != 1 {
+					t.Fatalf("plan for %d trials split into %d shards below the floor", cfg.Trials, plan.Shards)
+				}
+				var budget ShardBudget
+				sr, err := en.RunShardOn(cfg, plan, 0, &budget, &st)
+				if err != nil {
+					t.Fatalf("sharded golden cell d=%d p=%g dec=%s: %v", d, p, dec, err)
+				}
+				res, err := MergeShards(cfg, []ShardResult{sr})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if i >= len(want) {
+					t.Fatalf("fixture has %d cells, sharded recomputation produced more", len(want))
+				}
+				w := want[i]
+				if w.Trials != res.Trials || w.Failures != res.Failures {
+					t.Errorf("cell %d (d=%d p=%.4g %s): fixture %d/%d failures/trials, sharded leg %d/%d",
+						i, d, p, dec, w.Failures, w.Trials, res.Failures, res.Trials)
+				}
+				i++
+			}
+		}
+	}
+	if i != len(want) {
+		t.Fatalf("sharded leg covered %d cells, fixture has %d", i, len(want))
 	}
 }

@@ -358,17 +358,20 @@ type tally struct {
 }
 
 // runWorker executes worker w's share of one point: sample 64-shot batches
-// from the worker's ChaCha8 stream, decode them, and tally failures.
-// failTotal coordinates early stopping across the point's workers when
-// target > 0.
-func runWorker(model *dem.Model, graph *dem.Graph, kind DecoderKind, seed int64, w, trials int, target int64, failTotal *atomic.Int64, st *WorkerState) (tally, error) {
+// from the worker's ChaCha8 stream, decode them, and tally failures. budget
+// coordinates early stopping across the point's workers (or shards) when
+// target > 0, and its abort flag stops the loop at the next batch boundary.
+func runWorker(model *dem.Model, graph *dem.Graph, kind DecoderKind, seed int64, w, trials int, target int64, budget *ShardBudget, st *WorkerState) (tally, error) {
 	var t tally
 	rng := rand.New(rand.NewChaCha8(workerSeed(seed, w)))
 	bs := st.sampler(model)
 	dec, fb := st.decoderFor(kind, graph)
 	var out, truth [dem.BatchShots]bool
 	for t.trials < trials {
-		if target > 0 && failTotal.Load() >= target {
+		if budget.aborted.Load() {
+			break
+		}
+		if target > 0 && budget.failures.Load() >= target {
 			break
 		}
 		n := min(dem.BatchShots, trials-t.trials)
@@ -391,7 +394,7 @@ func runWorker(model *dem.Model, graph *dem.Graph, kind DecoderKind, seed int64,
 		t.trials += n
 		t.failures += fails
 		if target > 0 && fails > 0 {
-			failTotal.Add(int64(fails))
+			budget.failures.Add(int64(fails))
 		}
 	}
 	if fb != nil {
@@ -421,22 +424,22 @@ func (en *Engine) Run(cfg Config) (Result, error) {
 
 	tallies := make([]tally, workers)
 	errs := make([]error, workers)
-	var failTotal atomic.Int64 // early-stop coordination only
+	var budget ShardBudget // early-stop coordination only
 	target := int64(cfg.TargetFailures)
 
 	var wg sync.WaitGroup
-	per := cfg.Trials / workers
-	extra := cfg.Trials % workers
+	// The worker split IS the shard split: sharing ShardTrials is what
+	// makes a fully merged shard plan bit-identical to Run with
+	// Workers == Shards (worker w and shard w take the same allotment
+	// from the same stream).
+	plan := ShardPlan{Shards: workers, Trials: cfg.Trials}
 	for w := 0; w < workers; w++ {
-		trials := per
-		if w < extra {
-			trials++
-		}
+		trials := plan.ShardTrials(w)
 		wg.Add(1)
 		go func(w, trials int) {
 			defer wg.Done()
 			var st WorkerState
-			tallies[w], errs[w] = runWorker(model, graph, cfg.Decoder, cfg.Seed, w, trials, target, &failTotal, &st)
+			tallies[w], errs[w] = runWorker(model, graph, cfg.Decoder, cfg.Seed, w, trials, target, &budget, &st)
 		}(w, trials)
 	}
 	wg.Wait()
@@ -473,8 +476,8 @@ func (en *Engine) RunOn(cfg Config, st *WorkerState) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	var failTotal atomic.Int64
-	t, err := runWorker(model, graph, cfg.Decoder, cfg.Seed, 0, cfg.Trials, int64(cfg.TargetFailures), &failTotal, st)
+	var budget ShardBudget
+	t, err := runWorker(model, graph, cfg.Decoder, cfg.Seed, 0, cfg.Trials, int64(cfg.TargetFailures), &budget, st)
 	if err != nil {
 		return Result{}, err
 	}

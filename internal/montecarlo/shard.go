@@ -1,0 +1,177 @@
+package montecarlo
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// MinShardShots is the documented shot floor below which sharding never
+// engages: PlanShards raises any positive shard size to this value, so a
+// point at or below MinShardShots trials always plans as a single shard.
+// The floor exists for two reasons. Statistically, pinned-seed fixtures
+// (internal/montecarlo/testdata/golden_rates.json runs 250-trial cells)
+// must never be split silently — a split changes the RNG stream layout and
+// therefore the bit-exact counts. Economically, a shard smaller than ~16
+// batches pays more in per-shard prepare/merge bookkeeping than the
+// parallelism returns.
+const MinShardShots = 1024
+
+// ShardPlan is the fixed decomposition of one Monte-Carlo point's trials
+// into shard units. A plan is derived from the cell spec alone (trials and
+// the shard-size threshold) — never from pool width, worker count, or any
+// runtime state — which is what makes a sharded point's merged result
+// reproducible: same Config + same threshold => same plan => same per-shard
+// ChaCha8 streams.
+type ShardPlan struct {
+	// Shards is the number of shard units (>= 1; 1 means unsharded).
+	Shards int
+	// Trials is the point's total trial budget, split across shards by
+	// ShardTrials.
+	Trials int
+}
+
+// PlanShards returns the shard plan for a point of the given trial budget
+// under a shard size of shardShots. shardShots <= 0 disables sharding
+// (single-shard plan); positive values below MinShardShots are raised to
+// the floor, so callers cannot accidentally shard pinned small cells.
+// Floor division sizes the plan — every shard carries at least shardShots
+// trials (the last partial chunk folds into the others) — so no shard ever
+// drops below the economic floor the threshold promises.
+func PlanShards(trials, shardShots int) ShardPlan {
+	p := ShardPlan{Shards: 1, Trials: trials}
+	if shardShots <= 0 || trials <= 0 {
+		return p
+	}
+	if shardShots < MinShardShots {
+		shardShots = MinShardShots
+	}
+	p.Shards = max(trials/shardShots, 1)
+	return p
+}
+
+// ShardTrials returns shard i's trial allotment: Trials/Shards each, with
+// the remainder spread over the first shards. This is exactly the split
+// Engine.Run uses across its workers, so a fully executed plan merges to a
+// Result bit-identical to Run with Workers == Shards (shard i consumes
+// worker stream i).
+func (p ShardPlan) ShardTrials(i int) int {
+	per := p.Trials / p.Shards
+	if i < p.Trials%p.Shards {
+		per++
+	}
+	return per
+}
+
+// ShardBudget coordinates the workers executing one sharded point: the
+// shared failure count that TargetFailures early stopping reads, and an
+// abort flag that stops in-flight shards at their next 64-shot batch
+// boundary (the sweep scheduler raises it when the point's cell is
+// cancelled, so sibling shards stop burning cycles on a result that can no
+// longer be delivered). The zero value is ready to use. One ShardBudget
+// must be shared by every shard of a plan and must not be reused across
+// points.
+type ShardBudget struct {
+	failures atomic.Int64
+	aborted  atomic.Bool
+}
+
+// Failures returns the failures accumulated toward the early-stop target so
+// far. Only shards running with TargetFailures > 0 contribute.
+func (b *ShardBudget) Failures() int64 { return b.failures.Load() }
+
+// Abort makes every shard sharing the budget stop at its next batch
+// boundary. Aborting is idempotent and cannot be undone.
+func (b *ShardBudget) Abort() { b.aborted.Store(true) }
+
+// Aborted reports whether Abort has been called.
+func (b *ShardBudget) Aborted() bool { return b.aborted.Load() }
+
+// ShardResult is one shard's tally, mergeable into a Result with
+// MergeShards. It carries the model dimensions so a merge does not need to
+// touch the engine.
+type ShardResult struct {
+	Shard         int // index within the plan
+	Trials        int // shots this shard actually took
+	Failures      int
+	Fallbacks     int
+	Mechanisms    int
+	DetectorCount int
+}
+
+// RunShardOn executes one shard of a planned point single-threaded on the
+// calling goroutine, reusing st's buffers across calls — the partial-run
+// entry point of the sweep scheduler's work stealing. The shard samples
+// worker stream `shard` of cfg.Seed (the same derivation Engine.Run gives
+// worker `shard`), takes plan.ShardTrials(shard) shots, and coordinates
+// TargetFailures early stopping and cancellation through budget, which must
+// be shared by all shards of the plan. st and budget may be nil for
+// one-shot use.
+//
+// Determinism contract: with TargetFailures == 0 and no abort, a shard's
+// ShardResult depends only on (cfg, plan, shard) — never on which worker
+// runs it or when — and merging every shard of the plan reproduces
+// Engine.Run with Workers == plan.Shards bit for bit. With TargetFailures
+// set, the shots a shard takes depend on when sibling shards bank their
+// failures, exactly as Run's workers always have; the merge is still
+// deterministic in the shard results it is given.
+func (en *Engine) RunShardOn(cfg Config, plan ShardPlan, shard int, budget *ShardBudget, st *WorkerState) (ShardResult, error) {
+	if st == nil {
+		st = &WorkerState{}
+	}
+	if budget == nil {
+		budget = &ShardBudget{}
+	}
+	if err := cfg.normalize(); err != nil {
+		return ShardResult{}, err
+	}
+	if plan.Shards < 1 || shard < 0 || shard >= plan.Shards {
+		return ShardResult{}, fmt.Errorf("montecarlo: shard %d outside plan of %d shards", shard, plan.Shards)
+	}
+	if plan.Trials != cfg.Trials {
+		return ShardResult{}, fmt.Errorf("montecarlo: shard plan covers %d trials but config has %d", plan.Trials, cfg.Trials)
+	}
+	model, graph, err := en.prepare(cfg, st)
+	if err != nil {
+		return ShardResult{}, err
+	}
+	t, err := runWorker(model, graph, cfg.Decoder, cfg.Seed, shard, plan.ShardTrials(shard), int64(cfg.TargetFailures), budget, st)
+	if err != nil {
+		return ShardResult{}, err
+	}
+	return ShardResult{
+		Shard:         shard,
+		Trials:        t.trials,
+		Failures:      t.failures,
+		Fallbacks:     t.fallbacks,
+		Mechanisms:    model.Stats.Mechanisms,
+		DetectorCount: model.NumDets,
+	}, nil
+}
+
+// MergeShards folds the shards of one point into a single Result. The fold
+// is deterministic in its inputs: counts are summed and the model
+// dimensions taken from the lowest shard index present, so any execution
+// order — and any pool width — produces the identical Result for identical
+// shard results. Partial merges (early-stopped or aborted shards) are
+// well-formed: Trials reports the shots actually taken.
+func MergeShards(cfg Config, parts []ShardResult) (Result, error) {
+	if err := cfg.normalize(); err != nil {
+		return Result{}, err
+	}
+	if len(parts) == 0 {
+		return Result{}, fmt.Errorf("montecarlo: merge of zero shards")
+	}
+	res := Result{Config: cfg}
+	first := parts[0]
+	for _, p := range parts {
+		if p.Shard < first.Shard {
+			first = p
+		}
+		res.Trials += p.Trials
+		res.Failures += p.Failures
+		res.Fallbacks += p.Fallbacks
+	}
+	res.Mechanisms = first.Mechanisms
+	res.DetectorCount = first.DetectorCount
+	return res, nil
+}

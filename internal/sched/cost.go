@@ -1,0 +1,38 @@
+package sched
+
+import "repro/internal/montecarlo"
+
+// CellCost estimates the relative decode cost of one sweep cell for queue
+// ordering: the product of the dem.Structure dimensions its Config implies —
+// detectors per round (the d^2-1 stabilizer measurements of a rotated
+// distance-d surface code patch), measurement rounds (Config.Rounds, or d
+// when zero, matching extract's default), and the trial budget. Sampling
+// and union-find decoding are near-linear in detectors x rounds per shot,
+// so the product tracks wall clock closely enough for longest-first
+// ordering.
+//
+// The estimate deliberately never touches the engine: cells are ordered
+// before any structure is built, so the cost model must be derivable from
+// the Config alone. It does not need to be calibrated in absolute terms —
+// only monotone in the true cost across the cells of one queue — and it is
+// a pure function, so the queue order (and therefore the shard-unit layout
+// workers steal from) is identical at every pool width.
+func CellCost(cfg montecarlo.Config) float64 {
+	d := cfg.Distance
+	if d < 1 {
+		d = 1
+	}
+	rounds := cfg.Rounds
+	if rounds <= 0 {
+		rounds = d
+	}
+	dets := d*d - 1
+	if dets < 1 {
+		dets = 1
+	}
+	trials := cfg.Trials
+	if trials < 1 {
+		trials = 1
+	}
+	return float64(dets) * float64(rounds) * float64(trials)
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"slices"
 	"sync"
 	"sync/atomic"
 
@@ -31,24 +32,60 @@ type CellResult struct {
 	Err    error
 }
 
+// QueueOrder selects how the pool's job queue is ordered.
+type QueueOrder int
+
+const (
+	// OrderCost drains cells longest-first by CellCost, so the cell that
+	// dominates the sweep's tail starts immediately instead of landing on
+	// an otherwise-idle pool at the end. The order affects wall clock only,
+	// never results. This is the default.
+	OrderCost QueueOrder = iota
+	// OrderFIFO preserves submission order — the pre-cost-model behavior,
+	// kept as the makespan benchmark baseline (BenchmarkSweepRowSkewed).
+	OrderFIFO
+)
+
 // Options tunes a Scheduler.
 type Options struct {
-	// Jobs is the shared pool width — how many cells decode concurrently.
-	// 0 means GOMAXPROCS. The width affects wall clock only, never results.
+	// Jobs is the shared pool width — how many workers drain the queue of
+	// cells (and shard units; see ShardShots) concurrently. 0 means
+	// GOMAXPROCS. The width affects wall clock only, never results.
 	Jobs int
 	// OnResult, when set, is called once per cell as it finishes, in
 	// completion order. Calls are serialized; the callback may write to
-	// shared state (e.g. stdout) without locking.
+	// shared state (e.g. stdout) without locking. A sharded cell fires the
+	// callback once, after its last shard merges.
 	//
 	// Ordering guarantee: completion order is NOT deterministic — it
 	// depends on the pool width and on how long each cell takes. What is
 	// deterministic is result identity: the CellResult delivered for a
 	// given Index carries exactly the Result that cell's Config produces
-	// single-threaded, at any pool width. Consumers that need a stable
-	// order must sort by Index (or use Run, which already returns
+	// single-threaded (or, for a sharded cell, the deterministic merge of
+	// its fixed shard plan), at any pool width. Consumers that need a
+	// stable order must sort by Index (or use Run, which already returns
 	// submission order); consumers that only key rows by the cell's Tag or
 	// Index may stream directly.
 	OnResult func(CellResult)
+	// Queue selects the job-queue order (default OrderCost: longest cell
+	// first).
+	Queue QueueOrder
+	// ShardShots, when positive, splits cells whose trial budget exceeds
+	// it into shard units of ~ShardShots trials (never smaller — floor
+	// division folds the last partial chunk into the others) that idle
+	// workers steal, cutting the tail latency of a grid dominated by one
+	// huge cell. Values below montecarlo.MinShardShots are raised to that
+	// floor, so pinned small cells are never split. The shard plan is a
+	// pure function of (Config.Trials, ShardShots) and per-shard RNG
+	// streams derive from the cell seed + shard index, so a sharded cell's
+	// merged Result is bit-identical at every pool width; it equals
+	// montecarlo.Engine.Run with Workers == shards, not the unsharded
+	// single-threaded result. With Config.TargetFailures set, shards
+	// coordinate early stop through one shared atomic budget, and the
+	// shots taken depend on shard timing (exactly as Run's workers always
+	// have). Cells with Config.Workers > 1 already parallelize internally
+	// and are never sharded.
+	ShardShots int
 }
 
 // Scheduler drains sweep cells through a shared worker pool over one
@@ -85,44 +122,204 @@ func (s *Scheduler) width(n int) int {
 	return w
 }
 
+// cellRun is the execution state of one cell: its fixed shard plan, the
+// budget its shards share, and the merge accumulator. For unsharded cells
+// (plan.Shards == 1) the direct Result is stored as-is, preserving the
+// RunOn path bit for bit.
+type cellRun struct {
+	index  int
+	job    Job
+	plan   montecarlo.ShardPlan
+	budget montecarlo.ShardBudget
+
+	mu        sync.Mutex
+	remaining int                      // shards not yet finished or skipped
+	parts     []montecarlo.ShardResult // by shard index (sharded cells)
+	errs      []error                  // by shard index
+	skipErr   error                    // set when any shard was skipped by cancellation
+	direct    montecarlo.Result        // unsharded result
+}
+
+// unit is one schedulable quantum of work: a whole cell, or one shard of a
+// sharded cell.
+type unit struct{ cell, shard int }
+
+// buildQueue fixes the execution plan for a sweep: per-cell shard plans
+// (pure functions of the cell spec and Options.ShardShots) and the flat
+// unit queue workers steal from, cells ordered per Options.Queue with a
+// sharded cell's units kept adjacent so its shards fan out across idle
+// workers immediately.
+func (s *Scheduler) buildQueue(jobs []Job) ([]*cellRun, []unit) {
+	cells := make([]*cellRun, len(jobs))
+	nunits := 0
+	for i, job := range jobs {
+		plan := montecarlo.ShardPlan{Shards: 1, Trials: job.Cfg.Trials}
+		if s.opts.ShardShots > 0 && job.Cfg.Workers <= 1 {
+			plan = montecarlo.PlanShards(job.Cfg.Trials, s.opts.ShardShots)
+		}
+		c := &cellRun{index: i, job: job, plan: plan, remaining: plan.Shards}
+		if plan.Shards > 1 {
+			c.parts = make([]montecarlo.ShardResult, plan.Shards)
+			c.errs = make([]error, plan.Shards)
+		}
+		cells[i] = c
+		nunits += plan.Shards
+	}
+	order := make([]int, len(jobs))
+	for i := range order {
+		order[i] = i
+	}
+	if s.opts.Queue == OrderCost {
+		slices.SortStableFunc(order, func(a, b int) int {
+			ca, cb := CellCost(jobs[a].Cfg), CellCost(jobs[b].Cfg)
+			switch {
+			case ca > cb:
+				return -1
+			case ca < cb:
+				return 1
+			}
+			return a - b
+		})
+	}
+	units := make([]unit, 0, nunits)
+	for _, ci := range order {
+		for sh := 0; sh < cells[ci].plan.Shards; sh++ {
+			units = append(units, unit{cell: ci, shard: sh})
+		}
+	}
+	return cells, units
+}
+
+// finishUnit records one unit's outcome on its cell and, when it was the
+// cell's last outstanding unit, merges and emits the CellResult. skipErr
+// marks a unit that was skipped (or aborted mid-run) by cancellation; a
+// cell with any skipped unit carries that error and is never emitted, so
+// consumers see no partial merges.
+func (s *Scheduler) finishUnit(c *cellRun, u unit, sr montecarlo.ShardResult, err, skipErr error,
+	results []CellResult, emit func(CellResult), emitMu *sync.Mutex) {
+	c.mu.Lock()
+	if c.plan.Shards > 1 {
+		c.parts[u.shard] = sr
+		c.errs[u.shard] = err
+	}
+	if skipErr != nil && c.skipErr == nil {
+		c.skipErr = skipErr
+	}
+	c.remaining--
+	last := c.remaining == 0
+	c.mu.Unlock()
+	if err != nil && c.plan.Shards > 1 {
+		// A failed shard dooms the cell; stop its siblings early.
+		c.budget.Abort()
+	}
+	if !last {
+		return
+	}
+
+	r := CellResult{Index: c.index, Job: c.job}
+	if c.skipErr != nil {
+		// A genuine shard execution error outranks the cancellation error:
+		// an operator debugging a failing cell should see the real cause,
+		// not just "canceled".
+		r.Err = c.skipErr
+		for _, e := range c.errs {
+			if e != nil {
+				r.Err = e
+				break
+			}
+		}
+		results[c.index] = r
+		return // skipped cells are never emitted
+	}
+	if c.plan.Shards == 1 {
+		r.Result, r.Err = c.direct, err
+	} else {
+		for _, e := range c.errs { // deterministic: first error by shard index
+			if e != nil {
+				r.Err = e
+				break
+			}
+		}
+		if r.Err == nil {
+			r.Result, r.Err = montecarlo.MergeShards(c.job.Cfg, c.parts)
+		}
+	}
+	results[c.index] = r
+	if emit != nil {
+		emitMu.Lock()
+		emit(r)
+		emitMu.Unlock()
+	}
+}
+
 // run drains the jobs through the pool, storing each cell at its index and
-// emitting it (serialized) as it finishes. Cancellation is observed at cell
-// boundaries: once ctx is done, workers stop picking up new cells and mark
-// the remaining ones with ctx's error (without emitting them); cells
-// already decoding run to completion.
+// emitting it (serialized) as it finishes. The queue holds units — whole
+// cells, or stolen shards of cells above the sharding threshold — ordered
+// longest-cell-first under OrderCost. Cancellation is observed at unit
+// boundaries: once ctx is done, workers stop picking up new units, mark the
+// affected cells with ctx's error (without emitting them), and in-flight
+// shards of sharded cells abort at their next batch boundary (their cell
+// can no longer complete, so finishing them is wasted work). In-flight
+// unsharded cells keep the documented run-to-completion semantics.
 func (s *Scheduler) run(ctx context.Context, jobs []Job, results []CellResult, emit func(CellResult)) {
+	cells, units := s.buildQueue(jobs)
+
+	if done := ctx.Done(); done != nil {
+		finished := make(chan struct{})
+		defer close(finished)
+		go func() {
+			select {
+			case <-done:
+				for _, c := range cells {
+					if c.plan.Shards > 1 {
+						c.budget.Abort()
+					}
+				}
+			case <-finished:
+			}
+		}()
+	}
+
 	var next atomic.Int64
 	var emitMu sync.Mutex
 	var wg sync.WaitGroup
-	for w := 0; w < s.width(len(jobs)); w++ {
+	for w := 0; w < s.width(len(units)); w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			var st montecarlo.WorkerState
 			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(jobs) {
+				k := int(next.Add(1)) - 1
+				if k >= len(units) {
 					return
 				}
-				job := jobs[i]
+				u := units[k]
+				c := cells[u.cell]
 				if err := ctx.Err(); err != nil {
-					results[i] = CellResult{Index: i, Job: job, Err: err}
+					s.finishUnit(c, u, montecarlo.ShardResult{}, nil, err, results, emit, &emitMu)
 					continue
 				}
-				var res montecarlo.Result
+				var sr montecarlo.ShardResult
 				var err error
-				if job.Cfg.Workers > 1 {
-					res, err = s.en.Run(job.Cfg)
+				if c.plan.Shards == 1 {
+					if c.job.Cfg.Workers > 1 {
+						c.direct, err = s.en.Run(c.job.Cfg)
+					} else {
+						c.direct, err = s.en.RunOn(c.job.Cfg, &st)
+					}
 				} else {
-					res, err = s.en.RunOn(job.Cfg, &st)
+					sr, err = s.en.RunShardOn(c.job.Cfg, c.plan, u.shard, &c.budget, &st)
 				}
-				r := CellResult{Index: i, Job: job, Result: res, Err: err}
-				results[i] = r
-				if emit != nil {
-					emitMu.Lock()
-					emit(r)
-					emitMu.Unlock()
+				// An abort observed alongside cancellation means this unit's
+				// tally may be short; treat the cell as skipped rather than
+				// merging a partial shard.
+				var skipErr error
+				if c.plan.Shards > 1 && c.budget.Aborted() {
+					if cerr := ctx.Err(); cerr != nil {
+						skipErr = cerr
+					}
 				}
+				s.finishUnit(c, u, sr, err, skipErr, results, emit, &emitMu)
 			}
 		}()
 	}
@@ -137,12 +334,13 @@ func (s *Scheduler) Run(jobs []Job) ([]CellResult, error) {
 	return s.RunContext(context.Background(), jobs)
 }
 
-// RunContext is Run with cancellation: when ctx is cancelled the pool stops
-// picking up new cells (cells already decoding finish — cancellation has
-// cell granularity), the skipped cells carry ctx's error in their
-// CellResult, and RunContext returns ctx's error. Skipped cells are never
-// delivered to Options.OnResult, so a streaming consumer sees only cells
-// that genuinely ran.
+// RunContext is Run with cancellation: when ctx is cancelled the pool
+// stops picking up new units. In-flight unsharded cells finish; in-flight
+// shards of sharded cells abort at their next batch boundary, since their
+// cell can no longer merge completely. Cells skipped or aborted carry
+// ctx's error in their CellResult, RunContext returns ctx's error, and
+// such cells are never delivered to Options.OnResult — a streaming
+// consumer sees only cells that ran to completion, never a partial merge.
 func (s *Scheduler) RunContext(ctx context.Context, jobs []Job) ([]CellResult, error) {
 	results := make([]CellResult, len(jobs))
 	s.run(ctx, jobs, results, s.opts.OnResult)
@@ -170,10 +368,11 @@ func (s *Scheduler) Stream(jobs []Job) <-chan CellResult {
 	return s.StreamContext(context.Background(), jobs)
 }
 
-// StreamContext is Stream with cancellation semantics matching RunContext:
-// after ctx is done, in-flight cells still arrive on the channel (they ran
-// to completion) and the channel then closes; cells that never started are
-// silently dropped from the stream.
+// StreamContext is Stream with cancellation semantics matching
+// RunContext: after ctx is done, in-flight unsharded cells still arrive
+// on the channel (they ran to completion) and the channel then closes;
+// cells that never started — and sharded cells whose in-flight shards
+// were aborted — are silently dropped from the stream.
 func (s *Scheduler) StreamContext(ctx context.Context, jobs []Job) <-chan CellResult {
 	ch := make(chan CellResult, len(jobs))
 	results := make([]CellResult, len(jobs))

@@ -3,6 +3,7 @@ package sched
 import (
 	"context"
 	"errors"
+	"fmt"
 	"math"
 	"slices"
 	"strings"
@@ -237,7 +238,8 @@ func TestStreamResultIdentityDeterministicAtAnyWidth(t *testing.T) {
 // Cancelling mid-sweep stops the pool at the next cell boundary: cells
 // that never started carry the context error and are not emitted, while
 // every emitted cell genuinely ran. Width 1 makes the split deterministic:
-// cancel during cell 0's emission and cells 1..n must all be skipped.
+// cancel during the first cell's emission (the most expensive cell under
+// the default cost order) and every other cell must be skipped.
 func TestRunContextCancelSkipsRemainingCells(t *testing.T) {
 	jobs := thresholdGrid(150)
 	ctx, cancel := context.WithCancel(context.Background())
@@ -250,13 +252,17 @@ func TestRunContextCancelSkipsRemainingCells(t *testing.T) {
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("RunContext error = %v, want context.Canceled", err)
 	}
-	if len(emitted) != 1 || emitted[0] != 0 {
-		t.Fatalf("emitted cells %v, want exactly [0]", emitted)
+	if len(emitted) != 1 {
+		t.Fatalf("emitted cells %v, want exactly one", emitted)
 	}
-	if results[0].Err != nil || results[0].Result.Trials == 0 {
-		t.Errorf("cell 0 should have completed: %+v", results[0])
+	first := emitted[0]
+	if results[first].Err != nil || results[first].Result.Trials == 0 {
+		t.Errorf("cell %d should have completed: %+v", first, results[first])
 	}
-	for i := 1; i < len(results); i++ {
+	for i := range results {
+		if i == first {
+			continue
+		}
 		if !errors.Is(results[i].Err, context.Canceled) {
 			t.Errorf("cell %d err = %v, want context.Canceled", i, results[i].Err)
 		}
@@ -278,6 +284,134 @@ func TestStreamContextCancelClosesChannel(t *testing.T) {
 	}
 	if n != 0 {
 		t.Errorf("pre-cancelled stream delivered %d cells, want 0", n)
+	}
+}
+
+// The tentpole determinism property: for every shard threshold — each
+// fixing one shard plan per cell — Run and Stream results are bit-identical
+// across pool widths {1, 2, 4, 8}, on both grid types. Sharding changes
+// WHICH deterministic result a big cell produces (the merge of its plan's
+// worker streams instead of the single stream), so results are only
+// compared within a threshold, never across thresholds.
+func TestSchedulerDeterministicAcrossWidthsAndShardThresholds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full width x threshold sweep matrix; run by the dedicated race-scheduler CI job")
+	}
+	const trials = 4200 // 4 shards at the floor threshold, 2 at twice it
+	grids := []struct {
+		name string
+		mk   func(t *testing.T) []Job
+	}{
+		{"threshold", func(t *testing.T) []Job {
+			return ThresholdJobs(extract.Baseline, []int{3, 5}, []float64{4e-3, 1.6e-2},
+				hardware.Default(), trials, 21, montecarlo.UF, montecarlo.SweepOptions{})
+		}},
+		{"sensitivity", func(t *testing.T) []Job {
+			jobs, err := SensitivityJobs(montecarlo.PanelCavityT1, []float64{1e-4, 1e-2}, []int{3},
+				trials, 7, montecarlo.UF, montecarlo.SweepOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return jobs
+		}},
+	}
+	for _, grid := range grids {
+		for _, shardShots := range []int{0, montecarlo.MinShardShots, 2 * montecarlo.MinShardShots} {
+			plan := montecarlo.PlanShards(trials, shardShots)
+			name := fmt.Sprintf("%s/shard=%d(plan %d)", grid.name, shardShots, plan.Shards)
+			var ref []CellResult
+			for _, width := range []int{1, 2, 4, 8} {
+				en := montecarlo.NewEngine()
+				s := New(en, Options{Jobs: width, ShardShots: shardShots})
+				results, err := s.Run(grid.mk(t))
+				if err != nil {
+					t.Fatalf("%s width %d: %v", name, width, err)
+				}
+				var streamed []CellResult
+				for r := range s.Stream(grid.mk(t)) {
+					if r.Err != nil {
+						t.Fatalf("%s width %d: stream cell %d: %v", name, width, r.Index, r.Err)
+					}
+					streamed = append(streamed, r)
+				}
+				slices.SortFunc(streamed, func(a, b CellResult) int { return a.Index - b.Index })
+				for i := range results {
+					a, b := results[i].Result, streamed[i].Result
+					if a.Failures != b.Failures || a.Trials != b.Trials {
+						t.Errorf("%s width %d cell %d: Run %d/%d vs Stream %d/%d failures/trials",
+							name, width, i, a.Failures, a.Trials, b.Failures, b.Trials)
+					}
+				}
+				if ref == nil {
+					ref = results
+					// The sharded merge must equal the engine's multi-worker
+					// run of the same plan — pinning that the scheduler's
+					// stolen shards consume exactly worker streams 0..n-1.
+					if plan.Shards > 1 {
+						cfg := results[0].Job.Cfg
+						cfg.Workers = plan.Shards
+						want, err := en.Run(cfg)
+						if err != nil {
+							t.Fatal(err)
+						}
+						got := results[0].Result
+						if got.Failures != want.Failures || got.Trials != want.Trials {
+							t.Errorf("%s: sharded cell 0 merged %d/%d failures/trials, Run(Workers=%d) %d/%d",
+								name, got.Failures, got.Trials, plan.Shards, want.Failures, want.Trials)
+						}
+					}
+					continue
+				}
+				for i := range results {
+					a, b := results[i].Result, ref[i].Result
+					if a.Failures != b.Failures || a.Trials != b.Trials {
+						t.Errorf("%s width %d cell %d: %d/%d failures/trials, want %d/%d (width 1)",
+							name, width, i, a.Failures, a.Trials, b.Failures, b.Trials)
+					}
+				}
+			}
+		}
+	}
+}
+
+// The queue order is a wall-clock knob only: OrderFIFO and the default
+// OrderCost produce bit-identical per-cell results.
+func TestQueueOrderDoesNotChangeResults(t *testing.T) {
+	en := montecarlo.NewEngine()
+	cost, err := New(en, Options{Jobs: 4}).Run(thresholdGrid(300))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fifo, err := New(en, Options{Jobs: 4, Queue: OrderFIFO}).Run(thresholdGrid(300))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range cost {
+		a, b := cost[i].Result, fifo[i].Result
+		if a.Failures != b.Failures || a.Trials != b.Trials {
+			t.Errorf("cell %d: cost-ordered %d/%d vs FIFO %d/%d failures/trials",
+				i, a.Failures, a.Trials, b.Failures, b.Trials)
+		}
+	}
+}
+
+// CellCost must order a mixed grid longest-first: higher distance, more
+// rounds, or more trials all rank ahead; the estimate is pure and cheap.
+func TestCellCostOrdering(t *testing.T) {
+	base := montecarlo.Config{Distance: 5, Trials: 1000}
+	bigger := []montecarlo.Config{
+		{Distance: 7, Trials: 1000},             // more detectors and rounds
+		{Distance: 5, Trials: 2000},             // more trials
+		{Distance: 5, Rounds: 15, Trials: 1000}, // more rounds
+	}
+	for _, cfg := range bigger {
+		if CellCost(cfg) <= CellCost(base) {
+			t.Errorf("CellCost(%+v) = %g not above CellCost(%+v) = %g",
+				cfg, CellCost(cfg), base, CellCost(base))
+		}
+	}
+	if CellCost(base) != CellCost(base) || CellCost(base) <= 0 {
+		t.Errorf("CellCost not a positive pure function: %g", CellCost(base))
 	}
 }
 

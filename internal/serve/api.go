@@ -56,6 +56,14 @@ type SweepRequest struct {
 	Decoder string `json:"decoder,omitempty"`
 	// Jobs is this sweep's scheduler pool width (0 = the server default).
 	Jobs int `json:"jobs,omitempty"`
+	// ShardShots, when positive, splits cells into shard units of ~this
+	// many trials that idle pool workers steal; cells below twice the size
+	// stay whole, and values below montecarlo.MinShardShots are raised to
+	// that floor (see sched.Options).
+	// A sharded cell still streams as one CellRecord, merged
+	// deterministically from its fixed shard plan; cancelling the job
+	// aborts its in-flight shards.
+	ShardShots int `json:"shard_shots,omitempty"`
 }
 
 // CellRecord is one finished sweep cell as streamed to clients (NDJSON
@@ -133,6 +141,9 @@ func buildCells(req SweepRequest) (typ string, cells []sched.Job, err error) {
 	}
 	if req.Jobs < 0 {
 		return "", nil, fmt.Errorf("jobs must be non-negative, got %d", req.Jobs)
+	}
+	if req.ShardShots < 0 {
+		return "", nil, fmt.Errorf("shard_shots must be non-negative, got %d", req.ShardShots)
 	}
 	for _, d := range req.Distances {
 		if d < 3 || d%2 == 0 {

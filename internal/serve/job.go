@@ -28,12 +28,13 @@ func terminal(state string) bool {
 // slice and replays everything it has not yet seen, then waits on the
 // updated channel (closed and replaced on every change) for more.
 type job struct {
-	id        string
-	typ       string
-	cells     []sched.Job
-	poolWidth int
-	ctx       context.Context
-	cancel    context.CancelFunc
+	id         string
+	typ        string
+	cells      []sched.Job
+	poolWidth  int
+	shardShots int
+	ctx        context.Context
+	cancel     context.CancelFunc
 
 	mu       sync.Mutex
 	state    string
@@ -45,10 +46,10 @@ type job struct {
 	finished time.Time
 }
 
-func newJob(id, typ string, cells []sched.Job, poolWidth int, parent context.Context) *job {
+func newJob(id, typ string, cells []sched.Job, poolWidth, shardShots int, parent context.Context) *job {
 	ctx, cancel := context.WithCancel(parent)
 	return &job{
-		id: id, typ: typ, cells: cells, poolWidth: poolWidth,
+		id: id, typ: typ, cells: cells, poolWidth: poolWidth, shardShots: shardShots,
 		ctx: ctx, cancel: cancel,
 		state: StateQueued, updated: make(chan struct{}), created: time.Now(),
 	}

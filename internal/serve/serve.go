@@ -27,7 +27,9 @@
 // disconnects mid-stream, the job's context is cancelled and the pool
 // stops at the next cell boundary. Async jobs detach from their request
 // and are cancelled only by DELETE or server shutdown; observers on
-// /results can come and go freely.
+// /results can come and go freely. A request's shard_shots field turns on
+// intra-cell sharding (sched work stealing); cancellation aborts the
+// in-flight shards of a sharded cell, which never emits a partial record.
 //
 // Backpressure is explicit: at most Config.MaxConcurrentJobs sweeps run at
 // once, at most Config.QueueDepth wait behind them, and submissions beyond
@@ -240,7 +242,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	s.nextID++
 	s.submitted++
-	jb := newJob(fmt.Sprintf("sw-%06d", s.nextID), typ, cells, width, s.baseCtx)
+	jb := newJob(fmt.Sprintf("sw-%06d", s.nextID), typ, cells, width, req.ShardShots, s.baseCtx)
 	s.jobs[jb.id] = jb
 	s.order = append(s.order, jb)
 	s.mu.Unlock()
@@ -278,9 +280,14 @@ func (s *Server) execute(jb *job) {
 		}
 	}
 	scheduler := sched.New(s.en, sched.Options{
-		Jobs:     jb.poolWidth,
-		OnResult: func(r sched.CellResult) { jb.appendCell(cellRecord(r)) },
+		Jobs:       jb.poolWidth,
+		ShardShots: jb.shardShots,
+		OnResult:   func(r sched.CellResult) { jb.appendCell(cellRecord(r)) },
 	})
+	// Cancellation granularity: sched observes jb.ctx at unit boundaries —
+	// a DELETE or an owning client's disconnect skips unstarted cells and
+	// aborts the in-flight shards of a sharded cell, which is then dropped
+	// without a partial CellRecord.
 	_, err := scheduler.RunContext(jb.ctx, jb.cells)
 	switch {
 	case jb.ctx.Err() != nil:

@@ -242,8 +242,20 @@ type (
 	// a MonteCarloEngine, streaming per-cell results as they finish while
 	// keeping results deterministic regardless of pool width.
 	SweepScheduler = sched.Scheduler
-	// SweepSchedulerOptions tunes the pool width and result streaming.
+	// SweepSchedulerOptions tunes the pool width, queue order, shard
+	// stealing threshold, and result streaming.
 	SweepSchedulerOptions = sched.Options
+	// SweepQueueOrder selects the job-queue order (cost-descending by
+	// default, FIFO as the benchmark baseline).
+	SweepQueueOrder = sched.QueueOrder
+	// ShardPlan is the fixed decomposition of one point's trials into
+	// stealable shard units.
+	ShardPlan = montecarlo.ShardPlan
+	// ShardResult is one shard's mergeable tally.
+	ShardResult = montecarlo.ShardResult
+	// ShardBudget coordinates early stop and abort across one point's
+	// shards.
+	ShardBudget = montecarlo.ShardBudget
 	// SweepJob is one schedulable sweep cell (a Monte-Carlo config plus an
 	// opaque tag).
 	SweepJob = sched.Job
@@ -258,10 +270,34 @@ type (
 	MonteCarloWorkerState = montecarlo.WorkerState
 )
 
+// Queue orders for SweepSchedulerOptions.Queue.
+const (
+	SweepOrderCost = sched.OrderCost
+	SweepOrderFIFO = sched.OrderFIFO
+)
+
+// MinShardShots is the shot floor below which sweep-cell sharding never
+// engages (see montecarlo.MinShardShots).
+const MinShardShots = montecarlo.MinShardShots
+
 // NewSweepScheduler returns a scheduler over the engine (a fresh engine if
 // nil).
 func NewSweepScheduler(en *MonteCarloEngine, opts SweepSchedulerOptions) *SweepScheduler {
 	return sched.New(en, opts)
+}
+
+// SweepCellCost estimates a cell's relative decode cost (detectors x
+// rounds x trials) — the scheduler's longest-first ordering key.
+func SweepCellCost(cfg MonteCarloConfig) float64 { return sched.CellCost(cfg) }
+
+// PlanShards returns the fixed shard plan for a trial budget under a shard
+// size (0 disables; positive values are floored at MinShardShots).
+func PlanShards(trials, shardShots int) ShardPlan { return montecarlo.PlanShards(trials, shardShots) }
+
+// MergeShards folds the shards of one point into a single Result,
+// deterministically in its inputs.
+func MergeShards(cfg MonteCarloConfig, parts []ShardResult) (MonteCarloResult, error) {
+	return montecarlo.MergeShards(cfg, parts)
 }
 
 // ThresholdSweepJobs builds a Fig. 11 grid as scheduler jobs.
