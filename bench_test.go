@@ -522,10 +522,16 @@ func BenchmarkSweepRow(b *testing.B) {
 // (at threshold, maximum event density). Structures and graph topologies
 // are prebuilt and each cell runs single-threaded through RunOn with a
 // persistent WorkerState (the sweep scheduler's steady state), so the
-// comparison isolates sample+decode cost. Each cell is timed three times
-// taking the minimum; the measurements and per-distance speedups at the
-// below-threshold operating row (p=2e-3) are written to BENCH_decoder.json
-// as the regression baseline.
+// comparison isolates sample+decode cost. Every cell is timed both with
+// the batch decode pipeline (zero-defect skip + syndrome dedup, the
+// production default) and with it disabled (the pre-pipeline path, the
+// regression reference); both legs must agree bit for bit on
+// failures/trials. Each timing is the minimum of three reps; the
+// measurements, the blossom-vs-uf speedups at the below-threshold
+// operating row (p=2e-3), and the per-leg pipeline speedups are written
+// to BENCH_decoder.json as the regression baseline, and one
+// machine-parseable BENCHLINE summary goes to stdout for CI log scraping
+// (cmd/benchguard consumes the JSON).
 //
 //	VLQ_DECODER_TRIALS  trials per timed cell (default 2000)
 func BenchmarkSweepRowDecoders(b *testing.B) {
@@ -538,22 +544,27 @@ func BenchmarkSweepRowDecoders(b *testing.B) {
 	scheme := extract.CompactInterleaved
 
 	en := montecarlo.NewEngine()
-	cfg := func(phys float64, d int, dec montecarlo.DecoderKind) montecarlo.Config {
-		return montecarlo.ThresholdCellConfig(scheme, d, phys, hardware.Default(), trials, seed, dec, montecarlo.SweepOptions{})
+	cfg := func(phys float64, d int, dec montecarlo.DecoderKind, noPipe bool) montecarlo.Config {
+		c := montecarlo.ThresholdCellConfig(scheme, d, phys, hardware.Default(), trials, seed, dec, montecarlo.SweepOptions{})
+		c.DisablePipeline = noPipe
+		return c
 	}
 	states := map[montecarlo.DecoderKind]*montecarlo.WorkerState{}
 	for _, dec := range decs {
 		states[dec] = &montecarlo.WorkerState{}
 	}
 	// Untimed warm-up: build every structure and topology, fault in the
-	// worker states' samplers and decoder arenas.
+	// worker states' samplers, decoder arenas, and pipeline tables on both
+	// the piped and unpiped paths.
 	for _, phys := range physRates {
 		for _, d := range ds {
 			for _, dec := range decs {
-				c := cfg(phys, d, dec)
-				c.Trials = min(trials, 128)
-				if _, err := en.RunOn(c, states[dec]); err != nil {
-					b.Fatal(err)
+				for _, noPipe := range []bool{false, true} {
+					c := cfg(phys, d, dec, noPipe)
+					c.Trials = min(trials, 128)
+					if _, err := en.RunOn(c, states[dec]); err != nil {
+						b.Fatal(err)
+					}
 				}
 			}
 		}
@@ -561,12 +572,16 @@ func BenchmarkSweepRowDecoders(b *testing.B) {
 	b.ResetTimer()
 
 	type leg struct {
-		PhysRate  float64 `json:"phys_rate"`
-		Distance  int     `json:"distance"`
-		Decoder   string  `json:"decoder"`
-		Trials    int     `json:"trials"`
-		NsPerShot float64 `json:"ns_per_shot"`
-		Rate      float64 `json:"logical_rate"`
+		PhysRate        float64 `json:"phys_rate"`
+		Distance        int     `json:"distance"`
+		Decoder         string  `json:"decoder"`
+		Trials          int     `json:"trials"`
+		NsPerShot       float64 `json:"ns_per_shot"`        // pipeline on (production default)
+		NsPerShotNoPipe float64 `json:"ns_per_shot_nopipe"` // pipeline disabled (PR 4 path)
+		PipelineSpeedup float64 `json:"pipeline_speedup"`
+		SkippedFrac     float64 `json:"skipped_frac"`
+		DedupFrac       float64 `json:"dedup_frac"`
+		Rate            float64 `json:"logical_rate"`
 	}
 	var legs []leg
 	for i := 0; i < b.N; i++ {
@@ -574,23 +589,43 @@ func BenchmarkSweepRowDecoders(b *testing.B) {
 		for _, phys := range physRates {
 			for _, d := range ds {
 				for _, dec := range decs {
-					best := time.Duration(math.MaxInt64)
-					var res montecarlo.Result
+					bestOn := time.Duration(math.MaxInt64)
+					bestOff := time.Duration(math.MaxInt64)
+					var resOn, resOff montecarlo.Result
+					// Interleave the piped and unpiped reps so allocator
+					// and cache warmth drift hits both legs equally.
 					for rep := 0; rep < 3; rep++ {
 						start := time.Now()
 						var err error
-						res, err = en.RunOn(cfg(phys, d, dec), states[dec])
+						resOn, err = en.RunOn(cfg(phys, d, dec, false), states[dec])
 						if err != nil {
 							b.Fatal(err)
 						}
-						if t := time.Since(start); t < best {
-							best = t
+						if t := time.Since(start); t < bestOn {
+							bestOn = t
+						}
+						start = time.Now()
+						resOff, err = en.RunOn(cfg(phys, d, dec, true), states[dec])
+						if err != nil {
+							b.Fatal(err)
+						}
+						if t := time.Since(start); t < bestOff {
+							bestOff = t
 						}
 					}
+					if resOn.Trials != resOff.Trials || resOn.Failures != resOff.Failures {
+						b.Errorf("d=%d p=%g %s: pipeline on %d/%d failures/trials, off %d/%d — must be bit-identical",
+							d, phys, dec, resOn.Failures, resOn.Trials, resOff.Failures, resOff.Trials)
+					}
+					n := float64(resOn.Trials)
 					legs = append(legs, leg{
-						PhysRate: phys, Distance: d, Decoder: string(dec), Trials: res.Trials,
-						NsPerShot: float64(best.Nanoseconds()) / float64(res.Trials),
-						Rate:      res.Rate(),
+						PhysRate: phys, Distance: d, Decoder: string(dec), Trials: resOn.Trials,
+						NsPerShot:       float64(bestOn.Nanoseconds()) / n,
+						NsPerShotNoPipe: float64(bestOff.Nanoseconds()) / n,
+						PipelineSpeedup: float64(bestOff) / float64(bestOn),
+						SkippedFrac:     float64(resOn.Skipped) / n,
+						DedupFrac:       float64(resOn.DedupHits) / n,
+						Rate:            resOn.Rate(),
 					})
 				}
 			}
@@ -599,8 +634,9 @@ func BenchmarkSweepRowDecoders(b *testing.B) {
 	b.StopTimer()
 
 	printTableOnce(b, func() {
-		fmt.Printf("\nDecoder leg — %s, %d trials/cell, warm engine:\n", scheme, trials)
+		fmt.Printf("\nDecoder leg — %s, %d trials/cell, warm engine, pipeline on vs off:\n", scheme, trials)
 		speedups := map[int]float64{}
+		pipeMin, pipeMax := math.MaxFloat64, 0.0
 		for _, phys := range physRates {
 			fmt.Printf("  p=%g:\n", phys)
 			for _, d := range ds {
@@ -619,21 +655,36 @@ func BenchmarkSweepRowDecoders(b *testing.B) {
 				if phys == opPhys {
 					speedups[d] = sp
 				}
-				fmt.Printf("    d=%-3d union-find %8.0f ns/shot (rate %.4f)   blossom %8.0f ns/shot (rate %.4f)   speedup %.2fx\n",
-					d, uf.NsPerShot, uf.Rate, bl.NsPerShot, bl.Rate, sp)
+				if phys < 4e-3 { // below-threshold legs: the acceptance regime
+					for _, l := range []leg{uf, bl} {
+						pipeMin = min(pipeMin, l.PipelineSpeedup)
+						pipeMax = max(pipeMax, l.PipelineSpeedup)
+					}
+				}
+				fmt.Printf("    d=%-3d uf %8.0f ns/shot (nopipe %8.0f, %.2fx, skip %.0f%% dedup %.0f%%)   blossom %8.0f ns/shot (nopipe %8.0f, %.2fx)   bl-vs-uf %.2fx\n",
+					d, uf.NsPerShot, uf.NsPerShotNoPipe, uf.PipelineSpeedup, 100*uf.SkippedFrac, 100*uf.DedupFrac,
+					bl.NsPerShot, bl.NsPerShotNoPipe, bl.PipelineSpeedup, sp)
 			}
 		}
-		fmt.Printf("  target: blossom >= 1.5x union-find at d=11, p=%g (got %.2fx)\n", opPhys, speedups[11])
+		fmt.Printf("  targets: blossom >= 1.5x union-find at d=11, p=%g (got %.2fx); pipeline >= 2x on below-threshold legs (got %.2fx-%.2fx)\n",
+			opPhys, speedups[11], pipeMin, pipeMax)
+		// One-line machine-parseable summary for CI log scraping; the full
+		// per-leg breakdown is BENCH_decoder.json.
+		fmt.Printf("BENCHLINE bench=decoder scheme=%s trials=%d blossom_vs_uf_d11_p%g=%.3f pipeline_speedup_min=%.3f pipeline_speedup_max=%.3f legs=%d\n",
+			scheme, trials, opPhys, speedups[11], pipeMin, pipeMax, len(legs))
 
 		baseline := struct {
-			Scheme        string          `json:"scheme"`
-			OpPhysRate    float64         `json:"op_phys_rate"`
-			TrialsPerCell int             `json:"trials_per_cell"`
-			Legs          []leg           `json:"legs"`
-			Speedups      map[int]float64 `json:"blossom_vs_uf_speedup"`
+			Scheme             string          `json:"scheme"`
+			OpPhysRate         float64         `json:"op_phys_rate"`
+			TrialsPerCell      int             `json:"trials_per_cell"`
+			Legs               []leg           `json:"legs"`
+			Speedups           map[int]float64 `json:"blossom_vs_uf_speedup"`
+			PipelineSpeedupMin float64         `json:"pipeline_speedup_min_below_threshold"`
+			PipelineSpeedupMax float64         `json:"pipeline_speedup_max_below_threshold"`
 		}{
 			Scheme: scheme.String(), OpPhysRate: opPhys, TrialsPerCell: trials,
 			Legs: legs, Speedups: speedups,
+			PipelineSpeedupMin: pipeMin, PipelineSpeedupMax: pipeMax,
 		}
 		if buf, err := json.MarshalIndent(baseline, "", "  "); err == nil {
 			if werr := os.WriteFile("BENCH_decoder.json", append(buf, '\n'), 0o644); werr != nil {

@@ -1,0 +1,143 @@
+// Command benchguard is the CI regression gate over BENCH_decoder.json:
+// it compares the current benchmark run against a baseline copy of the
+// same file (restored from the previous run's cache) and exits non-zero
+// if any guarded leg's decode throughput regressed beyond the allowed
+// fraction. Guarded legs are the below-threshold cells — phys_rate at or
+// under the file's op_phys_rate — because that is the regime the paper's
+// conclusions (and the decode pipeline's wins) live in; the at-threshold
+// legs are reported but never gate.
+//
+// Throughput is shots per second on the pipeline-on path, 1e9/ns_per_shot.
+// Legs are matched across files by (phys_rate, distance, decoder); legs
+// present on only one side are reported and skipped, so adding or removing
+// a grid point does not break the gate. A missing baseline file is a clean
+// pass (first run, nothing to compare against).
+//
+// Usage:
+//
+//	benchguard -baseline baseline/BENCH_decoder.json [-current BENCH_decoder.json] [-max-regress 0.10]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+type leg struct {
+	PhysRate        float64 `json:"phys_rate"`
+	Distance        int     `json:"distance"`
+	Decoder         string  `json:"decoder"`
+	Trials          int     `json:"trials"`
+	NsPerShot       float64 `json:"ns_per_shot"`
+	NsPerShotNoPipe float64 `json:"ns_per_shot_nopipe"`
+	PipelineSpeedup float64 `json:"pipeline_speedup"`
+}
+
+type report struct {
+	Scheme     string  `json:"scheme"`
+	OpPhysRate float64 `json:"op_phys_rate"`
+	Legs       []leg   `json:"legs"`
+}
+
+type key struct {
+	phys float64
+	dist int
+	dec  string
+}
+
+func load(path string) (report, error) {
+	var r report
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	if err := json.Unmarshal(buf, &r); err != nil {
+		return r, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(r.Legs) == 0 {
+		return r, fmt.Errorf("%s: no legs", path)
+	}
+	return r, nil
+}
+
+func shotsPerSec(nsPerShot float64) float64 {
+	if nsPerShot <= 0 {
+		return 0
+	}
+	return 1e9 / nsPerShot
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "", "baseline BENCH_decoder.json from the previous run (missing file = clean pass)")
+	currentPath := flag.String("current", "BENCH_decoder.json", "current run's BENCH_decoder.json")
+	maxRegress := flag.Float64("max-regress", 0.10, "maximum allowed fractional throughput regression on guarded legs")
+	flag.Parse()
+	if *baselinePath == "" {
+		fmt.Fprintln(os.Stderr, "benchguard: -baseline is required")
+		os.Exit(2)
+	}
+	if *maxRegress < 0 || *maxRegress >= 1 {
+		fmt.Fprintf(os.Stderr, "benchguard: -max-regress must be in [0, 1), got %g\n", *maxRegress)
+		os.Exit(2)
+	}
+
+	cur, err := load(*currentPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard:", err)
+		os.Exit(2)
+	}
+	base, err := load(*baselinePath)
+	if os.IsNotExist(err) {
+		fmt.Printf("benchguard: no baseline at %s — first run, nothing to compare\n", *baselinePath)
+		return
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard:", err)
+		os.Exit(2)
+	}
+
+	old := map[key]leg{}
+	for _, l := range base.Legs {
+		old[key{l.PhysRate, l.Distance, l.Decoder}] = l
+	}
+
+	fmt.Printf("benchguard: %s vs baseline, guarding p <= %g at -max-regress %.0f%%\n",
+		*currentPath, cur.OpPhysRate, 100**maxRegress)
+	regressions := 0
+	matched := 0
+	for _, l := range cur.Legs {
+		b, ok := old[key{l.PhysRate, l.Distance, l.Decoder}]
+		if !ok {
+			fmt.Printf("  d=%-3d p=%-6g %-8s new leg, no baseline — skipped\n", l.Distance, l.PhysRate, l.Decoder)
+			continue
+		}
+		delete(old, key{l.PhysRate, l.Distance, l.Decoder})
+		matched++
+		curTP, baseTP := shotsPerSec(l.NsPerShot), shotsPerSec(b.NsPerShot)
+		delta := curTP/baseTP - 1
+		guarded := l.PhysRate <= cur.OpPhysRate
+		verdict := "ok"
+		if guarded && curTP < baseTP*(1-*maxRegress) {
+			verdict = "REGRESSED"
+			regressions++
+		} else if !guarded {
+			verdict = "ok (unguarded, at-threshold)"
+		}
+		fmt.Printf("  d=%-3d p=%-6g %-8s %9.0f -> %9.0f shots/s  %+6.1f%%  %s\n",
+			l.Distance, l.PhysRate, l.Decoder, baseTP, curTP, 100*delta, verdict)
+	}
+	for k := range old {
+		fmt.Printf("  d=%-3d p=%-6g %-8s baseline leg missing from current run — skipped\n", k.dist, k.phys, k.dec)
+	}
+	if matched == 0 {
+		fmt.Fprintln(os.Stderr, "benchguard: no legs matched between current and baseline")
+		os.Exit(2)
+	}
+	if regressions > 0 {
+		fmt.Fprintf(os.Stderr, "benchguard: %d guarded leg(s) regressed more than %.0f%%\n", regressions, 100**maxRegress)
+		os.Exit(1)
+	}
+	fmt.Println("benchguard: pass")
+}

@@ -37,6 +37,7 @@ func main() {
 	dec := flag.String("decoder", "uf", "decoder: uf, blossom, mwpm, or exact")
 	jobs := flag.Int("jobs", 0, "scheduler pool width: sweep cells decoded concurrently (0 = GOMAXPROCS)")
 	shardShots := flag.Int("shard-shots", 0, fmt.Sprintf("split cells into stolen shard units of ~this many trials; cells below twice the size stay whole (0 = off; floor %d)", montecarlo.MinShardShots))
+	pipeline := flag.Bool("decode-pipeline", true, "batch decode pipeline: skip zero-defect shots and dedup repeated syndromes before the matcher (bit-identical results; false = decode every shot)")
 	csv := flag.Bool("csv", false, "stream CSV rows as cells finish instead of printing a table")
 	jsonOut := flag.Bool("json", false, "stream one JSON object per cell as it finishes")
 	flag.Parse()
@@ -76,6 +77,7 @@ func main() {
 				Panel: string(cell.Panel), Value: cell.Value, Distance: cell.Distance,
 				LogicalRate: r.Result.Rate(), StdErr: r.Result.StdErr(),
 				Trials: r.Result.Trials, Failures: r.Result.Failures,
+				Skipped: r.Result.Skipped, DedupHits: r.Result.DedupHits,
 			})
 		}
 	}
@@ -97,7 +99,7 @@ func main() {
 			}
 		}
 		pts, err := scheduler.SensitivitySweep(pn, vals, ds, *trials, *seed,
-			montecarlo.DecoderKind(*dec), montecarlo.SweepOptions{TargetFailures: *target})
+			montecarlo.DecoderKind(*dec), montecarlo.SweepOptions{TargetFailures: *target, DisablePipeline: !*pipeline})
 		if err != nil {
 			fatal(err)
 		}
@@ -132,6 +134,8 @@ type sensitivityRow struct {
 	StdErr      float64 `json:"stderr"`
 	Trials      int     `json:"trials"`
 	Failures    int     `json:"failures"`
+	Skipped     int     `json:"skipped,omitempty"`
+	DedupHits   int     `json:"dedup_hits,omitempty"`
 }
 
 func parseInts(s string) ([]int, error) {

@@ -39,6 +39,7 @@ func main() {
 	dec := flag.String("decoder", "uf", "decoder: uf, blossom, mwpm, or exact")
 	jobs := flag.Int("jobs", 0, "scheduler pool width: sweep cells decoded concurrently (0 = GOMAXPROCS)")
 	shardShots := flag.Int("shard-shots", 0, fmt.Sprintf("split cells into stolen shard units of ~this many trials; cells below twice the size stay whole (0 = off; floor %d)", montecarlo.MinShardShots))
+	pipeline := flag.Bool("decode-pipeline", true, "batch decode pipeline: skip zero-defect shots and dedup repeated syndromes before the matcher (bit-identical results; false = decode every shot)")
 	csv := flag.Bool("csv", false, "stream CSV rows as cells finish instead of printing a table")
 	jsonOut := flag.Bool("json", false, "stream one JSON object per cell as it finishes")
 	flag.Parse()
@@ -88,6 +89,7 @@ func main() {
 				Scheme: cell.Scheme.String(), Distance: cell.Distance, PhysRate: cell.Phys,
 				LogicalRate: r.Result.Rate(), StdErr: r.Result.StdErr(),
 				Trials: r.Result.Trials, Failures: r.Result.Failures,
+				Skipped: r.Result.Skipped, DedupHits: r.Result.DedupHits,
 			})
 		}
 	}
@@ -103,7 +105,7 @@ func main() {
 	scheduler := sched.New(montecarlo.NewEngine(), opts)
 	for _, sch := range schemes {
 		pts, err := scheduler.ThresholdSweep(sch, ds, ps, hardware.Default(), *trials, *seed,
-			montecarlo.DecoderKind(*dec), montecarlo.SweepOptions{TargetFailures: *target})
+			montecarlo.DecoderKind(*dec), montecarlo.SweepOptions{TargetFailures: *target, DisablePipeline: !*pipeline})
 		if err != nil {
 			fatal(err)
 		}
@@ -143,6 +145,8 @@ type thresholdRow struct {
 	StdErr      float64 `json:"stderr"`
 	Trials      int     `json:"trials"`
 	Failures    int     `json:"failures"`
+	Skipped     int     `json:"skipped,omitempty"`
+	DedupHits   int     `json:"dedup_hits,omitempty"`
 }
 
 func schemeByName(name string) (extract.Scheme, error) {

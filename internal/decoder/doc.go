@@ -34,15 +34,32 @@
 // All decoders answer one question per shot: given the set of fired
 // detectors, did the error most likely flip the logical observable?
 //
+// In front of the decoders sits Pipeline, the batch-level decode front
+// end: it answers zero-defect shots immediately (an empty syndrome's
+// minimum-weight correction is empty, so the prediction is "no flip"
+// under every Kind), hashes each remaining shot's syndrome and decodes
+// every distinct syndrome in the batch exactly once — densest first —
+// through the wrapped inner BatchDecoder, then replays the cached
+// prediction into each duplicate slot. Because each Kind is
+// deterministic per syndrome and stateless across shots, the pipeline is
+// bit-identical to the unpruned path shot for shot; hash matches are
+// always verified against the full event list, so a collision can never
+// alias two syndromes. Its skip/dedup counters (PipelineStats) surface
+// through montecarlo.Result and the serving front end's /v1/stats.
+//
 // Entry points:
 //
 //   - Decoder: the scalar interface — Decode(events) (obsFlip, err)
 //   - BatchDecoder + Batch: the allocation-free bulk path; Batch is a
 //     reusable flat container of many shots' events and DecodeBatch
 //     decodes them with zero per-shot allocations
+//   - Pipeline / NewPipeline: the zero-defect-skip + syndrome-dedup
+//     batch front end over any BatchDecoder (see ARCHITECTURE.md,
+//     "The batch decode pipeline")
 //   - ParseKind / New: flag- and request-level selection of a strategy
-//   - UnionFind.Rebind / Blossom.Rebind: rebind existing decoder state to
-//     a new graph of the same shape, so a sweep reuses all decoder arrays
+//   - UnionFind.Rebind / Blossom.Rebind / Pipeline.Rebind: rebind
+//     existing decoder state to a new graph of the same shape, so a
+//     sweep reuses all decoder arrays (and the pipeline's hash table)
 //     across noise scales instead of reallocating per cell
 //
 // Decoders reuse internal buffers and are not safe for concurrent use;

@@ -49,3 +49,60 @@ func FuzzDecodeSyndrome(f *testing.F) {
 		_ = wantObs
 	})
 }
+
+// FuzzPipelineBatch feeds whole batches — four 12-bit syndrome words, with
+// the first replicated rep extra times — through Pipeline(blossom) and a bare
+// blossom: every shot's prediction must be bit-identical, and the counters
+// must partition the batch. The seeded corpus covers the all-zero batch and
+// duplicate-heavy batches the below-threshold regime produces.
+func FuzzPipelineBatch(f *testing.F) {
+	f.Add(uint64(0), uint64(0), uint64(0), uint64(0), uint8(8))              // all-zero batch
+	f.Add(uint64(0b101), uint64(0b101), uint64(0b101), uint64(0), uint8(12)) // duplicate-heavy
+	f.Add(uint64(0xfff), uint64(1), uint64(0x8a1), uint64(0b111000111), uint8(0))
+	f.Add(uint64(0x7fe), uint64(0x7fe), uint64(0), uint64(2), uint8(3))
+	direct := NewBlossom(fuzzGraph)
+	pipe := NewPipeline(NewBlossom(fuzzGraph))
+	f.Fuzz(func(t *testing.T, w1, w2, w3, w4 uint64, rep uint8) {
+		shot := func(word uint64) []int {
+			var ev []int
+			for i := 0; i < fuzzGraph.NumNodes; i++ {
+				if word&(1<<i) != 0 {
+					ev = append(ev, i)
+				}
+			}
+			return ev
+		}
+		var b Batch
+		for _, w := range []uint64{w1, w2, w3, w4} {
+			b.Add(shot(w))
+		}
+		for i := 0; i < int(rep%16); i++ {
+			b.Add(shot(w1))
+		}
+		n := b.Len()
+		want := make([]bool, n)
+		got := make([]bool, n)
+		errDirect := direct.DecodeBatch(&b, want)
+		before := pipe.Stats()
+		errPipe := pipe.DecodeBatch(&b, got)
+		if (errDirect == nil) != (errPipe == nil) {
+			t.Fatalf("direct err %v vs pipeline err %v", errDirect, errPipe)
+		}
+		if errDirect != nil {
+			return
+		}
+		for i := 0; i < n; i++ {
+			if got[i] != want[i] {
+				t.Fatalf("shot %d (events %v): pipeline %v vs direct %v", i, b.Shot(i), got[i], want[i])
+			}
+		}
+		d := pipe.Stats()
+		d.Shots -= before.Shots
+		d.Skipped -= before.Skipped
+		d.DedupHits -= before.DedupHits
+		d.Decoded -= before.Decoded
+		if d.Shots != int64(n) || d.Shots != d.Skipped+d.DedupHits+d.Decoded {
+			t.Fatalf("counters don't partition batch of %d: %+v", n, d)
+		}
+	})
+}

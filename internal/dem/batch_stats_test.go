@@ -1,0 +1,102 @@
+package dem
+
+import (
+	"math/bits"
+	"math/rand/v2"
+	"slices"
+	"testing"
+
+	"repro/internal/extract"
+)
+
+// EventMask, ObsWord, and Extract must agree exactly with per-shot Shot
+// extraction: same zero/nonzero classification, same observable truth,
+// and byte-identical sorted detector lists for every shot in the mask.
+func TestBatchWordStatsMatchPerShotExtraction(t *testing.T) {
+	_, m := buildModel(t, extract.CompactInterleaved, 5)
+	bs := m.NewBatchSampler()
+	rng := rand.New(rand.NewPCG(41, 7))
+	var ss ShotSet
+	for trial := 0; trial < 20; trial++ {
+		n := BatchShots
+		if trial%3 == 1 {
+			n = 1 + trial
+		}
+		bs.SampleN(rng, n)
+		nz := bs.EventMask()
+		obsW := bs.ObsWord()
+		var wantMask uint64
+		for s := 0; s < n; s++ {
+			events, obs := bs.Shot(s)
+			if len(events) > 0 {
+				wantMask |= 1 << uint(s)
+			}
+			if obs != (obsW&(1<<uint(s)) != 0) {
+				t.Fatalf("trial %d shot %d: ObsWord bit %v vs Shot obs %v", trial, s, !obs, obs)
+			}
+		}
+		if nz != wantMask {
+			t.Fatalf("trial %d: EventMask %#x vs per-shot mask %#x", trial, nz, wantMask)
+		}
+		if hi := 64 - bits.LeadingZeros64(nz); hi > n {
+			t.Fatalf("trial %d: EventMask has bit %d set beyond batch of %d", trial, hi-1, n)
+		}
+
+		bs.Extract(nz, &ss)
+		if ss.Len() != bits.OnesCount64(nz) {
+			t.Fatalf("trial %d: Extract returned %d shots for mask of %d bits", trial, ss.Len(), bits.OnesCount64(nz))
+		}
+		seen := 0
+		for s := 0; s < n; s++ {
+			if nz&(1<<uint(s)) == 0 {
+				continue
+			}
+			if got := ss.Index(seen); got != s {
+				t.Fatalf("trial %d: entry %d has shot index %d, want %d", trial, seen, got, s)
+			}
+			events, _ := bs.Shot(s)
+			if !slices.Equal(ss.Shot(seen), events) {
+				t.Fatalf("trial %d shot %d: Extract %v vs Shot %v", trial, s, ss.Shot(seen), events)
+			}
+			seen++
+		}
+	}
+}
+
+// Extract over a sub-mask must return exactly the selected shots, and an
+// empty mask an empty set (buffer-reuse hygiene).
+func TestExtractSubMask(t *testing.T) {
+	_, m := buildModel(t, extract.NaturalInterleaved, 3)
+	bs := m.NewBatchSampler()
+	rng := rand.New(rand.NewPCG(5, 5))
+	bs.Sample(rng)
+	nz := bs.EventMask()
+	var ss ShotSet
+	// Every other set bit.
+	var sub uint64
+	keep := true
+	for w := nz; w != 0; w &= w - 1 {
+		if keep {
+			sub |= w & -w
+		}
+		keep = !keep
+	}
+	bs.Extract(sub, &ss)
+	if ss.Len() != bits.OnesCount64(sub) {
+		t.Fatalf("sub-mask extract returned %d shots, want %d", ss.Len(), bits.OnesCount64(sub))
+	}
+	for i := 0; i < ss.Len(); i++ {
+		s := ss.Index(i)
+		if sub&(1<<uint(s)) == 0 {
+			t.Fatalf("entry %d has shot %d outside the sub-mask", i, s)
+		}
+		events, _ := bs.Shot(s)
+		if !slices.Equal(ss.Shot(i), events) {
+			t.Fatalf("shot %d: %v vs %v", s, ss.Shot(i), events)
+		}
+	}
+	bs.Extract(0, &ss)
+	if ss.Len() != 0 {
+		t.Fatalf("empty mask extracted %d shots", ss.Len())
+	}
+}

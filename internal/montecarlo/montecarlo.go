@@ -6,6 +6,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"math/bits"
 	"math/rand/v2"
 	"runtime"
 	"slices"
@@ -55,6 +56,13 @@ type Config struct {
 	// relative error per point (the standard sequential-sampling mode for
 	// threshold sweeps).
 	TargetFailures int
+	// DisablePipeline turns off the batch decode pipeline (zero-defect skip
+	// + syndrome dedup) and decodes every shot through the unpruned path.
+	// The zero value — pipeline on — is the production configuration;
+	// predictions are bit-identical either way (the pipeline's contract,
+	// pinned by the conformance tests), so the switch exists for A/B
+	// benchmarking and as the conformance baseline, not correctness.
+	DisablePipeline bool
 }
 
 func (cfg Config) extractConfig() extract.Config {
@@ -71,6 +79,12 @@ type Result struct {
 	Trials    int // shots actually taken (< Config.Trials under early stop)
 	Failures  int
 	Fallbacks int // mwpm/exact trials that fell back to union-find
+	// Skipped counts zero-defect shots answered by the pipeline's word-level
+	// fast path without touching the decoder; DedupHits counts shots whose
+	// syndrome duplicated an earlier shot of the same batch and replayed its
+	// prediction. Both are zero when the pipeline is disabled.
+	Skipped   int
+	DedupHits int
 	// Mechanisms and DetectorCount describe the underlying model.
 	Mechanisms    int
 	DetectorCount int
@@ -316,6 +330,8 @@ type WorkerState struct {
 	bs    *dem.BatchSampler
 	uf    *decoder.UnionFind
 	bl    *decoder.Blossom
+	pipe  *decoder.Pipeline
+	shots dem.ShotSet
 }
 
 // sampler returns a batch sampler over model, reusing the worker's buffers.
@@ -353,19 +369,46 @@ func (st *WorkerState) decoderFor(kind DecoderKind, graph *dem.Graph) (decoder.B
 	return st.uf, nil
 }
 
+// pipeline returns the worker's dedup pipeline rebound over inner, creating
+// it on first use. The epoch-stamped dedup table and batch buffers survive
+// across cells exactly like the sampler tables do.
+func (st *WorkerState) pipeline(inner decoder.BatchDecoder) *decoder.Pipeline {
+	if st.pipe == nil {
+		st.pipe = decoder.NewPipeline(inner)
+	} else {
+		st.pipe.Rebind(inner)
+	}
+	return st.pipe
+}
+
 type tally struct {
 	trials, failures, fallbacks int
+	skipped, dedupHits          int
 }
 
 // runWorker executes worker w's share of one point: sample 64-shot batches
 // from the worker's ChaCha8 stream, decode them, and tally failures. budget
 // coordinates early stopping across the point's workers (or shards) when
-// target > 0, and its abort flag stops the loop at the next batch boundary.
-func runWorker(model *dem.Model, graph *dem.Graph, kind DecoderKind, seed int64, w, trials int, target int64, budget *ShardBudget, st *WorkerState) (tally, error) {
+// cfg.TargetFailures > 0, and its abort flag stops the loop at the next
+// batch boundary.
+//
+// With the pipeline enabled (the default), each batch is pruned before the
+// matcher sees it: the word-level EventMask classifies zero-defect shots —
+// their minimum-weight correction is empty, so bit s of ObsWord alone
+// decides failure, at popcount cost — and the surviving shots are extracted
+// in one CSR pass and deduplicated by full syndrome, decoding each distinct
+// syndrome once. The per-shot predictions are bit-identical to the unpruned
+// path, so trial and failure counts cannot depend on the switch.
+func runWorker(model *dem.Model, graph *dem.Graph, cfg Config, w, trials int, budget *ShardBudget, st *WorkerState) (tally, error) {
 	var t tally
-	rng := rand.New(rand.NewChaCha8(workerSeed(seed, w)))
+	target := int64(cfg.TargetFailures)
+	rng := rand.New(rand.NewChaCha8(workerSeed(cfg.Seed, w)))
 	bs := st.sampler(model)
-	dec, fb := st.decoderFor(kind, graph)
+	dec, fb := st.decoderFor(cfg.Decoder, graph)
+	var pipe *decoder.Pipeline
+	if !cfg.DisablePipeline {
+		pipe = st.pipeline(dec)
+	}
 	var out, truth [dem.BatchShots]bool
 	for t.trials < trials {
 		if budget.aborted.Load() {
@@ -376,19 +419,49 @@ func runWorker(model *dem.Model, graph *dem.Graph, kind DecoderKind, seed int64,
 		}
 		n := min(dem.BatchShots, trials-t.trials)
 		bs.SampleN(rng, n)
-		st.batch.Reset()
-		for s := 0; s < n; s++ {
-			events, obs := bs.Shot(s)
-			st.batch.Add(events)
-			truth[s] = obs
-		}
-		if err := dec.DecodeBatch(&st.batch, out[:n]); err != nil {
-			return t, err
-		}
 		fails := 0
-		for s := 0; s < n; s++ {
-			if out[s] != truth[s] {
-				fails++
+		if pipe != nil {
+			full := ^uint64(0)
+			if n < dem.BatchShots {
+				full = 1<<uint(n) - 1
+			}
+			mask := bs.EventMask()
+			obsW := bs.ObsWord()
+			// Zero-defect fast path: empty syndrome => empty correction =>
+			// prediction false; the shot fails iff the error flipped the
+			// observable anyway.
+			zero := full &^ mask
+			t.skipped += bits.OnesCount64(zero)
+			fails += bits.OnesCount64(obsW & zero)
+			bs.Extract(mask, &st.shots)
+			st.batch.Reset()
+			for i := 0; i < st.shots.Len(); i++ {
+				st.batch.Add(st.shots.Shot(i))
+			}
+			before := pipe.Stats().DedupHits
+			if err := pipe.DecodeBatch(&st.batch, out[:st.shots.Len()]); err != nil {
+				return t, err
+			}
+			t.dedupHits += int(pipe.Stats().DedupHits - before)
+			for i := 0; i < st.shots.Len(); i++ {
+				if out[i] != (obsW&(1<<uint(st.shots.Index(i))) != 0) {
+					fails++
+				}
+			}
+		} else {
+			st.batch.Reset()
+			for s := 0; s < n; s++ {
+				events, obs := bs.Shot(s)
+				st.batch.Add(events)
+				truth[s] = obs
+			}
+			if err := dec.DecodeBatch(&st.batch, out[:n]); err != nil {
+				return t, err
+			}
+			for s := 0; s < n; s++ {
+				if out[s] != truth[s] {
+					fails++
+				}
 			}
 		}
 		t.trials += n
@@ -425,7 +498,6 @@ func (en *Engine) Run(cfg Config) (Result, error) {
 	tallies := make([]tally, workers)
 	errs := make([]error, workers)
 	var budget ShardBudget // early-stop coordination only
-	target := int64(cfg.TargetFailures)
 
 	var wg sync.WaitGroup
 	// The worker split IS the shard split: sharing ShardTrials is what
@@ -439,7 +511,7 @@ func (en *Engine) Run(cfg Config) (Result, error) {
 		go func(w, trials int) {
 			defer wg.Done()
 			var st WorkerState
-			tallies[w], errs[w] = runWorker(model, graph, cfg.Decoder, cfg.Seed, w, trials, target, &budget, &st)
+			tallies[w], errs[w] = runWorker(model, graph, cfg, w, trials, &budget, &st)
 		}(w, trials)
 	}
 	wg.Wait()
@@ -456,6 +528,8 @@ func (en *Engine) Run(cfg Config) (Result, error) {
 		res.Trials += t.trials
 		res.Failures += t.failures
 		res.Fallbacks += t.fallbacks
+		res.Skipped += t.skipped
+		res.DedupHits += t.dedupHits
 	}
 	return res, nil
 }
@@ -477,7 +551,7 @@ func (en *Engine) RunOn(cfg Config, st *WorkerState) (Result, error) {
 		return Result{}, err
 	}
 	var budget ShardBudget
-	t, err := runWorker(model, graph, cfg.Decoder, cfg.Seed, 0, cfg.Trials, int64(cfg.TargetFailures), &budget, st)
+	t, err := runWorker(model, graph, cfg, 0, cfg.Trials, &budget, st)
 	if err != nil {
 		return Result{}, err
 	}
@@ -486,6 +560,8 @@ func (en *Engine) RunOn(cfg Config, st *WorkerState) (Result, error) {
 		Trials:        t.trials,
 		Failures:      t.failures,
 		Fallbacks:     t.fallbacks,
+		Skipped:       t.skipped,
+		DedupHits:     t.dedupHits,
 		Mechanisms:    model.Stats.Mechanisms,
 		DetectorCount: model.NumDets,
 	}, nil
@@ -548,29 +624,15 @@ func RunReference(cfg Config) (Result, error) {
 			defer wg.Done()
 			rng := rand.New(rand.NewPCG(uint64(cfg.Seed), uint64(w)*1_000_003))
 			sampler := model.NewSampler()
-			uf := decoder.NewUnionFind(graph)
-			var primary decoder.Decoder
-			switch cfg.Decoder {
-			case MWPM:
-				primary = decoder.NewMWPM(graph)
-			case Exact:
-				primary = decoder.NewExact(graph)
-			case Blossom:
-				primary = decoder.NewBlossom(graph)
-			}
+			// Decoder selection goes through the same helper as the batched
+			// engine — one switch, so a new Kind cannot diverge between the
+			// two paths. The fallback wrapper reproduces the old ad-hoc
+			// primary-error -> union-find loop, count included.
+			var st WorkerState
+			dec, fb := st.decoderFor(cfg.Decoder, graph)
 			for n := 0; n < trials; n++ {
 				events, truth := sampler.Sample(rng)
-				var pred bool
-				var derr error
-				if primary != nil {
-					pred, derr = primary.Decode(events)
-					if derr != nil {
-						tallies[w].fallbacks++
-						pred, derr = uf.Decode(events)
-					}
-				} else {
-					pred, derr = uf.Decode(events)
-				}
+				pred, derr := dec.Decode(events)
 				if derr != nil {
 					tallies[w].err = derr
 					return
@@ -578,6 +640,9 @@ func RunReference(cfg Config) (Result, error) {
 				if pred != truth {
 					tallies[w].failures++
 				}
+			}
+			if fb != nil {
+				tallies[w].fallbacks = int(fb.Fallbacks)
 			}
 		}(w, trials)
 	}
@@ -610,6 +675,9 @@ type SweepPoint struct {
 type SweepOptions struct {
 	// TargetFailures enables early stopping per cell (see Config).
 	TargetFailures int
+	// DisablePipeline turns off the batch decode pipeline per cell (see
+	// Config); the zero value keeps it on.
+	DisablePipeline bool
 }
 
 // ThresholdCellConfig is the canonical configuration of one Fig. 11 grid
@@ -619,14 +687,15 @@ type SweepOptions struct {
 // Params.ScaledGatesTo; coherence times stay at their Table I values.
 func ThresholdCellConfig(scheme extract.Scheme, d int, phys float64, base hardware.Params, trials int, seed int64, dec DecoderKind, opts SweepOptions) Config {
 	return Config{
-		Scheme:         scheme,
-		Distance:       d,
-		Basis:          extract.BasisZ,
-		Params:         base.ScaledGatesTo(phys),
-		Trials:         trials,
-		Seed:           seed + int64(d)*7919 + int64(phys*1e9),
-		Decoder:        dec,
-		TargetFailures: opts.TargetFailures,
+		Scheme:          scheme,
+		Distance:        d,
+		Basis:           extract.BasisZ,
+		Params:          base.ScaledGatesTo(phys),
+		Trials:          trials,
+		Seed:            seed + int64(d)*7919 + int64(phys*1e9),
+		Decoder:         dec,
+		TargetFailures:  opts.TargetFailures,
+		DisablePipeline: opts.DisablePipeline,
 	}
 }
 

@@ -94,6 +94,8 @@ type ShardResult struct {
 	Trials        int // shots this shard actually took
 	Failures      int
 	Fallbacks     int
+	Skipped       int // zero-defect shots answered by the pipeline fast path
+	DedupHits     int // shots replayed from a duplicate syndrome's prediction
 	Mechanisms    int
 	DetectorCount int
 }
@@ -134,7 +136,7 @@ func (en *Engine) RunShardOn(cfg Config, plan ShardPlan, shard int, budget *Shar
 	if err != nil {
 		return ShardResult{}, err
 	}
-	t, err := runWorker(model, graph, cfg.Decoder, cfg.Seed, shard, plan.ShardTrials(shard), int64(cfg.TargetFailures), budget, st)
+	t, err := runWorker(model, graph, cfg, shard, plan.ShardTrials(shard), budget, st)
 	if err != nil {
 		return ShardResult{}, err
 	}
@@ -143,6 +145,8 @@ func (en *Engine) RunShardOn(cfg Config, plan ShardPlan, shard int, budget *Shar
 		Trials:        t.trials,
 		Failures:      t.failures,
 		Fallbacks:     t.fallbacks,
+		Skipped:       t.skipped,
+		DedupHits:     t.dedupHits,
 		Mechanisms:    model.Stats.Mechanisms,
 		DetectorCount: model.NumDets,
 	}, nil
@@ -150,8 +154,10 @@ func (en *Engine) RunShardOn(cfg Config, plan ShardPlan, shard int, budget *Shar
 
 // MergeShards folds the shards of one point into a single Result. The fold
 // is deterministic in its inputs: counts are summed and the model
-// dimensions taken from the lowest shard index present, so any execution
-// order — and any pool width — produces the identical Result for identical
+// dimensions taken from the lowest shard index that actually ran — a shard
+// skipped whole by the scheduler's steal-aware early stop reports zero
+// Mechanisms and must not blank the merged dimensions — so any execution
+// order, and any pool width, produces the identical Result for identical
 // shard results. Partial merges (early-stopped or aborted shards) are
 // well-formed: Trials reports the shots actually taken.
 func MergeShards(cfg Config, parts []ShardResult) (Result, error) {
@@ -164,12 +170,14 @@ func MergeShards(cfg Config, parts []ShardResult) (Result, error) {
 	res := Result{Config: cfg}
 	first := parts[0]
 	for _, p := range parts {
-		if p.Shard < first.Shard {
+		if p.Mechanisms > 0 && (first.Mechanisms == 0 || p.Shard < first.Shard) {
 			first = p
 		}
 		res.Trials += p.Trials
 		res.Failures += p.Failures
 		res.Fallbacks += p.Fallbacks
+		res.Skipped += p.Skipped
+		res.DedupHits += p.DedupHits
 	}
 	res.Mechanisms = first.Mechanisms
 	res.DetectorCount = first.DetectorCount

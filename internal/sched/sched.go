@@ -83,8 +83,11 @@ type Options struct {
 	// single-threaded result. With Config.TargetFailures set, shards
 	// coordinate early stop through one shared atomic budget, and the
 	// shots taken depend on shard timing (exactly as Run's workers always
-	// have). Cells with Config.Workers > 1 already parallelize internally
-	// and are never sharded.
+	// have); shard units reaching the front of the queue after the target
+	// is already banked are settled as empty without touching the engine,
+	// so a satisfied cell stops spawning decode work entirely. Cells with
+	// Config.Workers > 1 already parallelize internally and are never
+	// sharded.
 	ShardShots int
 }
 
@@ -307,6 +310,14 @@ func (s *Scheduler) run(ctx context.Context, jobs []Job, results []CellResult, e
 					} else {
 						c.direct, err = s.en.RunOn(c.job.Cfg, &st)
 					}
+				} else if tf := c.job.Cfg.TargetFailures; tf > 0 && c.budget.Failures() >= int64(tf) {
+					// Steal-aware early stop: sibling shards already banked
+					// the cell's failure target, so this unit would observe
+					// the met budget and exit after zero batches. Settle it
+					// as an empty shard without paying the engine prepare;
+					// MergeShards takes the model dimensions from the lowest
+					// shard that actually ran.
+					sr = montecarlo.ShardResult{Shard: u.shard}
 				} else {
 					sr, err = s.en.RunShardOn(c.job.Cfg, c.plan, u.shard, &c.budget, &st)
 				}

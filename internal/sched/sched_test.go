@@ -439,3 +439,39 @@ func TestSchedulersShareEngineConcurrently(t *testing.T) {
 		t.Errorf("concurrent sweeps built %d structures, want 2 (one per distance)", en.StructureBuilds())
 	}
 }
+
+// Steal-aware TargetFailures sizing: once a sharded cell's shards bank the
+// failure target, the remaining shard units must settle without touching
+// the engine at all. With a serial pool the first shard banks the target
+// (high noise, target 1), so exactly one engine prepare happens for a
+// four-shard plan — observable as one cache access — and the merged cell
+// still carries the model dimensions from the shard that ran.
+func TestStealAwareTargetFailuresSkipsShards(t *testing.T) {
+	const trials = 4 * montecarlo.MinShardShots
+	cfg := montecarlo.ThresholdCellConfig(extract.Baseline, 3, 1.6e-2, hardware.Default(),
+		trials, 21, montecarlo.UF, montecarlo.SweepOptions{TargetFailures: 1})
+	en := montecarlo.NewEngine()
+	s := New(en, Options{Jobs: 1, ShardShots: montecarlo.MinShardShots})
+	results, err := s.Run([]Job{{Cfg: cfg}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := results[0].Result
+	if res.Failures < 1 {
+		t.Fatalf("no failures banked at d=3 p=1.6e-2 over %d trials", res.Trials)
+	}
+	if res.Trials <= 0 || res.Trials > montecarlo.MinShardShots {
+		t.Errorf("first shard took %d trials; early stop should cap it at the %d-trial shard",
+			res.Trials, montecarlo.MinShardShots)
+	}
+	if res.Mechanisms == 0 || res.DetectorCount == 0 {
+		t.Errorf("merged cell lost its model dimensions: %d mechs, %d detectors",
+			res.Mechanisms, res.DetectorCount)
+	}
+	stats := en.CacheStats()
+	if got := stats.Builds + stats.Hits; got != 1 {
+		t.Errorf("engine saw %d structure accesses (%d builds + %d hits), want 1: "+
+			"satisfied shard units must be skipped without an engine prepare",
+			got, stats.Builds, stats.Hits)
+	}
+}

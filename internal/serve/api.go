@@ -64,6 +64,11 @@ type SweepRequest struct {
 	// deterministically from its fixed shard plan; cancelling the job
 	// aborts its in-flight shards.
 	ShardShots int `json:"shard_shots,omitempty"`
+	// DecodePipeline toggles the batch decode pipeline (zero-defect skip +
+	// per-batch syndrome dedup). Omitted or true keeps it on — the default,
+	// and bit-identical to the unpruned path; false decodes every shot
+	// through the matcher (A/B benchmarking).
+	DecodePipeline *bool `json:"decode_pipeline,omitempty"`
 }
 
 // CellRecord is one finished sweep cell as streamed to clients (NDJSON
@@ -81,7 +86,13 @@ type CellRecord struct {
 	StdErr      float64 `json:"stderr"`
 	Trials      int     `json:"trials"`
 	Failures    int     `json:"failures"`
-	Error       string  `json:"error,omitempty"`
+	// Skipped and DedupHits surface the decode pipeline's hit rates for
+	// this cell: shots answered by the zero-defect fast path, and shots
+	// replayed from a duplicate syndrome in the same batch. Zero when the
+	// request disabled the pipeline.
+	Skipped   int    `json:"skipped,omitempty"`
+	DedupHits int    `json:"dedup_hits,omitempty"`
+	Error     string `json:"error,omitempty"`
 }
 
 // JobStatus is the wire form of one sweep job: GET /v1/sweeps/{id}, the
@@ -99,10 +110,23 @@ type JobStatus struct {
 }
 
 // StatsResponse is GET /v1/stats: the shared engine's structure-cache
-// counters plus the job registry's population.
+// counters, the decode pipeline's process-wide hit counters, and the job
+// registry's population.
 type StatsResponse struct {
 	Engine montecarlo.CacheStats `json:"engine"`
+	Decode DecodeStats           `json:"decode"`
 	Jobs   JobCounts             `json:"jobs"`
+}
+
+// DecodeStats aggregates the decode pipeline's counters over every cell
+// the server has completed since startup, making the skip and dedup hit
+// rates observable in production sweeps: Skipped/Shots is the zero-defect
+// fraction (the shots that never touched a matcher), DedupHits/Shots the
+// duplicate-syndrome fraction replayed from a batch-local cache.
+type DecodeStats struct {
+	Shots     int64 `json:"shots"`
+	Skipped   int64 `json:"skipped"`
+	DedupHits int64 `json:"dedup_hits"`
 }
 
 // JobCounts summarizes the registry.
@@ -150,7 +174,10 @@ func buildCells(req SweepRequest) (typ string, cells []sched.Job, err error) {
 			return "", nil, fmt.Errorf("distance %d invalid: want an odd distance >= 3", d)
 		}
 	}
-	opts := montecarlo.SweepOptions{TargetFailures: req.TargetFailures}
+	opts := montecarlo.SweepOptions{
+		TargetFailures:  req.TargetFailures,
+		DisablePipeline: req.DecodePipeline != nil && !*req.DecodePipeline,
+	}
 	dec := montecarlo.UF
 	if req.Decoder != "" {
 		k, err := decoder.ParseKind(req.Decoder)
@@ -235,6 +262,8 @@ func cellRecord(r sched.CellResult) CellRecord {
 		StdErr:      r.Result.StdErr(),
 		Trials:      r.Result.Trials,
 		Failures:    r.Result.Failures,
+		Skipped:     r.Result.Skipped,
+		DedupHits:   r.Result.DedupHits,
 	}
 	if r.Err != nil {
 		rec.Error = r.Err.Error()

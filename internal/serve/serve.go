@@ -20,7 +20,8 @@
 //	GET    /v1/sweeps/{id}         JobStatus snapshot
 //	GET    /v1/sweeps/{id}/results replay finished cells and follow live
 //	DELETE /v1/sweeps/{id}         cancel (observed at the next cell boundary)
-//	GET    /v1/stats               engine cache + job registry counters
+//	GET    /v1/stats               engine cache, decode pipeline, and job
+//	                               registry counters
 //	GET    /healthz                liveness
 //
 // A synchronous POST ties the job to the request: if the client
@@ -46,6 +47,7 @@ import (
 	"io"
 	"net/http"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/montecarlo"
 	"repro/internal/sched"
@@ -111,6 +113,12 @@ type Server struct {
 	order     []*job // submission order, for oldest-first eviction
 	submitted int64
 	nextID    int
+
+	// Process-wide decode pipeline counters, accumulated per finished cell
+	// across every job and surfaced by GET /v1/stats.
+	decShots   atomic.Int64
+	decSkipped atomic.Int64
+	decDedup   atomic.Int64
 
 	// beforeRun, when non-nil, gates each job between acquiring its run
 	// slot and executing cells — a test hook for holding jobs in the
@@ -282,7 +290,12 @@ func (s *Server) execute(jb *job) {
 	scheduler := sched.New(s.en, sched.Options{
 		Jobs:       jb.poolWidth,
 		ShardShots: jb.shardShots,
-		OnResult:   func(r sched.CellResult) { jb.appendCell(cellRecord(r)) },
+		OnResult: func(r sched.CellResult) {
+			s.decShots.Add(int64(r.Result.Trials))
+			s.decSkipped.Add(int64(r.Result.Skipped))
+			s.decDedup.Add(int64(r.Result.DedupHits))
+			jb.appendCell(cellRecord(r))
+		},
 	})
 	// Cancellation granularity: sched observes jb.ctx at unit boundaries —
 	// a DELETE or an owning client's disconnect skips unstarted cells and
@@ -396,7 +409,15 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	counts := s.countsLocked()
 	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, StatsResponse{Engine: s.en.CacheStats(), Jobs: counts})
+	writeJSON(w, http.StatusOK, StatsResponse{
+		Engine: s.en.CacheStats(),
+		Decode: DecodeStats{
+			Shots:     s.decShots.Load(),
+			Skipped:   s.decSkipped.Load(),
+			DedupHits: s.decDedup.Load(),
+		},
+		Jobs: counts,
+	})
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

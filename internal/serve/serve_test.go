@@ -565,3 +565,48 @@ func TestHealthz(t *testing.T) {
 		t.Errorf("healthz: HTTP %d", resp.StatusCode)
 	}
 }
+
+// The decode pipeline is on by default: cells report their skip/dedup hit
+// counts, /v1/stats aggregates them process-wide, and a request disabling
+// the pipeline gets bit-identical rates with zeroed counters.
+func TestDecodePipelineCountersAndToggle(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	on, status := readStream(t, postSweep(t, ts, "/v1/sweeps", rowBody))
+	if status.State != StateDone {
+		t.Fatalf("pipeline-on sweep state %q (error %q)", status.State, status.Error)
+	}
+	var shots, skipped, dedup int
+	for _, rec := range on {
+		shots += rec.Trials
+		skipped += rec.Skipped
+		dedup += rec.DedupHits
+	}
+	if skipped == 0 {
+		t.Errorf("no zero-defect shots skipped across %d shots; counters not surfaced", shots)
+	}
+	st := getStats(t, ts)
+	if st.Decode.Shots != int64(shots) || st.Decode.Skipped != int64(skipped) || st.Decode.DedupHits != int64(dedup) {
+		t.Errorf("/v1/stats decode %+v, want %d/%d/%d shots/skipped/dedup",
+			st.Decode, shots, skipped, dedup)
+	}
+
+	offBody := strings.TrimSuffix(rowBody, "}") + `,"decode_pipeline":false}`
+	off, status2 := readStream(t, postSweep(t, ts, "/v1/sweeps", offBody))
+	if status2.State != StateDone {
+		t.Fatalf("pipeline-off sweep state %q (error %q)", status2.State, status2.Error)
+	}
+	if len(off) != len(on) {
+		t.Fatalf("pipeline-off sweep streamed %d cells, on %d", len(off), len(on))
+	}
+	for i := range off {
+		if off[i].Skipped != 0 || off[i].DedupHits != 0 {
+			t.Errorf("cell %d: disabled pipeline reported counters %d/%d",
+				i, off[i].Skipped, off[i].DedupHits)
+		}
+		if off[i].Failures != on[i].Failures || off[i].Trials != on[i].Trials {
+			t.Errorf("cell %d: pipeline off %d/%d failures/trials, on %d/%d — predictions must be bit-identical",
+				i, off[i].Failures, off[i].Trials, on[i].Failures, on[i].Trials)
+		}
+	}
+}
