@@ -13,9 +13,16 @@
 // a grid point does not break the gate. A missing baseline file is a clean
 // pass (first run, nothing to compare against).
 //
+// Independently of the baseline, every current leg's allocs_per_shot is
+// gated against an absolute ceiling (-max-allocs): the steady-state decode
+// path is allocation-free, so the recorded number is per-cell prepare
+// overhead amortized over the trials, and anything beyond the ceiling means
+// a leak crept onto the hot path. Baselines written before the field
+// existed simply read as zero and cannot trip it.
+//
 // Usage:
 //
-//	benchguard -baseline baseline/BENCH_decoder.json [-current BENCH_decoder.json] [-max-regress 0.10]
+//	benchguard -baseline baseline/BENCH_decoder.json [-current BENCH_decoder.json] [-max-regress 0.10] [-max-allocs 1.2]
 package main
 
 import (
@@ -33,6 +40,11 @@ type leg struct {
 	NsPerShot       float64 `json:"ns_per_shot"`
 	NsPerShotNoPipe float64 `json:"ns_per_shot_nopipe"`
 	PipelineSpeedup float64 `json:"pipeline_speedup"`
+	// AllocsPerShot gates absolutely, not against the baseline: the
+	// steady-state decode path is allocation-free, so anything beyond the
+	// amortized per-cell prepare overhead is a leak. Absent in old baseline
+	// files (zero value), which is fine — only current legs are gated.
+	AllocsPerShot float64 `json:"allocs_per_shot"`
 }
 
 type report struct {
@@ -73,6 +85,7 @@ func main() {
 	baselinePath := flag.String("baseline", "", "baseline BENCH_decoder.json from the previous run (missing file = clean pass)")
 	currentPath := flag.String("current", "BENCH_decoder.json", "current run's BENCH_decoder.json")
 	maxRegress := flag.Float64("max-regress", 0.10, "maximum allowed fractional throughput regression on guarded legs")
+	maxAllocs := flag.Float64("max-allocs", 1.2, "maximum heap allocations per shot on any current leg (absolute; the decode path is allocation-free in steady state, leaving only amortized per-cell prepare overhead, which grows with distance)")
 	flag.Parse()
 	if *baselinePath == "" {
 		fmt.Fprintln(os.Stderr, "benchguard: -baseline is required")
@@ -103,11 +116,19 @@ func main() {
 		old[key{l.PhysRate, l.Distance, l.Decoder}] = l
 	}
 
-	fmt.Printf("benchguard: %s vs baseline, guarding p <= %g at -max-regress %.0f%%\n",
-		*currentPath, cur.OpPhysRate, 100**maxRegress)
+	fmt.Printf("benchguard: %s vs baseline, guarding p <= %g at -max-regress %.0f%%, allocs/shot <= %g\n",
+		*currentPath, cur.OpPhysRate, 100**maxRegress, *maxAllocs)
 	regressions := 0
+	allocFails := 0
 	matched := 0
 	for _, l := range cur.Legs {
+		// The alloc gate is absolute and covers every current leg, matched
+		// or not — a leaked allocation is a leak at any grid point.
+		if l.AllocsPerShot > *maxAllocs {
+			fmt.Printf("  d=%-3d p=%-6g %-8s %.2f allocs/shot exceeds %g — ALLOC LEAK\n",
+				l.Distance, l.PhysRate, l.Decoder, l.AllocsPerShot, *maxAllocs)
+			allocFails++
+		}
 		b, ok := old[key{l.PhysRate, l.Distance, l.Decoder}]
 		if !ok {
 			fmt.Printf("  d=%-3d p=%-6g %-8s new leg, no baseline — skipped\n", l.Distance, l.PhysRate, l.Decoder)
@@ -125,8 +146,8 @@ func main() {
 		} else if !guarded {
 			verdict = "ok (unguarded, at-threshold)"
 		}
-		fmt.Printf("  d=%-3d p=%-6g %-8s %9.0f -> %9.0f shots/s  %+6.1f%%  %s\n",
-			l.Distance, l.PhysRate, l.Decoder, baseTP, curTP, 100*delta, verdict)
+		fmt.Printf("  d=%-3d p=%-6g %-8s %9.0f -> %9.0f shots/s  %+6.1f%%  %.2f allocs/shot  %s\n",
+			l.Distance, l.PhysRate, l.Decoder, baseTP, curTP, 100*delta, l.AllocsPerShot, verdict)
 	}
 	for k := range old {
 		fmt.Printf("  d=%-3d p=%-6g %-8s baseline leg missing from current run — skipped\n", k.dist, k.phys, k.dec)
@@ -137,6 +158,11 @@ func main() {
 	}
 	if regressions > 0 {
 		fmt.Fprintf(os.Stderr, "benchguard: %d guarded leg(s) regressed more than %.0f%%\n", regressions, 100**maxRegress)
+	}
+	if allocFails > 0 {
+		fmt.Fprintf(os.Stderr, "benchguard: %d leg(s) exceed %g allocs/shot\n", allocFails, *maxAllocs)
+	}
+	if regressions > 0 || allocFails > 0 {
 		os.Exit(1)
 	}
 	fmt.Println("benchguard: pass")

@@ -22,6 +22,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/decoder"
 	"repro/internal/montecarlo"
 	"repro/internal/sched"
 )
@@ -73,12 +74,17 @@ func main() {
 			fmt.Printf("%s,%g,%d,%g,%g,%d\n", cell.Panel, cell.Value, cell.Distance,
 				r.Result.Rate(), r.Result.StdErr(), r.Result.Trials)
 		case *jsonOut:
-			enc.Encode(sensitivityRow{
+			row := sensitivityRow{
 				Panel: string(cell.Panel), Value: cell.Value, Distance: cell.Distance,
 				LogicalRate: r.Result.Rate(), StdErr: r.Result.StdErr(),
 				Trials: r.Result.Trials, Failures: r.Result.Failures,
 				Skipped: r.Result.Skipped, DedupHits: r.Result.DedupHits,
-			})
+			}
+			if !r.Result.Stats.IsZero() {
+				st := r.Result.Stats
+				row.DecoderStats = &st
+			}
+			enc.Encode(row)
 		}
 	}
 
@@ -136,6 +142,9 @@ type sensitivityRow struct {
 	Failures    int     `json:"failures"`
 	Skipped     int     `json:"skipped,omitempty"`
 	DedupHits   int     `json:"dedup_hits,omitempty"`
+	// DecoderStats carries the cell's matcher-internal stage counters
+	// (growth rounds, escalations, tree phases, ...) when any are non-zero.
+	DecoderStats *decoder.DecoderStats `json:"decoder_stats,omitempty"`
 }
 
 func parseInts(s string) ([]int, error) {

@@ -16,8 +16,10 @@
 // Flags: -addr listen address, -jobs default scheduler pool width per
 // sweep, -cache engine structure-cache entries, -max-jobs concurrent
 // sweeps, -queue waiting sweeps beyond that (further submissions get 429),
-// -retain finished jobs kept for status/replay. SIGINT/SIGTERM drain
-// in-flight requests, then cancel outstanding jobs.
+// -retain finished jobs kept for status/replay, -pprof a separate debug
+// listen address serving net/http/pprof (off by default; keep it on a
+// loopback or otherwise private address — profiles expose internals).
+// SIGINT/SIGTERM drain in-flight requests, then cancel outstanding jobs.
 package main
 
 import (
@@ -26,6 +28,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -42,7 +45,26 @@ func main() {
 	maxJobs := flag.Int("max-jobs", 2, "sweep jobs running concurrently")
 	queue := flag.Int("queue", 8, "sweep jobs waiting beyond -max-jobs before submissions get 429 (negative: no queueing)")
 	retain := flag.Int("retain", 64, "finished jobs retained for status/replay")
+	pprofAddr := flag.String("pprof", "", "listen address for net/http/pprof debug endpoints (e.g. localhost:6060; empty = disabled)")
 	flag.Parse()
+
+	// The profiling endpoints live on their own listener and mux, never the
+	// serving one, so enabling them cannot expose /debug/pprof to sweep
+	// clients.
+	if *pprofAddr != "" {
+		dbg := http.NewServeMux()
+		dbg.HandleFunc("/debug/pprof/", pprof.Index)
+		dbg.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dbg.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dbg.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dbg.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			fmt.Fprintf(os.Stderr, "vlqserve: pprof on %s\n", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, dbg); err != nil {
+				fmt.Fprintln(os.Stderr, "vlqserve: pprof:", err)
+			}
+		}()
+	}
 
 	server := serve.NewServer(serve.Config{
 		Engine:            montecarlo.NewEngineWithCache(*cache),

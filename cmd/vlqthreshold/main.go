@@ -22,6 +22,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/decoder"
 	"repro/internal/extract"
 	"repro/internal/hardware"
 	"repro/internal/montecarlo"
@@ -85,12 +86,17 @@ func main() {
 			fmt.Printf("%s,%d,%g,%g,%g,%d\n", cell.Scheme, cell.Distance, cell.Phys,
 				r.Result.Rate(), r.Result.StdErr(), r.Result.Trials)
 		case *jsonOut:
-			enc.Encode(thresholdRow{
+			row := thresholdRow{
 				Scheme: cell.Scheme.String(), Distance: cell.Distance, PhysRate: cell.Phys,
 				LogicalRate: r.Result.Rate(), StdErr: r.Result.StdErr(),
 				Trials: r.Result.Trials, Failures: r.Result.Failures,
 				Skipped: r.Result.Skipped, DedupHits: r.Result.DedupHits,
-			})
+			}
+			if !r.Result.Stats.IsZero() {
+				st := r.Result.Stats
+				row.DecoderStats = &st
+			}
+			enc.Encode(row)
 		}
 	}
 
@@ -147,6 +153,9 @@ type thresholdRow struct {
 	Failures    int     `json:"failures"`
 	Skipped     int     `json:"skipped,omitempty"`
 	DedupHits   int     `json:"dedup_hits,omitempty"`
+	// DecoderStats carries the cell's matcher-internal stage counters
+	// (growth rounds, escalations, tree phases, ...) when any are non-zero.
+	DecoderStats *decoder.DecoderStats `json:"decoder_stats,omitempty"`
 }
 
 func schemeByName(name string) (extract.Scheme, error) {

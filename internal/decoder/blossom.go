@@ -57,14 +57,27 @@ type Blossom struct {
 	n int // real nodes; the boundary is virtual
 
 	// Hoisted per-graph state (rebuilt by Rebind).
-	wInt   []int64   // integer edge weights
-	wF     []float64 // float edge weights (reporting only)
+	wInt []int64   // integer edge weights
+	wF   []float64 // float edge weights (reporting only)
+	// Flat edge endpoints and observable flags for the region-growth inner
+	// loop (boundary edges get eV = -1), avoiding the wide dem.Edge records.
+	eU, eV []int32
+	eObs   []bool
 	bdist  []int64   // per-node integer distance to the boundary (capped)
 	bdistF []float64 // float boundary distance; +Inf when no exit exists
 	bmask  []bool    // logical mask of the cheapest boundary path
 	bCap   int64     // "no boundary exit" stand-in: longer than any simple path
 	r0     int64     // initial pop radius for region growth
 	lmk    []int64   // landmark distance tables, numLandmarks x n flattened
+
+	// warmStart seeds initial radii from the landmark nearest-event
+	// estimates instead of r0 alone. Off by default: the bench counters
+	// showed the k² landmark queries (3–14x the baseline query count at
+	// p=1e-3) cost more than the handful of escalation rounds they save
+	// on every measured leg. The mechanism and its toggle stay because the
+	// warm/cold property test pins the schedule-independence the radius
+	// certificate promises — corrections are byte-identical either way.
+	warmStart bool
 
 	// Epoch-stamped per-search Dijkstra arena.
 	epoch     uint64
@@ -113,11 +126,18 @@ type Blossom struct {
 	local   []int32 // event index -> matcher-local index within its component
 
 	wm wmatch
+
+	stats DecoderStats
 }
 
 // numLandmarks is the number of hoisted landmark distance tables; a few
 // well-spread landmarks give useful lower bounds on far pair distances.
 const numLandmarks = 8
+
+// warmStartMaxEvents bounds the shots whose initial radii are seeded from
+// the landmark nearest-event estimates; the estimate is quadratic in the
+// event count, and larger shots are dense enough that r0 already fits.
+const warmStartMaxEvents = 16
 
 // bLabel is one region's distance label on a node: the best-known walk from
 // event reg, with the float weight and logical mask of that walk.
@@ -140,6 +160,9 @@ func NewBlossom(g *dem.Graph) *Blossom {
 	bl := &Blossom{g: g, n: n}
 	bl.wInt = make([]int64, len(g.Edges))
 	bl.wF = make([]float64, len(g.Edges))
+	bl.eU = make([]int32, len(g.Edges))
+	bl.eV = make([]int32, len(g.Edges))
+	bl.eObs = make([]bool, len(g.Edges))
 	bl.bdist = make([]int64, n)
 	bl.bdistF = make([]float64, n)
 	bl.bmask = make([]bool, n)
@@ -197,6 +220,13 @@ func (bl *Blossom) loadGraph(g *dem.Graph) {
 		}
 		bl.wInt[i] = c
 		sum += c
+		bl.eU[i] = g.Edges[i].U
+		bl.eObs[i] = g.Edges[i].Obs
+		if v := g.Edges[i].V; v == dem.BoundaryNode {
+			bl.eV[i] = -1
+		} else {
+			bl.eV[i] = v
+		}
 	}
 	// Longer than any simple path, so a node with no boundary exit loses
 	// every comparison yet sums stay far from overflow.
@@ -327,6 +357,7 @@ func (bl *Blossom) landmarkDijkstra(src int, row []int64) {
 
 // landmarkLB lower-bounds the bulk distance between nodes a and b.
 func (bl *Blossom) landmarkLB(a, b int) int64 {
+	bl.stats.BlossomLandmarkQs++
 	best := int64(0)
 	for off := 0; off < len(bl.lmk); off += bl.n {
 		d := bl.lmk[off+a] - bl.lmk[off+b]
@@ -342,6 +373,15 @@ func (bl *Blossom) landmarkLB(a, b int) int64 {
 
 // Name implements Decoder.
 func (bl *Blossom) Name() string { return "blossom" }
+
+// DecoderStats implements StatsSource, folding in the counters of the
+// embedded primal-dual matcher.
+func (bl *Blossom) DecoderStats() DecoderStats {
+	s := bl.stats
+	s.WmatchTreeIters = bl.wm.treeIters
+	s.WmatchDualAdjusts = bl.wm.dualAdjusts
+	return s
+}
 
 // Decode implements Decoder.
 func (bl *Blossom) Decode(events []int) (bool, error) {
@@ -415,7 +455,6 @@ func (bl *Blossom) grow(i int, events []int, k int) {
 	bl.touched = append(bl.touched, src)
 	bl.heap = bl.heap[:0]
 	bl.heap.push(bItem{0, src})
-	edges := bl.g.Edges
 	for len(bl.heap) > 0 {
 		it := bl.heap.pop()
 		v := it.node
@@ -432,13 +471,12 @@ func (bl *Blossom) grow(i int, events []int, k int) {
 			}
 		}
 		for _, ei := range bl.g.Adj[v] {
-			e := &edges[ei]
-			if e.V == dem.BoundaryNode {
-				continue
+			w := bl.eV[ei]
+			if w < 0 {
+				continue // boundary edge
 			}
-			w := e.U
 			if w == v {
-				w = e.V
+				w = bl.eU[ei]
 			}
 			nd := it.d + bl.wInt[ei]
 			if bl.distEpoch[w] != bl.epoch {
@@ -449,7 +487,7 @@ func (bl *Blossom) grow(i int, events []int, k int) {
 			}
 			bl.dist[w] = nd
 			bl.distF[w] = bl.distF[v] + bl.wF[ei]
-			bl.mask[w] = bl.mask[v] != e.Obs
+			bl.mask[w] = bl.mask[v] != bl.eObs[ei]
 			if nd <= rad {
 				bl.heap.push(bItem{nd, w})
 			}
@@ -504,8 +542,30 @@ func (bl *Blossom) DecodeWithWeight(events []int) (bool, float64, error) {
 	bl.local = grown(bl.local, k)
 	bl.evPar = grown(bl.evPar, k)
 	bl.evCid = grown(bl.evCid, k)
+	// Warm-start the radii from the landmark tables: an event whose nearest
+	// partner is provably farther than 2*r0 starts at half that lower bound
+	// (capped at two doublings), skipping the escalation rounds the
+	// certificate would otherwise force one by one. Gated to small shots —
+	// the estimate costs k^2 landmark queries — and off by default: see the
+	// warmStart field for why the queries measured as a net loss.
+	warm := bl.warmStart && k >= 2 && k <= warmStartMaxEvents
 	for i, ev := range events {
-		bl.rad[i] = min(bl.r0, bl.bdist[ev])
+		r := bl.r0
+		if warm {
+			nn := int64(math.MaxInt64)
+			for j, ev2 := range events {
+				if j == i {
+					continue
+				}
+				if lb := bl.landmarkLB(ev, ev2); lb < nn {
+					nn = lb
+				}
+			}
+			if h := min(nn/2, 4*bl.r0); h > r {
+				r = h
+			}
+		}
+		bl.rad[i] = min(r, bl.bdist[ev])
 		bl.dirty[i] = true
 	}
 	for i := range events {
@@ -554,6 +614,7 @@ func (bl *Blossom) DecodeWithWeight(events []int) (bool, float64, error) {
 			}
 			return obs, total, nil
 		}
+		bl.stats.BlossomRounds++
 		for i := range events {
 			bl.dirty[i] = false
 		}
@@ -672,6 +733,7 @@ func (bl *Blossom) matchRound(events []int, k int) error {
 		for _, ev := range members {
 			bl.dirty[ev] = true
 		}
+		bl.stats.BlossomRematchedCmp++
 		if err := bl.matchComponent(events, k, members,
 			bl.pairIdx[bl.pOff[c]:bl.pOff[c+1]]); err != nil {
 			return err
@@ -722,6 +784,19 @@ func (bl *Blossom) matchComponent(events []int, k int, members []int32, edges []
 		return nil
 	}
 
+	// NOTE: dominant-pair elimination (strip edges whose savings strictly
+	// beat both endpoints' best alternatives before the matcher) was tried
+	// here a second time with sum-preserving balanced duals
+	// 2y = s ± (B_i - B_j), after PR 4's revert of the naive version. The
+	// pair constraints all hold, but the stage counters showed
+	// blossom_rounds roughly DOUBLING on every bench leg: the radius
+	// certificate reads the duals against *undiscovered* far pairs, and any
+	// local per-pair split leaves one endpoint with a smaller dual than the
+	// global wmatch solution would assign it, failing certificates the full
+	// solve passes. The escalation re-grows cost far more than the matcher
+	// rows saved. Conclusion recorded so round three starts from the duals,
+	// not the elimination: only a post-pass that re-solves the duals
+	// globally (or certificate-aware splitting) can make this win.
 	for li, ev := range members {
 		bl.local[ev] = int32(li)
 	}

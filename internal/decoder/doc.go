@@ -47,6 +47,18 @@
 // alias two syndromes. Its skip/dedup counters (PipelineStats) surface
 // through montecarlo.Result and the serving front end's /v1/stats.
 //
+// The matchers themselves are instrumented: DecoderStats counts the
+// stage-level work behind the hot-path profiles — union-find growth
+// rounds, candidate-edge scans, and peel visits; blossom
+// radius-escalation rounds, landmark queries, and re-matched components;
+// wmatch alternating-tree phases and dual adjustments. Decoders exposing
+// counters implement StatsSource (Pipeline forwards to its inner
+// decoder); every counter is a plain sum, so worker and shard stats
+// merge by addition, bit-identically at any pool width. The numbers ride
+// montecarlo.Result/ShardResult into /v1/stats, the CLIs' -json rows,
+// and BENCH_decoder.json — the evidence chain the hot-path work in
+// ARCHITECTURE.md ("The decoder hot path") is driven by.
+//
 // Entry points:
 //
 //   - Decoder: the scalar interface — Decode(events) (obsFlip, err)
@@ -57,6 +69,8 @@
 //     batch front end over any BatchDecoder (see ARCHITECTURE.md,
 //     "The batch decode pipeline")
 //   - ParseKind / New: flag- and request-level selection of a strategy
+//   - DecoderStats / StatsSource: the stage-counter surface; Add/Sub
+//     bracket intervals and merge shards
 //   - UnionFind.Rebind / Blossom.Rebind / Pipeline.Rebind: rebind
 //     existing decoder state to a new graph of the same shape, so a
 //     sweep reuses all decoder arrays (and the pipeline's hash table)

@@ -84,6 +84,15 @@ func (p *Pipeline) Name() string { return p.name }
 // Stats returns a snapshot of the cumulative counters.
 func (p *Pipeline) Stats() PipelineStats { return p.stats }
 
+// DecoderStats implements StatsSource by forwarding to the inner decoder,
+// so callers holding the pipeline see the matcher's stage counters.
+func (p *Pipeline) DecoderStats() DecoderStats {
+	if src, ok := p.inner.(StatsSource); ok {
+		return src.DecoderStats()
+	}
+	return DecoderStats{}
+}
+
 // Decode implements Decoder: the scalar path gets the zero-defect skip but
 // no cross-shot dedup (there is no batch to share syndromes with).
 func (p *Pipeline) Decode(events []int) (bool, error) {

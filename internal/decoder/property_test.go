@@ -1,6 +1,7 @@
 package decoder
 
 import (
+	"math"
 	"math/rand/v2"
 	"testing"
 	"testing/quick"
@@ -66,6 +67,52 @@ func TestUFAlwaysTerminates(t *testing.T) {
 		}
 		if _, err := uf.Decode(events); err != nil {
 			t.Fatalf("trial %d (%v): %v", trial, events, err)
+		}
+	}
+}
+
+// Property: the blossom radius certificate makes corrections independent of
+// the growth schedule — a decoder whose initial radii are warm-started from
+// the landmark nearest-event estimates must produce byte-identical
+// predictions (and matching weights) to one pinned at the cold r0 schedule,
+// across scheme x distance x noise scale on circuit-level graphs.
+func TestBlossomWarmStartMatchesColdStart(t *testing.T) {
+	cases := []struct {
+		scheme extract.Scheme
+		d      int
+		phys   float64
+		shots  int
+	}{
+		{extract.Baseline, 3, 2e-3, 400},
+		{extract.Baseline, 5, 4e-3, 300},
+		{extract.Baseline, 7, 4e-3, 200},
+		{extract.CompactInterleaved, 3, 8e-3, 400},
+		{extract.CompactInterleaved, 5, 2e-3, 300},
+		{extract.CompactInterleaved, 7, 4e-3, 200},
+	}
+	for _, tc := range cases {
+		m, g := circuitGraph(t, tc.scheme, tc.d, tc.phys)
+		warm := NewBlossom(g)
+		warm.warmStart = true
+		cold := NewBlossom(g) // default: the cold r0 schedule
+		s := m.NewSampler()
+		rng := rand.New(rand.NewPCG(uint64(tc.d)*131+uint64(tc.phys*1e7), 41))
+		for shot := 0; shot < tc.shots; shot++ {
+			ev, _ := s.Sample(rng)
+			wObs, wW, err1 := warm.DecodeWithWeight(ev)
+			cObs, cW, err2 := cold.DecodeWithWeight(ev)
+			if err1 != nil || err2 != nil {
+				t.Fatalf("%v d=%d p=%g shot %d: warm err %v, cold err %v",
+					tc.scheme, tc.d, tc.phys, shot, err1, err2)
+			}
+			if wObs != cObs {
+				t.Fatalf("%v d=%d p=%g shot %d (events %v): warm predicts %v, cold %v",
+					tc.scheme, tc.d, tc.phys, shot, ev, wObs, cObs)
+			}
+			if math.Abs(wW-cW) > weightTol(cW) {
+				t.Fatalf("%v d=%d p=%g shot %d (events %v): warm weight %g vs cold %g",
+					tc.scheme, tc.d, tc.phys, shot, ev, wW, cW)
+			}
 		}
 	}
 }

@@ -1,0 +1,66 @@
+package decoder
+
+// DecoderStats counts the internal work a matcher did: the stage-level
+// counters behind the hot-path profiles (growth rounds, edge scans,
+// alternating-tree phases, ...). Counters are cumulative for the decoder's
+// lifetime (across Rebind), mirroring PipelineStats; callers wanting
+// per-interval numbers bracket the work with two snapshots and Sub.
+//
+// Every field is a plain sum, so stats from independent workers or shards
+// merge by addition — bit-identically at any pool width.
+type DecoderStats struct {
+	// Union-find: growth rounds of the outer loop, candidate edges examined
+	// in the per-round slack scans, and nodes visited by the peeling pass.
+	UFGrowthRounds int64 `json:"uf_growth_rounds,omitempty"`
+	UFEdgeScans    int64 `json:"uf_edge_scans,omitempty"`
+	UFPeelNodes    int64 `json:"uf_peel_nodes,omitempty"`
+
+	// Blossom: radius-escalation rounds (certificate failures that forced a
+	// re-grow + re-solve), landmark lower-bound queries issued by the
+	// certificate, and components re-matched across all rounds.
+	BlossomRounds       int64 `json:"blossom_rounds,omitempty"`
+	BlossomLandmarkQs   int64 `json:"blossom_landmark_queries,omitempty"`
+	BlossomRematchedCmp int64 `json:"blossom_rematched_components,omitempty"`
+
+	// wmatch (the primal-dual core inside Blossom): alternating-tree phases
+	// run and dual-adjustment steps taken.
+	WmatchTreeIters   int64 `json:"wmatch_tree_iters,omitempty"`
+	WmatchDualAdjusts int64 `json:"wmatch_dual_adjusts,omitempty"`
+}
+
+// Add accumulates o into s.
+func (s *DecoderStats) Add(o DecoderStats) {
+	s.UFGrowthRounds += o.UFGrowthRounds
+	s.UFEdgeScans += o.UFEdgeScans
+	s.UFPeelNodes += o.UFPeelNodes
+	s.BlossomRounds += o.BlossomRounds
+	s.BlossomLandmarkQs += o.BlossomLandmarkQs
+	s.BlossomRematchedCmp += o.BlossomRematchedCmp
+	s.WmatchTreeIters += o.WmatchTreeIters
+	s.WmatchDualAdjusts += o.WmatchDualAdjusts
+}
+
+// Sub returns s - o: the work done between two snapshots of the same
+// decoder.
+func (s DecoderStats) Sub(o DecoderStats) DecoderStats {
+	return DecoderStats{
+		UFGrowthRounds:      s.UFGrowthRounds - o.UFGrowthRounds,
+		UFEdgeScans:         s.UFEdgeScans - o.UFEdgeScans,
+		UFPeelNodes:         s.UFPeelNodes - o.UFPeelNodes,
+		BlossomRounds:       s.BlossomRounds - o.BlossomRounds,
+		BlossomLandmarkQs:   s.BlossomLandmarkQs - o.BlossomLandmarkQs,
+		BlossomRematchedCmp: s.BlossomRematchedCmp - o.BlossomRematchedCmp,
+		WmatchTreeIters:     s.WmatchTreeIters - o.WmatchTreeIters,
+		WmatchDualAdjusts:   s.WmatchDualAdjusts - o.WmatchDualAdjusts,
+	}
+}
+
+// IsZero reports whether every counter is zero.
+func (s DecoderStats) IsZero() bool { return s == DecoderStats{} }
+
+// StatsSource is implemented by decoders that expose stage counters.
+// Pipeline forwards to its inner decoder, so callers holding either see the
+// same numbers.
+type StatsSource interface {
+	DecoderStats() DecoderStats
+}

@@ -19,29 +19,21 @@ import (
 // costs time proportional to the grown region, not the graph size, and the
 // steady state allocates nothing.
 type UnionFind struct {
-	g   *dem.Graph
-	n   int     // real nodes; node n is the virtual boundary
-	cap []int64 // integer edge capacities from matching weights
-	// Flat edge endpoints (boundary mapped to node n) for cache-friendly
-	// access in the growth loop.
-	edgeU, edgeV []int32
+	g *dem.Graph
+	n int // real nodes; node n is the virtual boundary
+	// All per-edge state — capacity, endpoints, growth, stamps, cached
+	// roots — lives in one flat record array so the growth loops touch one
+	// cache line per edge instead of one per field (see ufEdge).
+	ue []ufEdge
 
 	// Reusable per-decode state, valid only where the epoch matches.
-	epoch     uint64
-	nodeEpoch []uint64
-	edgeEpoch []uint64
-	grown     []int64
-	parent    []int32
-	rank      []int8
-	parity    []bool // defect parity per root
-	boundary  []bool // root touches the virtual boundary
-	defect    []bool
-	seeded    []bool    // node's adjacency already added to its cluster
+	epoch uint64
+	ep32  uint32 // uint32(epoch); node and edge stamps compare against this
+	// All per-node state the growth loops touch lives in one flat record
+	// array (see ufNode); only the per-root slice lists stay separate.
+	un        []ufNode
 	edgeList  [][]int32 // per-root candidate growth edges
-	sat       []bool    // edge saturated (in the support)
-	visited   []bool
-	activeGen uint64
-	activeAt  []uint64 // last activeGen a root was collected in
+	activeGen uint32
 	bfsOrder  []int32
 	bfsEdge   []int32 // edge used to reach node in the forest
 	bfsPar    []int32
@@ -49,19 +41,93 @@ type UnionFind struct {
 	queue     []int32
 	satBound  []int32 // saturated boundary edges of this decode
 	events    []int   // current shot (caller-owned)
-	// Per-round growable-edge scratch: edge id plus the endpoint roots
-	// computed in the slack pass (valid in the grow pass until a merge).
-	growEdges []growEdge
-	// Cross-round per-edge root cache: valid while both cached nodes are
-	// still cluster roots (a merged root stops being its own parent), which
-	// turns the per-round re-resolution of stable edges into two loads.
-	edgeRA, edgeRB []int32
-	edgeRootEpoch  []uint64
+	// Per-root growable-edge cache: seg[r] is root r's growable edge ids as
+	// of r's last slack scan, minUnit[r] the minimum per-unit slack found
+	// then, baseCum[r] the growth clock at that scan, and scanEpoch/staleR
+	// its validity. A clean root (scanned this decode, untouched by any
+	// merge in its neighborhood since) need not rescan: every growable
+	// edge's per-unit slack has fallen by exactly the summed growth since
+	// the scan, so the cached minimum just shifts — the skip that replaces
+	// the per-round growEdges rebuild. The ids are enough: a clean root's
+	// edges have unchanged ends (an end merge would have stale-marked it),
+	// so the edge records' ra/rb still hold each edge's scan-time roots —
+	// storing bare int32 ids keeps the per-scan write traffic to four bytes
+	// per edge instead of a padded record.
+	seg      [][]int32
+	cumDelta int64 // summed minDelta growth this decode
+
+	stats DecoderStats
 }
 
-type growEdge struct {
-	ei     int32
-	ra, rb int32
+// ufNode packs every per-node field the growth loops and find touch into
+// one 72-byte record, laid out hot-first: the fields a neighbor scan reads
+// about the edge's other side (appliedCum, parent, ordAt, appliedEpoch,
+// activeAt, parity, boundary) sit in the first 26 bytes, so the "what is
+// the other cluster doing" lookup — formerly five parallel-array misses —
+// is one cache line.
+//
+// Deferred growth application: a round's grow pass walks only the
+// clusters that can saturate an edge this round (effective slack ==
+// minDelta) plus any cluster a union touched. Every other active
+// cluster's per-edge contribution is uniform (minDelta per round per
+// seg edge), so it is reconstructed from the growth clock and applied
+// when the cluster next walks or rescans: appliedCum is the clock
+// through which the edges' grown includes this root's side, effR the
+// round's effective slack, ordAt the position in this round's active
+// order (skipped clusters' contributions are credited virtually by order
+// in saturation checks, so the eager schedule's saturation order — and
+// the golden-pinned predictions — are reproduced exactly), and
+// forcedAt/walkedAt mark union-touched and already-walked roots.
+//
+// epoch/scanEpoch/appliedEpoch are the low 32 bits of the decoder epoch
+// (bumpEpoch clears them on wrap); activeAt/forcedAt/walkedAt compare
+// against activeGen, which Decode rewinds long before it can wrap.
+type ufNode struct {
+	appliedCum   int64
+	parent       int32
+	ordAt        int32
+	appliedEpoch uint32
+	activeAt     uint32 // last activeGen this root was collected in
+	parity       bool   // defect parity per root
+	boundary     bool   // root touches the virtual boundary
+	staleR       bool
+	defect       bool
+	seeded       bool // node's adjacency already added to its cluster
+	visited      bool
+	rank         int8
+	epoch        uint32 // lazy-reset stamp for the whole record
+	scanEpoch    uint32
+	forcedAt     uint32
+	walkedAt     uint32
+	minUnit      int64
+	baseCum      int64
+	effR         int64
+}
+
+// ufEdge packs every per-edge field the growth loops touch into one
+// 40-byte record, so a scan or walk costs one cache line per edge where
+// the parallel-array layout cost up to seven. The record holds:
+//
+//   - grown/cap: growth progress and the integer capacity. Saturation is
+//     grown == cap — the deferred-growth invariant (a cluster whose
+//     effective slack exceeds minDelta cannot saturate an edge that
+//     round) keeps every non-saturating write strictly below cap, so no
+//     separate flag is needed.
+//   - ra/rb + rootEpoch: the cross-round root cache — valid while both
+//     cached nodes are still cluster roots (a merged root stops being
+//     its own parent), turning per-round re-resolution into two loads.
+//   - u/v: the endpoints, with the boundary mapped to virtual node n.
+//   - epoch: the lazy-reset stamp for grown.
+//
+// The stamps are the low 32 bits of the decoder epoch; bumpEpoch clears
+// them on wrap, so a stale stamp can never alias a live one.
+type ufEdge struct {
+	grown     int64
+	cap       int64
+	ra, rb    int32
+	u, v      int32
+	rootEpoch uint32
+	epoch     uint32
 }
 
 // capUnit converts float weights to integer capacities; chosen so relative
@@ -72,26 +138,11 @@ const capScale = 1 << 20
 func NewUnionFind(g *dem.Graph) *UnionFind {
 	n := g.NumNodes
 	u := &UnionFind{g: g, n: n}
-	u.cap = make([]int64, len(g.Edges))
-	u.edgeU = make([]int32, len(g.Edges))
-	u.edgeV = make([]int32, len(g.Edges))
+	u.ue = make([]ufEdge, len(g.Edges))
 	u.loadEdges(g)
-	u.edgeRA = make([]int32, len(g.Edges))
-	u.edgeRB = make([]int32, len(g.Edges))
-	u.edgeRootEpoch = make([]uint64, len(g.Edges))
-	u.nodeEpoch = make([]uint64, n+1)
-	u.edgeEpoch = make([]uint64, len(g.Edges))
-	u.grown = make([]int64, len(g.Edges))
-	u.parent = make([]int32, n+1)
-	u.rank = make([]int8, n+1)
-	u.parity = make([]bool, n+1)
-	u.boundary = make([]bool, n+1)
-	u.defect = make([]bool, n+1)
-	u.seeded = make([]bool, n+1)
+	u.un = make([]ufNode, n+1)
 	u.edgeList = make([][]int32, n+1)
-	u.sat = make([]bool, len(g.Edges))
-	u.visited = make([]bool, n+1)
-	u.activeAt = make([]uint64, n+1)
+	u.seg = make([][]int32, n+1)
 	u.bfsEdge = make([]int32, n+1)
 	u.bfsPar = make([]int32, n+1)
 	return u
@@ -113,13 +164,46 @@ func (u *UnionFind) loadEdges(g *dem.Graph) {
 		if c < 1 {
 			c = 1
 		}
-		u.cap[i] = c
-		u.edgeU[i] = g.Edges[i].U
+		u.ue[i].cap = c
+		u.ue[i].u = g.Edges[i].U
 		v := g.Edges[i].V
 		if v == dem.BoundaryNode {
 			v = int32(u.n)
 		}
-		u.edgeV[i] = v
+		u.ue[i].v = v
+	}
+}
+
+// bumpEpoch starts a new decode (or rebind) generation. Edge stamps hold
+// only the low 32 bits of the epoch; on wrap they are cleared and the
+// zero value skipped, so a stamp from 2^32 generations ago can never read
+// as current.
+func (u *UnionFind) bumpEpoch() {
+	u.epoch++
+	if uint32(u.epoch) == 0 {
+		for i := range u.ue {
+			u.ue[i].epoch = 0
+			u.ue[i].rootEpoch = 0
+		}
+		for i := range u.un {
+			u.un[i].epoch = 0
+			u.un[i].scanEpoch = 0
+			u.un[i].appliedEpoch = 0
+		}
+		u.epoch++
+	}
+	u.ep32 = uint32(u.epoch)
+	// activeGen stamps (activeAt/forcedAt/walkedAt) are compared within a
+	// decode only; rewind the generation counter between decodes long
+	// before it can wrap. A single decode advances it by at most a few per
+	// round, bounded by the convergence guard — nowhere near 2^30.
+	if u.activeGen >= 1<<30 {
+		for i := range u.un {
+			u.un[i].activeAt = 0
+			u.un[i].forcedAt = 0
+			u.un[i].walkedAt = 0
+		}
+		u.activeGen = 0
 	}
 }
 
@@ -130,7 +214,7 @@ func (u *UnionFind) loadEdges(g *dem.Graph) {
 // whether the rebind happened; on false the decoder is unchanged and the
 // caller should build a fresh one.
 func (u *UnionFind) Rebind(g *dem.Graph) bool {
-	if g.NumNodes != u.n || len(g.Edges) != len(u.cap) {
+	if g.NumNodes != u.n || len(g.Edges) != len(u.ue) {
 		return false
 	}
 	u.g = g
@@ -138,12 +222,15 @@ func (u *UnionFind) Rebind(g *dem.Graph) bool {
 	// Invalidate the cross-decode edge-root cache: the stamps reference the
 	// previous graph's decodes, and epoch monotonicity is all that guards
 	// them.
-	u.epoch++
+	u.bumpEpoch()
 	return true
 }
 
 // Name implements Decoder.
 func (u *UnionFind) Name() string { return "union-find" }
+
+// DecoderStats implements StatsSource.
+func (u *UnionFind) DecoderStats() DecoderStats { return u.stats }
 
 // DecodeBatch implements BatchDecoder. Zero per-shot heap allocations in
 // steady state.
@@ -153,35 +240,35 @@ func (u *UnionFind) DecodeBatch(b *Batch, out []bool) error {
 
 // ensureNode lazily resets node v to its default state for this decode.
 func (u *UnionFind) ensureNode(v int32) {
-	if u.nodeEpoch[v] == u.epoch {
+	if u.un[v].epoch == u.ep32 {
 		return
 	}
-	u.nodeEpoch[v] = u.epoch
-	u.parent[v] = v
-	u.rank[v] = 0
-	u.parity[v] = false
-	u.boundary[v] = v == int32(u.n)
-	u.defect[v] = false
-	u.seeded[v] = v == int32(u.n) // the virtual boundary has no adjacency
+	u.un[v].epoch = u.ep32
+	u.un[v].parent = v
+	u.un[v].rank = 0
+	u.un[v].parity = false
+	u.un[v].boundary = v == int32(u.n)
+	u.un[v].defect = false
+	u.un[v].seeded = v == int32(u.n) // the virtual boundary has no adjacency
 	u.edgeList[v] = u.edgeList[v][:0]
-	u.visited[v] = false
+	u.un[v].visited = false
 }
 
 // ensureEdge lazily resets edge ei's growth state for this decode.
 func (u *UnionFind) ensureEdge(ei int32) {
-	if u.edgeEpoch[ei] == u.epoch {
+	e := &u.ue[ei]
+	if e.epoch == u.ep32 {
 		return
 	}
-	u.edgeEpoch[ei] = u.epoch
-	u.grown[ei] = 0
-	u.sat[ei] = false
+	e.epoch = u.ep32
+	e.grown = 0
 }
 
 func (u *UnionFind) find(v int32) int32 {
 	u.ensureNode(v)
-	for u.parent[v] != v {
-		u.parent[v] = u.parent[u.parent[v]]
-		v = u.parent[v]
+	for u.un[v].parent != v {
+		u.un[v].parent = u.un[u.un[v].parent].parent
+		v = u.un[v].parent
 	}
 	return v
 }
@@ -189,7 +276,7 @@ func (u *UnionFind) find(v int32) int32 {
 // endpoints returns the decoding-graph endpoints of edge ei with the
 // boundary mapped to virtual node n.
 func (u *UnionFind) endpoints(ei int32) (int32, int32) {
-	return u.edgeU[ei], u.edgeV[ei]
+	return u.ue[ei].u, u.ue[ei].v
 }
 
 // seedAdjacency adds node v's incident edges to root r's candidate list,
@@ -210,19 +297,19 @@ func (u *UnionFind) Decode(events []int) (bool, error) {
 		return false, fmt.Errorf("union-find: odd event count with no boundary")
 	}
 	n := u.n
-	u.epoch++
+	u.bumpEpoch()
 	u.events = events
 	u.satBound = u.satBound[:0]
 	u.ensureNode(int32(n))
 	for _, d := range events {
 		u.ensureNode(int32(d))
-		u.defect[d] = true
-		u.parity[d] = true
+		u.un[d].defect = true
+		u.un[d].parity = true
 	}
 	// Seed candidate edge lists from defect clusters.
 	for _, d := range events {
 		u.seedAdjacency(int32(d), int32(d))
-		u.seeded[d] = true
+		u.un[d].seeded = true
 	}
 
 	u.active = u.active[:0]
@@ -230,37 +317,61 @@ func (u *UnionFind) Decode(events []int) (bool, error) {
 		u.activeGen++
 		u.active = u.active[:0]
 		for _, d := range events {
-			r := u.find(int32(d))
-			if u.parity[r] && !u.boundary[r] && u.activeAt[r] != u.activeGen {
-				u.activeAt[r] = u.activeGen
+			// Inline root walk: every event node was ensured at decode
+			// start, so find's lazy-reset check is dead weight here.
+			r := int32(d)
+			for u.un[r].parent != r {
+				u.un[r].parent = u.un[u.un[r].parent].parent
+				r = u.un[r].parent
+			}
+			nd := &u.un[r]
+			if nd.parity && !nd.boundary && nd.activeAt != u.activeGen {
+				// A cluster entering the active set after a round away (or
+				// for the first time) was not growing, so no deferred share
+				// is owed: sync its growth clock, or the idle gap would read
+				// as pending growth.
+				if nd.activeAt != u.activeGen-1 || nd.appliedEpoch != u.ep32 {
+					nd.appliedCum = u.cumDelta
+					nd.appliedEpoch = u.ep32
+				}
+				nd.activeAt = u.activeGen
+				nd.ordAt = int32(len(u.active))
 				u.active = append(u.active, r)
 			}
 		}
 	}
 
 	union := func(a, b int32) int32 {
+		// The caller passes the edge's cached scan-time roots: mark both
+		// for a forced walk so their segments' deferred growth (plus this
+		// round's share) is applied before the round closes — exactly what
+		// the eager schedule's unconditional walk did for them.
+		u.un[a].forcedAt = u.activeGen
+		u.un[b].forcedAt = u.activeGen
 		// A node joining a growing cluster contributes its own adjacency
 		// to the cluster's candidate growth edges exactly once.
 		for _, v := range [2]int32{a, b} {
 			u.ensureNode(v)
-			if !u.seeded[v] {
-				u.seeded[v] = true
-				u.seedAdjacency(u.find(v), v)
+			if !u.un[v].seeded {
+				u.un[v].seeded = true
+				r := u.find(v)
+				u.seedAdjacency(r, v)
+				u.un[r].staleR = true // new growth candidates invalidate the cached minimum
 			}
 		}
 		ra, rb := u.find(a), u.find(b)
 		if ra == rb {
 			return ra
 		}
-		if u.rank[ra] < u.rank[rb] {
+		if u.un[ra].rank < u.un[rb].rank {
 			ra, rb = rb, ra
 		}
-		if u.rank[ra] == u.rank[rb] {
-			u.rank[ra]++
+		if u.un[ra].rank == u.un[rb].rank {
+			u.un[ra].rank++
 		}
-		u.parent[rb] = ra
-		u.parity[ra] = u.parity[ra] != u.parity[rb]
-		u.boundary[ra] = u.boundary[ra] || u.boundary[rb]
+		u.un[rb].parent = ra
+		u.un[ra].parity = u.un[ra].parity != u.un[rb].parity
+		u.un[ra].boundary = u.un[ra].boundary || u.un[rb].boundary
 		if len(u.edgeList[rb]) > len(u.edgeList[ra]) {
 			u.edgeList[ra], u.edgeList[rb] = u.edgeList[rb], u.edgeList[ra]
 		}
@@ -268,9 +379,29 @@ func (u *UnionFind) Decode(events []int) (bool, error) {
 		// Keep rb's capacity for later decodes; rb is no longer a root, so
 		// its list is dead until its next epoch reset.
 		u.edgeList[rb] = u.edgeList[rb][:0]
+		// Every cached slack minimum whose cluster can see this merge is now
+		// stale: the merged cluster itself (parity, boundary, and membership
+		// changed) and any neighbor — a shared edge's ends may have changed
+		// or the edge may have become internal. Neighbors further out are
+		// untouched: this cluster's own status is what their ends read, and
+		// it only changes at its own merges.
+		u.un[ra].staleR = true
+		for _, ei := range u.edgeList[ra] {
+			if e := &u.ue[ei]; e.rootEpoch == u.ep32 {
+				// Marking the cached ids is sufficient: a cached root that
+				// has since merged was stale-marked by that earlier union,
+				// and its successor cannot have rescanned since or the cache
+				// would hold the successor. Edges never scanned this decode
+				// back no cached minimum at all.
+				u.un[e.ra].staleR = true
+				u.un[e.rb].staleR = true
+			}
+		}
 		return ra
 	}
 
+	var rounds, scans int64
+	u.cumDelta = 0
 	for iter := 0; ; iter++ {
 		if iter > 4*len(u.g.Edges)+16 {
 			return false, fmt.Errorf("union-find: growth failed to converge")
@@ -279,74 +410,188 @@ func (u *UnionFind) Decode(events []int) (bool, error) {
 		if len(u.active) == 0 {
 			break
 		}
-		// Minimum slack per growth unit across all candidate edges. The
-		// growable edges (with their roots) are collected for the grow pass.
+		rounds++
+		// Minimum slack per growth unit across all candidate edges. A clean
+		// root — scanned this decode, no merge in its neighborhood since —
+		// reuses its cached segment: every growable edge of such a root grew
+		// in each round since the scan (ends unchanged, so per-unit slack
+		// fell by exactly that round's minDelta), and the cached minimum
+		// shifted by the summed growth. Only stale roots rescan.
 		var minDelta int64 = math.MaxInt64
-		u.growEdges = u.growEdges[:0]
 		for _, r := range u.active {
-			kept := u.edgeList[r][:0]
-			for _, ei := range u.edgeList[r] {
-				if u.sat[ei] {
-					continue
+			nd := &u.un[r]
+			if nd.scanEpoch == u.ep32 && !nd.staleR {
+				eff := nd.minUnit
+				if eff != math.MaxInt64 {
+					eff -= u.cumDelta - nd.baseCum
 				}
-				ra, rb := u.edgeRA[ei], u.edgeRB[ei]
-				if u.edgeRootEpoch[ei] != u.epoch || u.parent[ra] != ra || u.parent[rb] != rb {
-					a, b := u.endpoints(ei)
-					ra, rb = u.find(a), u.find(b)
-					u.edgeRA[ei], u.edgeRB[ei], u.edgeRootEpoch[ei] = ra, rb, u.epoch
+				nd.effR = eff
+				if eff < minDelta {
+					minDelta = eff
+				}
+				continue
+			}
+			// Apply this root's deferred growth to its old segment before
+			// rebuilding it: the rounds it skipped owed each unsaturated
+			// edge a uniform amount from this side. (A stale root's old
+			// edges are never internal — becoming internal requires this
+			// cluster itself to have merged, and merge sides are
+			// force-walked, resetting the deficit that round.)
+			if nd.appliedEpoch == u.ep32 {
+				if pend := u.cumDelta - nd.appliedCum; pend > 0 {
+					for _, ei := range u.seg[r] {
+						if e := &u.ue[ei]; e.grown != e.cap {
+							e.grown += pend
+						}
+					}
+				}
+			}
+			scans += int64(len(u.edgeList[r]))
+			kept := u.edgeList[r][:0]
+			seg := u.seg[r][:0]
+			// Track the ends=1 and ends=2 minima separately so the ceiling
+			// division happens once per scan, not once per edge.
+			var min1, min2 int64 = math.MaxInt64, math.MaxInt64
+			for _, ei := range u.edgeList[r] {
+				e := &u.ue[ei]
+				c := e.cap
+				if e.grown == c {
+					continue // saturated
+				}
+				ra, rb := e.ra, e.rb
+				if e.rootEpoch != u.ep32 || u.un[ra].parent != ra || u.un[rb].parent != rb {
+					ra, rb = u.find(e.u), u.find(e.v)
+					e.ra, e.rb, e.rootEpoch = ra, rb, u.ep32
 				}
 				if ra == rb {
 					continue // internal edge
 				}
 				kept = append(kept, ei)
-				u.growEdges = append(u.growEdges, growEdge{ei, ra, rb})
-				ends := int64(1)
+				seg = append(seg, ei)
 				other := rb
 				if ra != r {
 					other = ra
 				}
-				if u.parity[other] && !u.boundary[other] {
-					ends = 2 // both sides grow
+				remain := c - e.grown
+				// The other side's contribution may still be deferred;
+				// credit it from the growth clock so remain reflects the
+				// fully-applied value.
+				o := &u.un[other]
+				if o.activeAt == u.activeGen && o.appliedEpoch == u.ep32 {
+					remain -= u.cumDelta - o.appliedCum
 				}
-				slack := (u.cap[ei] - u.grown[ei] + ends - 1) / ends
-				if slack < minDelta {
-					minDelta = slack
+				if o.parity && !o.boundary {
+					if remain < min2 {
+						min2 = remain // both sides grow
+					}
+				} else if remain < min1 {
+					min1 = remain
 				}
 			}
 			u.edgeList[r] = kept
+			u.seg[r] = seg
+			mu := min1
+			if min2 != math.MaxInt64 {
+				if h := (min2 + 1) / 2; h < mu {
+					mu = h
+				}
+			}
+			nd.minUnit = mu
+			nd.baseCum = u.cumDelta
+			nd.appliedCum = u.cumDelta
+			nd.appliedEpoch = u.ep32
+			nd.scanEpoch = u.ep32
+			nd.staleR = false
+			nd.effR = mu
+			if mu < minDelta {
+				minDelta = mu
+			}
 		}
 		if minDelta == math.MaxInt64 {
 			return false, fmt.Errorf("union-find: active cluster with no growable edges")
 		}
-		// Grow and merge. Cluster state is untouched between the passes, so
-		// the cached roots stay valid until the first merge; after that,
-		// re-resolve per edge. An edge shared by two active clusters appears
-		// twice in growEdges, so it grows by 2*minDelta per round, matching
-		// its halved slack above.
+		// Grow and merge. Only clusters whose effective slack equals
+		// minDelta can saturate an edge this round; every other cluster's
+		// walk in the eager schedule was pure bookkeeping (grown += delta
+		// on each seg edge), so it is deferred via appliedCum and the walk
+		// skipped. Walks that do happen run at the cluster's position in
+		// active order and credit skipped earlier clusters' contributions
+		// virtually (the miss term), so each saturation check sees exactly
+		// the value the eager schedule saw at the same position — the
+		// saturation and union order, and with them the golden-pinned
+		// predictions, are reproduced bit for bit. Union-touched clusters
+		// are force-walked (at their position, or after the loop) so the
+		// round closes with their edges fully applied.
 		merged := false
-		for _, ge := range u.growEdges {
-			ei := ge.ei
-			if u.sat[ei] {
-				continue
-			}
-			if merged {
-				a, b := u.endpoints(ei)
-				if u.find(a) == u.find(b) {
-					continue
+		walkSeg := func(r, myOrd int32) {
+			nd := &u.un[r]
+			nd.walkedAt = u.activeGen
+			add := u.cumDelta + minDelta - nd.appliedCum
+			nd.appliedCum = u.cumDelta + minDelta
+			for _, ei := range u.seg[r] {
+				e := &u.ue[ei]
+				if e.grown == e.cap {
+					continue // saturated
 				}
-			}
-			u.grown[ei] += minDelta
-			if u.grown[ei] >= u.cap[ei] {
-				u.grown[ei] = u.cap[ei]
-				u.sat[ei] = true
-				if u.g.Edges[ei].V == dem.BoundaryNode {
-					u.satBound = append(u.satBound, ei)
+				ra, rb := e.ra, e.rb
+				if merged && (u.un[ra].parent != ra || u.un[rb].parent != rb) {
+					// Only a segment whose cached root died can have become
+					// internal; two live distinct roots still are the
+					// endpoints' roots.
+					if u.find(e.u) == u.find(e.v) {
+						continue
+					}
 				}
-				union(ge.ra, ge.rb)
-				merged = true
+				g := e.grown + add
+				// The other side's share not yet in grown: its deferred
+				// rounds, plus this round's delta if its position already
+				// passed (walked or not — the eager schedule had grown the
+				// edge from that side by now either way; if it walked, the
+				// negative deficit cancels the credit).
+				var miss int64
+				other := rb
+				if ra != r {
+					other = ra
+				}
+				if o := &u.un[other]; o.activeAt == u.activeGen {
+					if o.appliedEpoch == u.ep32 {
+						miss = u.cumDelta - o.appliedCum
+					}
+					if o.ordAt < myOrd {
+						miss += minDelta
+					}
+				}
+				if c := e.cap; g+miss >= c {
+					e.grown = c // grown == cap is the saturation mark
+					if e.v == int32(n) {
+						u.satBound = append(u.satBound, ei)
+					}
+					union(ra, rb)
+					merged = true
+				} else {
+					e.grown = g
+				}
 			}
 		}
+		for ai, r := range u.active {
+			if u.un[r].effR == minDelta || u.un[r].forcedAt == u.activeGen {
+				walkSeg(r, int32(ai))
+			}
+		}
+		if merged {
+			// Clusters a union touched after their position was passed:
+			// apply their deferred share now. Their effective slack exceeds
+			// minDelta, so these walks never saturate anything.
+			for ai, r := range u.active {
+				if u.un[r].forcedAt == u.activeGen && u.un[r].walkedAt != u.activeGen {
+					walkSeg(r, int32(ai))
+				}
+			}
+		}
+		u.cumDelta += minDelta
 	}
+	u.stats.UFGrowthRounds += rounds
+	u.stats.UFEdgeScans += scans
 	return u.peel()
 }
 
@@ -362,7 +607,7 @@ func (u *UnionFind) peel() (bool, error) {
 	head := 0
 
 	push := func(v, parent, viaEdge int32) {
-		u.visited[v] = true
+		u.un[v].visited = true
 		u.bfsPar[v] = parent
 		u.bfsEdge[v] = viaEdge
 		u.queue = append(u.queue, v)
@@ -375,22 +620,22 @@ func (u *UnionFind) peel() (bool, error) {
 			// growth.
 			for _, ei := range u.satBound {
 				w := u.g.Edges[ei].U
-				if !u.visited[w] {
+				if !u.un[w].visited {
 					push(w, v, ei)
 				}
 			}
 			return
 		}
 		for _, ei := range u.g.Adj[v] {
-			if u.edgeEpoch[ei] != u.epoch || !u.sat[ei] {
+			e := &u.ue[ei]
+			if e.epoch != u.ep32 || e.grown != e.cap {
 				continue
 			}
-			a, b := u.endpoints(ei)
-			w := a
+			w := e.u
 			if w == v {
-				w = b
+				w = e.v
 			}
-			if !u.visited[w] {
+			if !u.un[w].visited {
 				push(w, v, int32(ei))
 			}
 		}
@@ -407,7 +652,7 @@ func (u *UnionFind) peel() (bool, error) {
 	// defect is an event, so scanning the shot finds all of them.
 	for _, d := range u.events {
 		v := int32(d)
-		if u.visited[v] || !u.defect[v] {
+		if u.un[v].visited || !u.un[v].defect {
 			continue
 		}
 		// BFS this component from v.
@@ -419,26 +664,28 @@ func (u *UnionFind) peel() (bool, error) {
 		}
 	}
 
+	u.stats.UFPeelNodes += int64(len(u.bfsOrder))
+
 	// Peel in reverse BFS order.
 	obs := false
 	for i := len(u.bfsOrder) - 1; i >= 0; i-- {
 		v := u.bfsOrder[i]
 		if v == int32(n) || u.bfsPar[v] == -1 {
-			if v != int32(n) && u.defect[v] {
+			if v != int32(n) && u.un[v].defect {
 				return false, fmt.Errorf("union-find: unresolved defect at root %d", v)
 			}
 			continue
 		}
-		if u.defect[v] {
+		if u.un[v].defect {
 			ei := u.bfsEdge[v]
 			if u.g.Edges[ei].Obs {
 				obs = !obs
 			}
 			p := u.bfsPar[v]
 			if p != int32(n) {
-				u.defect[p] = !u.defect[p]
+				u.un[p].defect = !u.un[p].defect
 			}
-			u.defect[v] = false
+			u.un[v].defect = false
 		}
 	}
 	return obs, nil

@@ -48,6 +48,10 @@ type wmatch struct {
 	flower     [][]int32 // blossom cycle, base first
 	q          []int32
 	qh         int
+
+	// Lifetime work counters, surfaced through Blossom.DecoderStats.
+	treeIters   int64 // alternating-tree phases run
+	dualAdjusts int64 // dual-adjustment steps taken
 }
 
 const wmInf = int64(math.MaxInt64) / 4
@@ -347,6 +351,7 @@ func (wm *wmatch) onFoundEdge(u0, v0 int32) bool {
 // until an augmenting path is found (true) or the duals prove none exists
 // (false).
 func (wm *wmatch) matching() bool {
+	wm.treeIters++
 	for i := int32(0); i <= wm.nx; i++ {
 		wm.s[i] = -1
 		wm.slack[i] = 0
@@ -383,6 +388,7 @@ func (wm *wmatch) matching() bool {
 			}
 		}
 		// Dual adjustment: the largest step keeping every constraint tight.
+		wm.dualAdjusts++
 		d := wmInf
 		for b := wm.n + 1; b <= wm.nx; b++ {
 			if wm.st[b] == b && wm.s[b] == 1 {

@@ -85,6 +85,10 @@ type Result struct {
 	// prediction. Both are zero when the pipeline is disabled.
 	Skipped   int
 	DedupHits int
+	// Stats sums the decoder-internal stage counters (growth rounds,
+	// alternating-tree phases, ...) over every shot of the point. Pure sums,
+	// so worker and shard merges are bit-identical at any pool width.
+	Stats decoder.DecoderStats
 	// Mechanisms and DetectorCount describe the underlying model.
 	Mechanisms    int
 	DetectorCount int
@@ -384,6 +388,7 @@ func (st *WorkerState) pipeline(inner decoder.BatchDecoder) *decoder.Pipeline {
 type tally struct {
 	trials, failures, fallbacks int
 	skipped, dedupHits          int
+	stats                       decoder.DecoderStats
 }
 
 // runWorker executes worker w's share of one point: sample 64-shot batches
@@ -405,6 +410,14 @@ func runWorker(model *dem.Model, graph *dem.Graph, cfg Config, w, trials int, bu
 	rng := rand.New(rand.NewChaCha8(workerSeed(cfg.Seed, w)))
 	bs := st.sampler(model)
 	dec, fb := st.decoderFor(cfg.Decoder, graph)
+	// Decoder stage counters are cumulative for the decoder's lifetime
+	// (WorkerState reuses matchers across cells), so bracket this run with
+	// two snapshots — the same pattern the dedup counter uses below.
+	statsSrc, _ := dec.(decoder.StatsSource)
+	var statsBase decoder.DecoderStats
+	if statsSrc != nil {
+		statsBase = statsSrc.DecoderStats()
+	}
 	var pipe *decoder.Pipeline
 	if !cfg.DisablePipeline {
 		pipe = st.pipeline(dec)
@@ -473,6 +486,9 @@ func runWorker(model *dem.Model, graph *dem.Graph, cfg Config, w, trials int, bu
 	if fb != nil {
 		t.fallbacks = int(fb.Fallbacks)
 	}
+	if statsSrc != nil {
+		t.stats = statsSrc.DecoderStats().Sub(statsBase)
+	}
 	return t, nil
 }
 
@@ -530,6 +546,7 @@ func (en *Engine) Run(cfg Config) (Result, error) {
 		res.Fallbacks += t.fallbacks
 		res.Skipped += t.skipped
 		res.DedupHits += t.dedupHits
+		res.Stats.Add(t.stats)
 	}
 	return res, nil
 }
@@ -562,6 +579,7 @@ func (en *Engine) RunOn(cfg Config, st *WorkerState) (Result, error) {
 		Fallbacks:     t.fallbacks,
 		Skipped:       t.skipped,
 		DedupHits:     t.dedupHits,
+		Stats:         t.stats,
 		Mechanisms:    model.Stats.Mechanisms,
 		DetectorCount: model.NumDets,
 	}, nil

@@ -3,6 +3,8 @@ package montecarlo
 import (
 	"fmt"
 	"sync/atomic"
+
+	"repro/internal/decoder"
 )
 
 // MinShardShots is the documented shot floor below which sharding never
@@ -96,6 +98,7 @@ type ShardResult struct {
 	Fallbacks     int
 	Skipped       int // zero-defect shots answered by the pipeline fast path
 	DedupHits     int // shots replayed from a duplicate syndrome's prediction
+	Stats         decoder.DecoderStats
 	Mechanisms    int
 	DetectorCount int
 }
@@ -147,6 +150,7 @@ func (en *Engine) RunShardOn(cfg Config, plan ShardPlan, shard int, budget *Shar
 		Fallbacks:     t.fallbacks,
 		Skipped:       t.skipped,
 		DedupHits:     t.dedupHits,
+		Stats:         t.stats,
 		Mechanisms:    model.Stats.Mechanisms,
 		DetectorCount: model.NumDets,
 	}, nil
@@ -178,6 +182,7 @@ func MergeShards(cfg Config, parts []ShardResult) (Result, error) {
 		res.Fallbacks += p.Fallbacks
 		res.Skipped += p.Skipped
 		res.DedupHits += p.DedupHits
+		res.Stats.Add(p.Stats)
 	}
 	res.Mechanisms = first.Mechanisms
 	res.DetectorCount = first.DetectorCount

@@ -110,6 +110,54 @@ func TestMergedShardsMatchMultiWorkerRun(t *testing.T) {
 	}
 }
 
+// DecoderStats shard-merge bit-identity: every stage counter is a plain sum
+// over disjoint worker streams, so executing a point's shards out of order
+// through RunShardOn and folding with MergeShards must reproduce the
+// multi-worker Run's counters exactly — at every pool width, for both
+// matcher kinds.
+func TestDecoderStatsShardMergeBitIdentity(t *testing.T) {
+	for _, dec := range []DecoderKind{UF, Blossom} {
+		for _, width := range []int{1, 2, 4, 8} {
+			trials := width * MinShardShots
+			cfg := shardTestConfig(trials)
+			cfg.Decoder = dec
+			en := NewEngine()
+			plan := PlanShards(trials, 1)
+			if plan.Shards != width {
+				t.Fatalf("%s: PlanShards(%d, 1) gave %d shards, want %d", dec, trials, plan.Shards, width)
+			}
+			var budget ShardBudget
+			var st WorkerState
+			parts := make([]ShardResult, 0, plan.Shards)
+			for i := plan.Shards - 1; i >= 0; i-- { // execution order must not matter
+				sr, err := en.RunShardOn(cfg, plan, i, &budget, &st)
+				if err != nil {
+					t.Fatalf("%s width %d shard %d: %v", dec, width, i, err)
+				}
+				parts = append(parts, sr)
+			}
+			merged, err := MergeShards(cfg, parts)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			ref := cfg
+			ref.Workers = width
+			want, err := en.Run(ref)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if merged.Stats != want.Stats {
+				t.Errorf("%s width %d: merged stats %+v differ from Run(Workers=%d) stats %+v",
+					dec, width, merged.Stats, width, want.Stats)
+			}
+			if merged.Stats.IsZero() {
+				t.Errorf("%s width %d: all stage counters zero — stats not threaded through the shard path", dec, width)
+			}
+		}
+	}
+}
+
 // A single-shard plan through RunShardOn is bit-identical to RunOn: the
 // scheduler may route unsharded cells through either entry point.
 func TestSingleShardMatchesRunOn(t *testing.T) {

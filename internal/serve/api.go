@@ -90,9 +90,13 @@ type CellRecord struct {
 	// this cell: shots answered by the zero-defect fast path, and shots
 	// replayed from a duplicate syndrome in the same batch. Zero when the
 	// request disabled the pipeline.
-	Skipped   int    `json:"skipped,omitempty"`
-	DedupHits int    `json:"dedup_hits,omitempty"`
-	Error     string `json:"error,omitempty"`
+	Skipped   int `json:"skipped,omitempty"`
+	DedupHits int `json:"dedup_hits,omitempty"`
+	// DecoderStats carries the cell's matcher-internal stage counters;
+	// omitzero drops the block for cells that did no matcher work, and the
+	// value keeps CellRecord comparable.
+	DecoderStats decoder.DecoderStats `json:"decoder_stats,omitzero"`
+	Error        string               `json:"error,omitempty"`
 }
 
 // JobStatus is the wire form of one sweep job: GET /v1/sweeps/{id}, the
@@ -127,6 +131,11 @@ type DecodeStats struct {
 	Shots     int64 `json:"shots"`
 	Skipped   int64 `json:"skipped"`
 	DedupHits int64 `json:"dedup_hits"`
+	// Decoder sums the matcher-internal stage counters (union-find growth
+	// rounds, blossom escalation rounds, alternating-tree phases, ...) over
+	// every completed cell — the profile-shaped view of where decode time
+	// goes in production sweeps.
+	Decoder decoder.DecoderStats `json:"decoder"`
 }
 
 // JobCounts summarizes the registry.
@@ -265,6 +274,7 @@ func cellRecord(r sched.CellResult) CellRecord {
 		Skipped:     r.Result.Skipped,
 		DedupHits:   r.Result.DedupHits,
 	}
+	rec.DecoderStats = r.Result.Stats
 	if r.Err != nil {
 		rec.Error = r.Err.Error()
 	}

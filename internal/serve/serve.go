@@ -49,6 +49,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/decoder"
 	"repro/internal/montecarlo"
 	"repro/internal/sched"
 )
@@ -119,6 +120,11 @@ type Server struct {
 	decShots   atomic.Int64
 	decSkipped atomic.Int64
 	decDedup   atomic.Int64
+	// Decoder-internal stage counters (growth rounds, tree phases, ...),
+	// summed over every finished cell; a struct, so guarded by its own lock
+	// rather than per-field atomics.
+	decStatsMu sync.Mutex
+	decStats   decoder.DecoderStats
 
 	// beforeRun, when non-nil, gates each job between acquiring its run
 	// slot and executing cells — a test hook for holding jobs in the
@@ -294,6 +300,9 @@ func (s *Server) execute(jb *job) {
 			s.decShots.Add(int64(r.Result.Trials))
 			s.decSkipped.Add(int64(r.Result.Skipped))
 			s.decDedup.Add(int64(r.Result.DedupHits))
+			s.decStatsMu.Lock()
+			s.decStats.Add(r.Result.Stats)
+			s.decStatsMu.Unlock()
 			jb.appendCell(cellRecord(r))
 		},
 	})
@@ -409,12 +418,16 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	counts := s.countsLocked()
 	s.mu.Unlock()
+	s.decStatsMu.Lock()
+	decStats := s.decStats
+	s.decStatsMu.Unlock()
 	writeJSON(w, http.StatusOK, StatsResponse{
 		Engine: s.en.CacheStats(),
 		Decode: DecodeStats{
 			Shots:     s.decShots.Load(),
 			Skipped:   s.decSkipped.Load(),
 			DedupHits: s.decDedup.Load(),
+			Decoder:   decStats,
 		},
 		Jobs: counts,
 	})
