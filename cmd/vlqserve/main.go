@@ -20,6 +20,12 @@
 // listen address serving net/http/pprof (off by default; keep it on a
 // loopback or otherwise private address — profiles expose internals).
 // SIGINT/SIGTERM drain in-flight requests, then cancel outstanding jobs.
+//
+// With -fabric-listen the process additionally runs a fabric coordinator
+// on that address: vlqworker processes connect to it, and sweeps submitted
+// with "mode":"fabric" are leased to them instead of the local pool —
+// merging to bit-identical results. -fabric-ttl tunes the lease
+// time-to-live (how quickly a lost worker's units are reassigned).
 package main
 
 import (
@@ -34,6 +40,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/fabric"
 	"repro/internal/montecarlo"
 	"repro/internal/serve"
 )
@@ -46,6 +53,8 @@ func main() {
 	queue := flag.Int("queue", 8, "sweep jobs waiting beyond -max-jobs before submissions get 429 (negative: no queueing)")
 	retain := flag.Int("retain", 64, "finished jobs retained for status/replay")
 	pprofAddr := flag.String("pprof", "", "listen address for net/http/pprof debug endpoints (e.g. localhost:6060; empty = disabled)")
+	fabricAddr := flag.String("fabric-listen", "", "listen address for the fabric coordinator (e.g. :8791; empty = fabric mode disabled)")
+	fabricTTL := flag.Duration("fabric-ttl", fabric.DefaultLeaseTTL, "fabric lease time-to-live before a silent worker's units are reassigned")
 	flag.Parse()
 
 	// The profiling endpoints live on their own listener and mux, never the
@@ -66,12 +75,26 @@ func main() {
 		}()
 	}
 
+	var hub *fabric.Hub
+	var fabricServer *http.Server
+	if *fabricAddr != "" {
+		hub = fabric.NewHub(fabric.Options{LeaseTTL: *fabricTTL})
+		fabricServer = &http.Server{Addr: *fabricAddr, Handler: hub.Handler()}
+		go func() {
+			fmt.Fprintf(os.Stderr, "vlqserve: fabric coordinator on %s (lease ttl %s)\n", *fabricAddr, *fabricTTL)
+			if err := fabricServer.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				fmt.Fprintln(os.Stderr, "vlqserve: fabric:", err)
+			}
+		}()
+	}
+
 	server := serve.NewServer(serve.Config{
 		Engine:            montecarlo.NewEngineWithCache(*cache),
 		MaxConcurrentJobs: *maxJobs,
 		QueueDepth:        *queue,
 		DefaultPoolWidth:  *jobs,
 		RetainJobs:        *retain,
+		Fabric:            hub,
 	})
 	httpServer := &http.Server{Addr: *addr, Handler: server}
 
@@ -94,6 +117,12 @@ func main() {
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	server.Close() // cancels outstanding jobs; streams end at the next cell boundary
+	if hub != nil {
+		hub.Close() // tells polling workers to shut down, cancels fabric runs
+		if fabricServer != nil {
+			_ = fabricServer.Shutdown(shutdownCtx)
+		}
+	}
 	if err := httpServer.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		fatal(err)
 	}

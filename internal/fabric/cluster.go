@@ -1,0 +1,56 @@
+package fabric
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// Cluster is a set of in-process workers draining one coordinator — the
+// harness behind fabric-mode serving and the determinism and fault tests.
+// Each worker runs on its own goroutine with its own Engine and
+// WorkerState, exactly as separate processes would.
+type Cluster struct {
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	mu   sync.Mutex
+	errs []error
+}
+
+// StartCluster launches n workers. transport supplies each worker's
+// Transport (the fault harness hands each a different shim); options, when
+// non-nil, supplies per-worker WorkerOptions.
+func StartCluster(n int, transport func(i int) Transport, options func(i int) WorkerOptions) *Cluster {
+	ctx, cancel := context.WithCancel(context.Background())
+	c := &Cluster{cancel: cancel}
+	for i := 0; i < n; i++ {
+		var opts WorkerOptions
+		if options != nil {
+			opts = options(i)
+		}
+		w := NewWorker(transport(i), opts)
+		c.wg.Add(1)
+		go func() {
+			defer c.wg.Done()
+			err := w.Run(ctx)
+			if err != nil && !errors.Is(err, context.Canceled) && !errors.Is(err, ErrHalt) {
+				c.mu.Lock()
+				c.errs = append(c.errs, err)
+				c.mu.Unlock()
+			}
+		}()
+	}
+	return c
+}
+
+// Stop cancels the workers, waits for them to exit, and returns any
+// unexpected worker errors (context cancellation and harness kills are
+// expected and filtered out).
+func (c *Cluster) Stop() []error {
+	c.cancel()
+	c.wg.Wait()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.errs
+}

@@ -1,0 +1,185 @@
+package fabric
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/extract"
+	"repro/internal/hardware"
+	"repro/internal/montecarlo"
+	"repro/internal/sched"
+)
+
+// runLocal executes the jobs on the local work-stealing scheduler — the
+// reference side of the cluster⊟local contract.
+func runLocal(t *testing.T, jobs []sched.Job, shardShots int) []sched.CellResult {
+	t.Helper()
+	s := sched.New(nil, sched.Options{Jobs: 4, ShardShots: shardShots})
+	results, err := s.Run(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return results
+}
+
+// runFabric executes the jobs over an in-process fabric: one hub, n
+// workers on their own goroutines with their own engines, Local transport.
+func runFabric(t *testing.T, jobs []sched.Job, shardShots, workers int) []sched.CellResult {
+	t.Helper()
+	h := NewHub(Options{})
+	defer h.Close()
+	r, err := h.Submit(jobs, RunOptions{ShardShots: shardShots})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := StartCluster(workers, func(int) Transport { return Local{Hub: h} },
+		func(int) WorkerOptions { return WorkerOptions{PollInterval: 2 * time.Millisecond} })
+	defer func() {
+		for _, err := range c.Stop() {
+			t.Errorf("worker error: %v", err)
+		}
+	}()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	results, err := r.Wait(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return results
+}
+
+// diffResults asserts two result sets are bit-identical, cell by cell.
+func diffResults(t *testing.T, label string, got, want []sched.CellResult) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d cells, want %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Index != want[i].Index {
+			t.Fatalf("%s: cell %d has index %d", label, i, got[i].Index)
+		}
+		if got[i].Result != want[i].Result {
+			t.Errorf("%s: cell %d diverged:\n fabric %+v\n local  %+v",
+				label, i, got[i].Result, want[i].Result)
+		}
+	}
+}
+
+// TestClusterMatchesLocalThresholdGrid is the headline contract: a
+// threshold sweep executed over the fabric merges bit-identically to the
+// local scheduler's run of the same jobs — at every worker count, at every
+// lease granularity, including cells that parallelize internally
+// (Workers > 1) and therefore lease as a single unit.
+func TestClusterMatchesLocalThresholdGrid(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-worker sweep matrix")
+	}
+	const trials = 2*montecarlo.MinShardShots + 137 // uneven extra split
+	rates := montecarlo.DefaultPhysRates(6)[2:5]
+	jobs := sched.ThresholdJobs(extract.Baseline, []int{3, 5}, rates,
+		hardware.Default(), trials, 41, montecarlo.UF, montecarlo.SweepOptions{})
+	wide := montecarlo.ThresholdCellConfig(extract.Baseline, 3, rates[0],
+		hardware.Default(), trials, 41, montecarlo.UF, montecarlo.SweepOptions{})
+	wide.Workers = 2
+	jobs = append(jobs, sched.Job{Cfg: wide, Tag: "wide"})
+
+	for _, shardShots := range []int{0, montecarlo.MinShardShots} {
+		want := runLocal(t, jobs, shardShots)
+		for _, workers := range []int{1, 2, 4, 8} {
+			got := runFabric(t, jobs, shardShots, workers)
+			diffResults(t, labelWS(workers, shardShots), got, want)
+		}
+	}
+}
+
+func labelWS(workers, shardShots int) string {
+	return "workers=" + itoa(workers) + " shardShots=" + itoa(shardShots)
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+// TestClusterMatchesLocalSensitivityGrid runs the same contract over a
+// sensitivity-panel grid, whose cells differ only in hardware parameters —
+// the sweep family Fig. 12 is built from.
+func TestClusterMatchesLocalSensitivityGrid(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-worker sweep matrix")
+	}
+	const trials = 2 * montecarlo.MinShardShots
+	jobs, err := sched.SensitivityJobs(montecarlo.PanelCavityT1, []float64{1e-4, 1e-2}, []int{3},
+		trials, 53, montecarlo.UF, montecarlo.SweepOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := runLocal(t, jobs, montecarlo.MinShardShots)
+	for _, workers := range []int{2, 4} {
+		got := runFabric(t, jobs, montecarlo.MinShardShots, workers)
+		diffResults(t, labelWS(workers, montecarlo.MinShardShots), got, want)
+	}
+}
+
+// TestClusterEarlyStopSemantics: TargetFailures cells are timing-dependent
+// by design (locally too), so the contract is semantic: the run completes,
+// the target is banked, trials stop early, and model dimensions survive
+// the merge.
+func TestClusterEarlyStopSemantics(t *testing.T) {
+	const trials = 8 * montecarlo.MinShardShots
+	cfg := montecarlo.ThresholdCellConfig(extract.Baseline, 3, 1.6e-2, hardware.Default(),
+		trials, 21, montecarlo.UF, montecarlo.SweepOptions{TargetFailures: 3})
+	results := runFabric(t, []sched.Job{{Cfg: cfg}}, montecarlo.MinShardShots, 4)
+	res := results[0].Result
+	if res.Failures < 3 {
+		t.Fatalf("early-stop run banked %d failures, want >= 3", res.Failures)
+	}
+	if res.Trials <= 0 || res.Trials >= trials {
+		t.Errorf("early stop did not engage: %d of %d trials taken", res.Trials, trials)
+	}
+	if res.Mechanisms == 0 || res.DetectorCount == 0 {
+		t.Errorf("merged cell lost model dimensions: %d/%d", res.Mechanisms, res.DetectorCount)
+	}
+}
+
+// TestHTTPTransportRoundTrip runs a small sweep through the real HTTP
+// handler and transport on a loopback listener — the same wire path
+// cmd/vlqworker uses — and pins it to the local result.
+func TestHTTPTransportRoundTrip(t *testing.T) {
+	h := NewHub(Options{})
+	defer h.Close()
+	srv := newLoopbackServer(t, h.Handler())
+
+	jobs := sched.ThresholdJobs(extract.Baseline, []int{3}, montecarlo.DefaultPhysRates(6)[3:5],
+		hardware.Default(), 2*montecarlo.MinShardShots, 61, montecarlo.UF, montecarlo.SweepOptions{})
+	want := runLocal(t, jobs, montecarlo.MinShardShots)
+
+	r, err := h.Submit(jobs, RunOptions{ShardShots: montecarlo.MinShardShots})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := StartCluster(2, func(int) Transport { return &HTTPTransport{Base: srv} },
+		func(int) WorkerOptions { return WorkerOptions{PollInterval: 2 * time.Millisecond} })
+	defer func() {
+		for _, err := range c.Stop() {
+			t.Errorf("worker error: %v", err)
+		}
+	}()
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	got, err := r.Wait(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diffResults(t, "http workers=2", got, want)
+}

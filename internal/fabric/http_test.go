@@ -1,0 +1,14 @@
+package fabric
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func newLoopbackServer(t *testing.T, h http.Handler) string {
+	t.Helper()
+	srv := httptest.NewServer(h)
+	t.Cleanup(srv.Close)
+	return srv.URL
+}

@@ -275,3 +275,76 @@ func TestRunShardOnValidation(t *testing.T) {
 		t.Error("empty merge accepted")
 	}
 }
+
+// TestMergeShardsDimsProvenance is the regression pin for the merge's
+// dims-provenance rule (PR 6): model dimensions come from the
+// lowest-indexed shard that actually ran, so shards settled as empty by
+// the scheduler's (or the fabric coordinator's) banked-target skip never
+// blank the merged dimensions — in whatever order the parts arrive, which
+// is exactly what lease reassignment perturbs: a re-leased unit's result
+// can land after higher-indexed shards already merged their slots.
+func TestMergeShardsDimsProvenance(t *testing.T) {
+	cfg := shardTestConfig(4096)
+	real := func(shard int) ShardResult {
+		return ShardResult{
+			Shard: shard, Trials: 1024, Failures: shard + 1,
+			Mechanisms: 77, DetectorCount: 24,
+		}
+	}
+	settled := func(shard int) ShardResult { return ShardResult{Shard: shard} }
+
+	t.Run("lowest shard settled", func(t *testing.T) {
+		res, err := MergeShards(cfg, []ShardResult{settled(0), settled(1), real(2), real(3)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Mechanisms != 77 || res.DetectorCount != 24 {
+			t.Fatalf("dims %d/%d, want 77/24 from lowest non-empty shard", res.Mechanisms, res.DetectorCount)
+		}
+		if res.Trials != 2048 || res.Failures != 3+4 {
+			t.Fatalf("tallies %d/%d, want 2048 trials, 7 failures", res.Trials, res.Failures)
+		}
+	})
+
+	t.Run("order independent", func(t *testing.T) {
+		// Every arrival order a reassignment race can produce must merge to
+		// the identical Result — including orders where a settled shard with
+		// a lower index arrives after the real ones.
+		parts := []ShardResult{settled(1), real(0), real(3), settled(2)}
+		want, err := MergeShards(cfg, parts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		perms := [][]int{{0, 1, 2, 3}, {3, 2, 1, 0}, {2, 0, 3, 1}, {1, 3, 0, 2}}
+		for _, perm := range perms {
+			shuffled := make([]ShardResult, len(parts))
+			for i, p := range perm {
+				shuffled[i] = parts[p]
+			}
+			got, err := MergeShards(cfg, shuffled)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("order %v: merged %+v, want %+v", perm, got, want)
+			}
+		}
+		if want.Mechanisms != 77 || want.DetectorCount != 24 {
+			t.Fatalf("dims %d/%d, want 77/24", want.Mechanisms, want.DetectorCount)
+		}
+	})
+
+	t.Run("all shards settled", func(t *testing.T) {
+		// Unreachable through the scheduler (a cell's target can only be
+		// banked by one of its own shards, so at least one always runs), but
+		// the merge must stay well-formed if it ever happens: zero tallies,
+		// zero dims, no error.
+		res, err := MergeShards(cfg, []ShardResult{settled(0), settled(1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Trials != 0 || res.Failures != 0 || res.Mechanisms != 0 || res.DetectorCount != 0 {
+			t.Fatalf("all-settled merge not empty: %+v", res)
+		}
+	})
+}

@@ -4,7 +4,6 @@ import (
 	"context"
 	"fmt"
 	"runtime"
-	"slices"
 	"sync"
 	"sync/atomic"
 
@@ -143,54 +142,22 @@ type cellRun struct {
 	direct    montecarlo.Result        // unsharded result
 }
 
-// unit is one schedulable quantum of work: a whole cell, or one shard of a
-// sharded cell.
-type unit struct{ cell, shard int }
-
-// buildQueue fixes the execution plan for a sweep: per-cell shard plans
-// (pure functions of the cell spec and Options.ShardShots) and the flat
-// unit queue workers steal from, cells ordered per Options.Queue with a
-// sharded cell's units kept adjacent so its shards fan out across idle
-// workers immediately.
-func (s *Scheduler) buildQueue(jobs []Job) ([]*cellRun, []unit) {
+// buildQueue fixes the execution plan for a sweep through BuildUnitQueue —
+// per-cell shard plans and the flat unit queue workers steal from — and
+// wraps each cell's plan in its local execution state.
+func (s *Scheduler) buildQueue(jobs []Job) ([]*cellRun, []Unit) {
+	q := BuildUnitQueue(jobs, s.opts.ShardShots, s.opts.Queue)
 	cells := make([]*cellRun, len(jobs))
-	nunits := 0
 	for i, job := range jobs {
-		plan := montecarlo.ShardPlan{Shards: 1, Trials: job.Cfg.Trials}
-		if s.opts.ShardShots > 0 && job.Cfg.Workers <= 1 {
-			plan = montecarlo.PlanShards(job.Cfg.Trials, s.opts.ShardShots)
-		}
+		plan := q.Plans[i]
 		c := &cellRun{index: i, job: job, plan: plan, remaining: plan.Shards}
 		if plan.Shards > 1 {
 			c.parts = make([]montecarlo.ShardResult, plan.Shards)
 			c.errs = make([]error, plan.Shards)
 		}
 		cells[i] = c
-		nunits += plan.Shards
 	}
-	order := make([]int, len(jobs))
-	for i := range order {
-		order[i] = i
-	}
-	if s.opts.Queue == OrderCost {
-		slices.SortStableFunc(order, func(a, b int) int {
-			ca, cb := CellCost(jobs[a].Cfg), CellCost(jobs[b].Cfg)
-			switch {
-			case ca > cb:
-				return -1
-			case ca < cb:
-				return 1
-			}
-			return a - b
-		})
-	}
-	units := make([]unit, 0, nunits)
-	for _, ci := range order {
-		for sh := 0; sh < cells[ci].plan.Shards; sh++ {
-			units = append(units, unit{cell: ci, shard: sh})
-		}
-	}
-	return cells, units
+	return cells, q.Units
 }
 
 // finishUnit records one unit's outcome on its cell and, when it was the
@@ -198,12 +165,12 @@ func (s *Scheduler) buildQueue(jobs []Job) ([]*cellRun, []unit) {
 // marks a unit that was skipped (or aborted mid-run) by cancellation; a
 // cell with any skipped unit carries that error and is never emitted, so
 // consumers see no partial merges.
-func (s *Scheduler) finishUnit(c *cellRun, u unit, sr montecarlo.ShardResult, err, skipErr error,
+func (s *Scheduler) finishUnit(c *cellRun, u Unit, sr montecarlo.ShardResult, err, skipErr error,
 	results []CellResult, emit func(CellResult), emitMu *sync.Mutex) {
 	c.mu.Lock()
 	if c.plan.Shards > 1 {
-		c.parts[u.shard] = sr
-		c.errs[u.shard] = err
+		c.parts[u.Shard] = sr
+		c.errs[u.Shard] = err
 	}
 	if skipErr != nil && c.skipErr == nil {
 		c.skipErr = skipErr
@@ -297,7 +264,7 @@ func (s *Scheduler) run(ctx context.Context, jobs []Job, results []CellResult, e
 					return
 				}
 				u := units[k]
-				c := cells[u.cell]
+				c := cells[u.Cell]
 				if err := ctx.Err(); err != nil {
 					s.finishUnit(c, u, montecarlo.ShardResult{}, nil, err, results, emit, &emitMu)
 					continue
@@ -317,9 +284,9 @@ func (s *Scheduler) run(ctx context.Context, jobs []Job, results []CellResult, e
 					// as an empty shard without paying the engine prepare;
 					// MergeShards takes the model dimensions from the lowest
 					// shard that actually ran.
-					sr = montecarlo.ShardResult{Shard: u.shard}
+					sr = montecarlo.ShardResult{Shard: u.Shard}
 				} else {
-					sr, err = s.en.RunShardOn(c.job.Cfg, c.plan, u.shard, &c.budget, &st)
+					sr, err = s.en.RunShardOn(c.job.Cfg, c.plan, u.Shard, &c.budget, &st)
 				}
 				// An abort observed alongside cancellation means this unit's
 				// tally may be short; treat the cell as skipped rather than

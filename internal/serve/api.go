@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/decoder"
 	"repro/internal/extract"
+	"repro/internal/fabric"
 	"repro/internal/hardware"
 	"repro/internal/montecarlo"
 	"repro/internal/sched"
@@ -25,6 +26,12 @@ const maxCells = 4096
 type SweepRequest struct {
 	// Type selects the experiment: "threshold" (default) or "sensitivity".
 	Type string `json:"type,omitempty"`
+	// Mode selects the executor: "local" (default) runs the sweep on this
+	// process's scheduler pool; "fabric" leases its cells to the workers
+	// of the server's fabric coordinator (400 when the server was started
+	// without one, e.g. vlqserve without -fabric-listen). Either way the
+	// results are bit-identical — the executor is invisible in the bytes.
+	Mode string `json:"mode,omitempty"`
 	// Scheme names the extraction setup for threshold sweeps (default
 	// "compact-interleaved"; see extract.Schemes for the five names).
 	Scheme string `json:"scheme,omitempty"`
@@ -105,6 +112,7 @@ type JobStatus struct {
 	ID         string     `json:"id"`
 	State      string     `json:"state"`
 	Type       string     `json:"type"`
+	Mode       string     `json:"mode,omitempty"`
 	Cells      int        `json:"cells"`
 	Completed  int        `json:"completed"`
 	Error      string     `json:"error,omitempty"`
@@ -120,6 +128,9 @@ type StatsResponse struct {
 	Engine montecarlo.CacheStats `json:"engine"`
 	Decode DecodeStats           `json:"decode"`
 	Jobs   JobCounts             `json:"jobs"`
+	// Fabric carries the fabric coordinator's worker/lease/merge counters;
+	// absent when the server runs without one.
+	Fabric *fabric.Stats `json:"fabric,omitempty"`
 }
 
 // DecodeStats aggregates the decode pipeline's counters over every cell
@@ -261,6 +272,18 @@ func buildCells(req SweepRequest) (typ string, cells []sched.Job, err error) {
 	}
 	return typ, cells, nil
 }
+
+// BuildCells expands a validated SweepRequest into scheduler jobs — the
+// same expansion POST /v1/sweeps performs, exported for coordinator
+// binaries (cmd/vlqfabric) that reuse the request schema without the full
+// server.
+func BuildCells(req SweepRequest) ([]sched.Job, error) {
+	_, cells, err := buildCells(req)
+	return cells, err
+}
+
+// ToCellRecord converts one scheduler result to its wire form.
+func ToCellRecord(r sched.CellResult) CellRecord { return cellRecord(r) }
 
 // cellRecord converts one scheduler result to its wire form.
 func cellRecord(r sched.CellResult) CellRecord {

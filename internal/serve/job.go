@@ -30,6 +30,7 @@ func terminal(state string) bool {
 type job struct {
 	id         string
 	typ        string
+	mode       string // "local" or "fabric"
 	cells      []sched.Job
 	poolWidth  int
 	shardShots int
@@ -46,10 +47,10 @@ type job struct {
 	finished time.Time
 }
 
-func newJob(id, typ string, cells []sched.Job, poolWidth, shardShots int, parent context.Context) *job {
+func newJob(id, typ, mode string, cells []sched.Job, poolWidth, shardShots int, parent context.Context) *job {
 	ctx, cancel := context.WithCancel(parent)
 	return &job{
-		id: id, typ: typ, cells: cells, poolWidth: poolWidth, shardShots: shardShots,
+		id: id, typ: typ, mode: mode, cells: cells, poolWidth: poolWidth, shardShots: shardShots,
 		ctx: ctx, cancel: cancel,
 		state: StateQueued, updated: make(chan struct{}), created: time.Now(),
 	}
@@ -118,6 +119,7 @@ func (j *job) status() JobStatus {
 		ID:        j.id,
 		State:     j.state,
 		Type:      j.typ,
+		Mode:      j.mode,
 		Cells:     len(j.cells),
 		Completed: len(j.records),
 		Error:     j.errMsg,

@@ -50,6 +50,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/decoder"
+	"repro/internal/fabric"
 	"repro/internal/montecarlo"
 	"repro/internal/sched"
 )
@@ -78,6 +79,11 @@ type Config struct {
 	// RetainJobs bounds finished jobs kept for status/replay (default 64);
 	// older finished jobs are evicted as new ones finish.
 	RetainJobs int
+	// Fabric, when set, enables "mode":"fabric" submissions: such sweeps
+	// are leased to the coordinator's registered workers instead of the
+	// local pool, and GET /v1/stats grows a fabric section. The hub's
+	// lifecycle belongs to the caller (vlqserve closes it on shutdown).
+	Fabric *fabric.Hub
 }
 
 func (c Config) withDefaults() Config {
@@ -236,6 +242,21 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	mode := req.Mode
+	switch mode {
+	case "":
+		mode = "local"
+	case "local":
+	case "fabric":
+		if s.cfg.Fabric == nil {
+			writeError(w, http.StatusBadRequest,
+				"fabric mode requested but this server has no fabric coordinator (start with -fabric-listen)")
+			return
+		}
+	default:
+		writeError(w, http.StatusBadRequest, "unknown mode %q (want %q or %q)", mode, "local", "fabric")
+		return
+	}
 	width := req.Jobs
 	if width == 0 {
 		width = s.cfg.DefaultPoolWidth
@@ -256,7 +277,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	s.nextID++
 	s.submitted++
-	jb := newJob(fmt.Sprintf("sw-%06d", s.nextID), typ, cells, width, req.ShardShots, s.baseCtx)
+	jb := newJob(fmt.Sprintf("sw-%06d", s.nextID), typ, mode, cells, width, req.ShardShots, s.baseCtx)
 	s.jobs[jb.id] = jb
 	s.order = append(s.order, jb)
 	s.mu.Unlock()
@@ -293,24 +314,40 @@ func (s *Server) execute(jb *job) {
 			return
 		}
 	}
-	scheduler := sched.New(s.en, sched.Options{
-		Jobs:       jb.poolWidth,
-		ShardShots: jb.shardShots,
-		OnResult: func(r sched.CellResult) {
-			s.decShots.Add(int64(r.Result.Trials))
-			s.decSkipped.Add(int64(r.Result.Skipped))
-			s.decDedup.Add(int64(r.Result.DedupHits))
-			s.decStatsMu.Lock()
-			s.decStats.Add(r.Result.Stats)
-			s.decStatsMu.Unlock()
-			jb.appendCell(cellRecord(r))
-		},
-	})
-	// Cancellation granularity: sched observes jb.ctx at unit boundaries —
-	// a DELETE or an owning client's disconnect skips unstarted cells and
-	// aborts the in-flight shards of a sharded cell, which is then dropped
-	// without a partial CellRecord.
-	_, err := scheduler.RunContext(jb.ctx, jb.cells)
+	onResult := func(r sched.CellResult) {
+		s.decShots.Add(int64(r.Result.Trials))
+		s.decSkipped.Add(int64(r.Result.Skipped))
+		s.decDedup.Add(int64(r.Result.DedupHits))
+		s.decStatsMu.Lock()
+		s.decStats.Add(r.Result.Stats)
+		s.decStatsMu.Unlock()
+		jb.appendCell(cellRecord(r))
+	}
+	var err error
+	if jb.mode == "fabric" {
+		// Fabric mode leases the same unit queue to the coordinator's
+		// workers; the merged cells stream back through the identical
+		// callback, bit-identical to the local path.
+		var run *fabric.Run
+		run, err = s.cfg.Fabric.Submit(jb.cells, fabric.RunOptions{
+			ShardShots: jb.shardShots,
+			OnResult:   onResult,
+		})
+		if err == nil {
+			_, err = run.Wait(jb.ctx)
+		}
+	} else {
+		scheduler := sched.New(s.en, sched.Options{
+			Jobs:       jb.poolWidth,
+			ShardShots: jb.shardShots,
+			OnResult:   onResult,
+		})
+		// Cancellation granularity: sched observes jb.ctx at unit boundaries —
+		// a DELETE or an owning client's disconnect skips unstarted cells and
+		// aborts the in-flight shards of a sharded cell, which is then dropped
+		// without a partial CellRecord.
+		_, err = scheduler.RunContext(jb.ctx, jb.cells)
+	}
 	switch {
 	case jb.ctx.Err() != nil:
 		jb.finish(StateCancelled, jb.ctx.Err())
@@ -421,7 +458,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.decStatsMu.Lock()
 	decStats := s.decStats
 	s.decStatsMu.Unlock()
-	writeJSON(w, http.StatusOK, StatsResponse{
+	resp := StatsResponse{
 		Engine: s.en.CacheStats(),
 		Decode: DecodeStats{
 			Shots:     s.decShots.Load(),
@@ -430,7 +467,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Decoder:   decStats,
 		},
 		Jobs: counts,
-	})
+	}
+	if s.cfg.Fabric != nil {
+		fs := s.cfg.Fabric.Stats()
+		resp.Fabric = &fs
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

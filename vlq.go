@@ -50,6 +50,7 @@ import (
 	"repro/internal/decoder"
 	"repro/internal/dem"
 	"repro/internal/extract"
+	"repro/internal/fabric"
 	"repro/internal/hardware"
 	"repro/internal/layout"
 	"repro/internal/magic"
@@ -336,6 +337,47 @@ type (
 // NewSweepServer builds the HTTP sweep service (zero Config is usable: a
 // fresh default engine, 2 concurrent sweeps, queue of 8).
 func NewSweepServer(cfg SweepServerConfig) *SweepServer { return serve.NewServer(cfg) }
+
+// The distributed sweep fabric (lease-based coordinator/worker cluster).
+type (
+	// FabricHub is the coordinator: it leases sweep shard units to
+	// registered workers and merges their results exactly once per unit,
+	// bit-identically to a local run — at any worker count, under any
+	// fault schedule. See cmd/vlqfabric and vlqserve -fabric-listen.
+	FabricHub = fabric.Hub
+	// FabricHubOptions tunes the coordinator (lease TTL, clock, janitor).
+	FabricHubOptions = fabric.Options
+	// FabricRunOptions tunes one submitted sweep run (shard size, queue
+	// order, per-cell callback).
+	FabricRunOptions = fabric.RunOptions
+	// FabricRun is one sweep executing over the fabric.
+	FabricRun = fabric.Run
+	// FabricWorker pulls leases from a coordinator and executes them on a
+	// Monte-Carlo engine; see cmd/vlqworker for a ready-made binary.
+	FabricWorker = fabric.Worker
+	// FabricWorkerOptions tunes a worker (engine, polling, heartbeats).
+	FabricWorkerOptions = fabric.WorkerOptions
+	// FabricTransport is a worker's view of a coordinator: in-process
+	// (FabricLocal) or HTTP/JSON (FabricHTTPTransport).
+	FabricTransport = fabric.Transport
+	// FabricLocal binds a worker directly to an in-process hub.
+	FabricLocal = fabric.Local
+	// FabricHTTPTransport speaks the fabric JSON protocol to a remote
+	// coordinator (the Hub's Handler serves it).
+	FabricHTTPTransport = fabric.HTTPTransport
+	// FabricStats is the coordinator's counter snapshot (workers, leases,
+	// exactly-once merge outcomes).
+	FabricStats = fabric.Stats
+)
+
+// NewFabricHub returns a fabric coordinator ready to accept runs and
+// workers.
+func NewFabricHub(opts FabricHubOptions) *FabricHub { return fabric.NewHub(opts) }
+
+// NewFabricWorker returns a fabric worker over the transport.
+func NewFabricWorker(tr FabricTransport, opts FabricWorkerOptions) *FabricWorker {
+	return fabric.NewWorker(tr, opts)
+}
 
 // RunMonteCarloReference measures one logical error rate on the
 // pre-batching scalar engine (fresh model build per call, one RNG draw per
