@@ -921,6 +921,164 @@ func BenchmarkSweepRowSkewed(b *testing.B) {
 	})
 }
 
+// BenchmarkSweepRowRare is the rare-event leg of the sweep-row harness:
+// shots-to-target-relative-error of importance-sampled estimation vs brute
+// force at the deep sub-threshold operating point d=7, p=1e-3. Every leg
+// runs the same cell through RunOn with a pinned seed — boost 1 is the
+// brute-force reference (the weighted sampler with boost 1 consumes the
+// identical RNG stream as the plain sampler and carries unit weights), the
+// boosted legs draw from the inflated proposal and reweight. Each leg
+// reports its relative error at the fixed shot budget; shots-to-target
+// scales as (relerr/target)^2 x shots, so the ratio of those is the
+// shots-to-target gain. Estimates must agree with the brute leg within
+// 3 sigma (the estimator is unbiased at any boost).
+//
+// HONEST MEASUREMENT: a naive rare-event argument promises ~b^((d+1)/2)
+// fewer shots (boosting every fault makes ~4-coincident-fault failures
+// b^4 more likely at d=7), suggesting 100x-class gains. That does not
+// survive contact with the weight variance: the surface-code cell fires
+// hundreds of mechanisms per shot, so the likelihood-ratio spread grows
+// exponentially in the total expected fire count and caps the profitable
+// boost near 1.5-2. The measured gain at d=7 p=1e-3 is ~2.3x
+// shots-to-target, deflating to ~1.4x in wall-clock because boosted shots
+// carry denser syndromes and decode slower (see BENCH_rare.json) — real
+// but modest. The mode's decisive value is
+// qualitative instead: at fixed budgets where brute force records zero
+// failures (d >= 11 at p=1e-3 in ~30k shots), the weighted estimator still
+// returns a nonzero estimate with a quantified error bar, which no amount
+// of honest zero-counting provides.
+//
+//	VLQ_RARE_TRIALS  shots per leg (default 65536)
+func BenchmarkSweepRowRare(b *testing.B) {
+	trials := envInt("VLQ_RARE_TRIALS", 65536)
+	const (
+		d      = 7
+		phys   = 1e-3
+		seed   = 4242
+		target = 0.10 // headline rel-err the shots-to numbers are quoted at
+	)
+	boosts := []float64{1, 1.5, 2}
+	scheme := extract.Baseline
+
+	en := montecarlo.NewEngine()
+	var st montecarlo.WorkerState
+	mkCfg := func(boost float64) montecarlo.Config {
+		return montecarlo.ThresholdCellConfig(scheme, d, phys, hardware.Default(),
+			trials, seed, montecarlo.UF, montecarlo.SweepOptions{RareEvent: true, Boost: boost})
+	}
+	// Untimed warm-up builds the structure, graph, and both models once.
+	if _, err := en.RunOn(mkCfg(boosts[0]), &st); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := en.RunOn(mkCfg(1.5), &st); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+
+	printTableOnce(b, func() {
+		type rareLeg struct {
+			Boost         float64 `json:"boost"`
+			Trials        int     `json:"trials"`
+			Failures      int     `json:"failures"`
+			Estimate      float64 `json:"estimate"`
+			RelErr        float64 `json:"rel_err"`
+			ESS           float64 `json:"ess"`
+			FailESS       float64 `json:"fail_ess"`
+			NsPerShot     float64 `json:"ns_per_shot"`
+			ShotsToTarget float64 `json:"shots_to_target"`
+			// ShotsGain is the headline: brute-force shots-to-target divided
+			// by this leg's. WallGain deflates it by the per-shot cost ratio
+			// (boosted shots carry denser syndromes and decode slower), so
+			// sampling overhead cannot hide in the shot count.
+			ShotsGain float64 `json:"shots_gain_vs_brute"`
+			WallGain  float64 `json:"wall_gain_vs_brute"`
+		}
+		legs := make([]rareLeg, 0, len(boosts))
+		for _, boost := range boosts {
+			cfg := mkCfg(boost)
+			var res montecarlo.Result
+			dur := time.Duration(math.MaxInt64)
+			for rep := 0; rep < 3; rep++ { // min of 3: the cell is deterministic, only timing jitters
+				start := time.Now()
+				r, err := en.RunOn(cfg, &st)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if el := time.Since(start); el < dur {
+					dur = el
+				}
+				res = r
+			}
+			w := res.Weighted
+			relErr := w.RelErr()
+			leg := rareLeg{
+				Boost: boost, Trials: res.Trials, Failures: res.Failures,
+				Estimate: w.Estimate(), RelErr: relErr, ESS: w.ESS(), FailESS: w.FailESS(),
+				NsPerShot: float64(dur.Nanoseconds()) / float64(res.Trials),
+			}
+			if relErr > 0 && !math.IsInf(relErr, 1) {
+				leg.ShotsToTarget = float64(trials) * (relErr / target) * (relErr / target)
+			}
+			legs = append(legs, leg)
+		}
+		brute := legs[0]
+		for i := range legs {
+			if legs[i].ShotsToTarget > 0 && brute.ShotsToTarget > 0 {
+				legs[i].ShotsGain = brute.ShotsToTarget / legs[i].ShotsToTarget
+				legs[i].WallGain = (brute.ShotsToTarget * brute.NsPerShot) /
+					(legs[i].ShotsToTarget * legs[i].NsPerShot)
+			}
+			// Unbiasedness cross-check against the brute leg.
+			if i > 0 {
+				se := legs[i].Estimate*legs[i].RelErr + brute.Estimate*brute.RelErr
+				if diff := math.Abs(legs[i].Estimate - brute.Estimate); se > 0 && diff > 3*se {
+					b.Errorf("boost %g estimate %.3g vs brute %.3g differ beyond 3 sigma",
+						legs[i].Boost, legs[i].Estimate, brute.Estimate)
+				}
+			}
+		}
+
+		fmt.Printf("\nRare-event sweep — %s d=%d p=%g, %d shots/leg, shots-to %.0f%% rel err:\n",
+			scheme, d, phys, trials, 100*target)
+		for _, l := range legs {
+			fmt.Printf("  boost %-4g %4d failures  est %.3g  relerr %.3f  ESS %8.0f  failESS %6.1f  %6.0f ns/shot  shots-to %9.0f  gain %.2fx shots / %.2fx wall\n",
+				l.Boost, l.Failures, l.Estimate, l.RelErr, l.ESS, l.FailESS, l.NsPerShot, l.ShotsToTarget, l.ShotsGain, l.WallGain)
+		}
+		best := legs[0]
+		for _, l := range legs[1:] {
+			if l.ShotsGain > best.ShotsGain {
+				best = l
+			}
+		}
+		fmt.Printf("  best gain %.2fx shots-to-target (%.2fx wall-clock) at boost %g — global boosting caps near 2x here; the mode's value below this band is nonzero estimates where brute force sees none\n",
+			best.ShotsGain, best.WallGain, best.Boost)
+		fmt.Printf("BENCHLINE bench=rare scheme=%s d=%d p=%g trials=%d target=%.2f best_boost=%g shots_gain_b1.5=%.3f shots_gain_b2=%.3f wall_gain_b1.5=%.3f wall_gain_b2=%.3f\n",
+			scheme, d, phys, trials, target, best.Boost, legs[1].ShotsGain, legs[2].ShotsGain, legs[1].WallGain, legs[2].WallGain)
+
+		baseline := struct {
+			Scheme       string    `json:"scheme"`
+			Distance     int       `json:"distance"`
+			PhysRate     float64   `json:"phys_rate"`
+			TargetRelErr float64   `json:"target_rel_err"`
+			Trials       int       `json:"trials"`
+			Legs         []rareLeg `json:"legs"`
+		}{
+			Scheme: scheme.String(), Distance: d, PhysRate: phys,
+			TargetRelErr: target, Trials: trials, Legs: legs,
+		}
+		if buf, err := json.MarshalIndent(baseline, "", "  "); err == nil {
+			if werr := os.WriteFile("BENCH_rare.json", append(buf, '\n'), 0o644); werr != nil {
+				fmt.Printf("  (could not write BENCH_rare.json: %v)\n", werr)
+			} else {
+				fmt.Println("  baseline written to BENCH_rare.json")
+			}
+		}
+	})
+}
+
 // --- Microbenchmarks (real performance measurements) ---------------------------
 
 func BenchmarkMicro_DEMSampler(b *testing.B) {

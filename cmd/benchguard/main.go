@@ -20,9 +20,19 @@
 // a leak crept onto the hot path. Baselines written before the field
 // existed simply read as zero and cannot trip it.
 //
+// With -rare-current, benchguard additionally (or instead) gates the
+// rare-event leg in BENCH_rare.json: every boosted leg's shots-to-target
+// gain over brute force must clear an absolute floor (-min-rare-gain) with
+// enough effective failure observations to trust the error bar
+// (fail_ess >= 10), and — when -rare-baseline restores a previous run's
+// copy — must not regress beyond -max-regress against it. The seeds are
+// pinned, so the gains are deterministic per platform and the floor gates
+// estimator quality, not timing noise.
+//
 // Usage:
 //
 //	benchguard -baseline baseline/BENCH_decoder.json [-current BENCH_decoder.json] [-max-regress 0.10] [-max-allocs 1.2]
+//	benchguard -rare-baseline baseline/BENCH_rare.json [-rare-current BENCH_rare.json] [-min-rare-gain 1.2]
 package main
 
 import (
@@ -81,19 +91,125 @@ func shotsPerSec(nsPerShot float64) float64 {
 	return 1e9 / nsPerShot
 }
 
+// rareLeg mirrors one entry of BENCH_rare.json's legs array.
+type rareLeg struct {
+	Boost     float64 `json:"boost"`
+	Trials    int     `json:"trials"`
+	RelErr    float64 `json:"rel_err"`
+	FailESS   float64 `json:"fail_ess"`
+	ShotsGain float64 `json:"shots_gain_vs_brute"`
+	WallGain  float64 `json:"wall_gain_vs_brute"`
+}
+
+type rareReport struct {
+	Scheme       string    `json:"scheme"`
+	Distance     int       `json:"distance"`
+	PhysRate     float64   `json:"phys_rate"`
+	TargetRelErr float64   `json:"target_rel_err"`
+	Legs         []rareLeg `json:"legs"`
+}
+
+func loadRare(path string) (rareReport, error) {
+	var r rareReport
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	if err := json.Unmarshal(buf, &r); err != nil {
+		return r, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(r.Legs) == 0 {
+		return r, fmt.Errorf("%s: no legs", path)
+	}
+	return r, nil
+}
+
+// guardRare gates the rare-event report: absolute estimator-quality floors
+// on every boosted leg, plus a regression check against the previous run's
+// best gain when a baseline exists. Returns the number of failures.
+func guardRare(currentPath, baselinePath string, minGain, maxRegress float64) int {
+	cur, err := loadRare(currentPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard:", err)
+		return 1
+	}
+	fmt.Printf("benchguard: %s (d=%d p=%g), gating boosted shots-to-%.0f%%-relerr gain >= %.2fx, fail_ess >= 10\n",
+		currentPath, cur.Distance, cur.PhysRate, 100*cur.TargetRelErr, minGain)
+	fails := 0
+	bestGain := 0.0
+	for _, l := range cur.Legs {
+		if l.Boost <= 1 {
+			fmt.Printf("  boost %-4g relerr %.3f  (brute reference)\n", l.Boost, l.RelErr)
+			continue
+		}
+		verdict := "ok"
+		if l.ShotsGain < minGain {
+			verdict = fmt.Sprintf("BELOW FLOOR %.2fx", minGain)
+			fails++
+		}
+		if l.FailESS < 10 {
+			verdict = fmt.Sprintf("UNTRUSTWORTHY (fail_ess %.1f < 10)", l.FailESS)
+			fails++
+		}
+		if l.ShotsGain > bestGain {
+			bestGain = l.ShotsGain
+		}
+		fmt.Printf("  boost %-4g relerr %.3f  gain %.2fx shots / %.2fx wall  fail_ess %6.1f  %s\n",
+			l.Boost, l.RelErr, l.ShotsGain, l.WallGain, l.FailESS, verdict)
+	}
+	if baselinePath != "" {
+		base, err := loadRare(baselinePath)
+		if os.IsNotExist(err) {
+			fmt.Printf("  no rare baseline at %s — first run, nothing to compare\n", baselinePath)
+			return fails
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchguard:", err)
+			return fails + 1
+		}
+		baseBest := 0.0
+		for _, l := range base.Legs {
+			if l.Boost > 1 && l.ShotsGain > baseBest {
+				baseBest = l.ShotsGain
+			}
+		}
+		if baseBest > 0 && bestGain < baseBest*(1-maxRegress) {
+			fmt.Printf("  best gain %.2fx REGRESSED from baseline %.2fx beyond %.0f%%\n",
+				bestGain, baseBest, 100*maxRegress)
+			fails++
+		} else if baseBest > 0 {
+			fmt.Printf("  best gain %.2fx vs baseline %.2fx — ok\n", bestGain, baseBest)
+		}
+	}
+	return fails
+}
+
 func main() {
 	baselinePath := flag.String("baseline", "", "baseline BENCH_decoder.json from the previous run (missing file = clean pass)")
 	currentPath := flag.String("current", "BENCH_decoder.json", "current run's BENCH_decoder.json")
 	maxRegress := flag.Float64("max-regress", 0.10, "maximum allowed fractional throughput regression on guarded legs")
 	maxAllocs := flag.Float64("max-allocs", 1.2, "maximum heap allocations per shot on any current leg (absolute; the decode path is allocation-free in steady state, leaving only amortized per-cell prepare overhead, which grows with distance)")
+	rareCurrent := flag.String("rare-current", "", "current run's BENCH_rare.json; when set, gate the rare-event leg")
+	rareBaseline := flag.String("rare-baseline", "", "baseline BENCH_rare.json from the previous run (missing file = clean pass)")
+	minRareGain := flag.Float64("min-rare-gain", 1.2, "minimum shots-to-target gain over brute force any boosted rare-event leg must hold")
 	flag.Parse()
-	if *baselinePath == "" {
-		fmt.Fprintln(os.Stderr, "benchguard: -baseline is required")
+	if *baselinePath == "" && *rareCurrent == "" {
+		fmt.Fprintln(os.Stderr, "benchguard: -baseline or -rare-current is required")
 		os.Exit(2)
 	}
 	if *maxRegress < 0 || *maxRegress >= 1 {
 		fmt.Fprintf(os.Stderr, "benchguard: -max-regress must be in [0, 1), got %g\n", *maxRegress)
 		os.Exit(2)
+	}
+	if *rareCurrent != "" {
+		if fails := guardRare(*rareCurrent, *rareBaseline, *minRareGain, *maxRegress); fails > 0 {
+			fmt.Fprintf(os.Stderr, "benchguard: %d rare-event gate failure(s)\n", fails)
+			os.Exit(1)
+		}
+		if *baselinePath == "" {
+			fmt.Println("benchguard: pass")
+			return
+		}
 	}
 
 	cur, err := load(*currentPath)

@@ -12,12 +12,14 @@
 //
 //	vlqthreshold -scheme compact-interleaved -distances 3,5,7 -trials 20000
 //	vlqthreshold -scheme all -jobs 8 -csv -target-failures 200 -trials 200000
+//	vlqthreshold -scheme baseline -distances 9 -rates 1e-3 -rare-event -boost 1.5 -trials 100000 -json
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"strconv"
 	"strings"
@@ -41,6 +43,9 @@ func main() {
 	jobs := flag.Int("jobs", 0, "scheduler pool width: sweep cells decoded concurrently (0 = GOMAXPROCS)")
 	shardShots := flag.Int("shard-shots", 0, fmt.Sprintf("split cells into stolen shard units of ~this many trials; cells below twice the size stay whole (0 = off; floor %d)", montecarlo.MinShardShots))
 	pipeline := flag.Bool("decode-pipeline", true, "batch decode pipeline: skip zero-defect shots and dedup repeated syndromes before the matcher (bit-identical results; false = decode every shot)")
+	rare := flag.Bool("rare-event", false, "importance-sampled estimation: draw faults from a boosted proposal and report likelihood-ratio-weighted rates with error bars (for deep sub-threshold points)")
+	boost := flag.Float64("boost", 0, fmt.Sprintf("proposal boost factor for -rare-event: each fault fires boost times as often (0 = default %g; 1 = plain sampling)", montecarlo.DefaultBoost))
+	targetRelErr := flag.Float64("target-rel-err", 0, "end each -rare-event point once its relative standard error drops below this (0 = fixed trial count)")
 	csv := flag.Bool("csv", false, "stream CSV rows as cells finish instead of printing a table")
 	jsonOut := flag.Bool("json", false, "stream one JSON object per cell as it finishes")
 	flag.Parse()
@@ -49,6 +54,12 @@ func main() {
 	}
 	if *shardShots < 0 {
 		fatal(fmt.Errorf("-shard-shots must be non-negative, got %d", *shardShots))
+	}
+	if !*rare && (*boost != 0 || *targetRelErr != 0) {
+		fatal(fmt.Errorf("-boost and -target-rel-err require -rare-event"))
+	}
+	if *rare && *target != 0 {
+		fatal(fmt.Errorf("-target-failures does not apply to -rare-event runs; use -target-rel-err"))
 	}
 
 	var schemes []extract.Scheme
@@ -92,6 +103,13 @@ func main() {
 				Trials: r.Result.Trials, Failures: r.Result.Failures,
 				Skipped: r.Result.Skipped, DedupHits: r.Result.DedupHits,
 			}
+			if r.Job.Cfg.RareEvent {
+				re, ess := r.Result.RelErr(), r.Result.ESS()
+				if math.IsInf(re, 1) {
+					re = -1 // no failures observed yet
+				}
+				row.RelErr, row.ESS = &re, &ess
+			}
 			if !r.Result.Stats.IsZero() {
 				st := r.Result.Stats
 				row.DecoderStats = &st
@@ -111,7 +129,10 @@ func main() {
 	scheduler := sched.New(montecarlo.NewEngine(), opts)
 	for _, sch := range schemes {
 		pts, err := scheduler.ThresholdSweep(sch, ds, ps, hardware.Default(), *trials, *seed,
-			montecarlo.DecoderKind(*dec), montecarlo.SweepOptions{TargetFailures: *target, DisablePipeline: !*pipeline})
+			montecarlo.DecoderKind(*dec), montecarlo.SweepOptions{
+				TargetFailures: *target, DisablePipeline: !*pipeline,
+				RareEvent: *rare, Boost: *boost, TargetRelErr: *targetRelErr,
+			})
 		if err != nil {
 			fatal(err)
 		}
@@ -153,6 +174,11 @@ type thresholdRow struct {
 	Failures    int     `json:"failures"`
 	Skipped     int     `json:"skipped,omitempty"`
 	DedupHits   int     `json:"dedup_hits,omitempty"`
+	// RelErr and ESS are present on -rare-event rows: the estimate's
+	// relative standard error (-1 while no failures are observed) and the
+	// Kish effective sample size of the importance weights.
+	RelErr *float64 `json:"rel_err,omitempty"`
+	ESS    *float64 `json:"ess,omitempty"`
 	// DecoderStats carries the cell's matcher-internal stage counters
 	// (growth rounds, escalations, tree phases, ...) when any are non-zero.
 	DecoderStats *decoder.DecoderStats `json:"decoder_stats,omitempty"`

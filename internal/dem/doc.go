@@ -30,6 +30,13 @@
 //   - Model.NewSampler: scalar sampling, one shot per call
 //   - Model.NewBatchSampler: word-packed sampling, 64 shots per pass with
 //     geometric skip-sampling over rare mechanisms (BatchShots)
+//   - NewWeightedBatchSampler: importance sampling — draw shots from a
+//     boosted proposal Model and get per-shot log likelihood-ratio
+//     weights against the target Model; with proposal == target the
+//     weights are exactly 1 and the shot stream is bit-identical to the
+//     plain BatchSampler's (the Monte-Carlo engine's rare-event mode
+//     builds the proposal by Reweighting the shared Structure with
+//     boosted per-op probabilities)
 //   - Model.DecodingGraph / Structure.Graph + GraphStructure.Weight: the
 //     weighted matching graph consumed by internal/decoder
 //

@@ -71,11 +71,12 @@ type lease struct {
 type cellAcc struct {
 	plan      montecarlo.ShardPlan
 	remaining int
-	parts     []montecarlo.ShardResult // by shard index
-	errs      []string                 // by shard index
-	banked    int64                    // failures toward TargetFailures
-	settled   bool                     // target banked; outstanding work is cancelled
-	completed bool                     // final merge done; guards nested settles
+	parts     []montecarlo.ShardResult  // by shard index
+	errs      []string                  // by shard index
+	banked    int64                     // failures toward TargetFailures
+	wbank     montecarlo.WeightedResult // pooled weighted tallies toward TargetRelErr
+	settled   bool                      // target banked; outstanding work is cancelled
+	completed bool                      // final merge done; guards nested settles
 }
 
 // Run is one sweep executing over the fabric.
@@ -333,6 +334,14 @@ func (h *Hub) Lease(req LeaseRequest) (LeaseResponse, error) {
 				emits = append(emits, h.recordUnitLocked(r, k, montecarlo.ShardResult{Shard: u.Shard}, "")...)
 				continue
 			}
+			if re := cfg.TargetRelErr; re > 0 && cell.wbank.RelErrMet(re) {
+				// The pooled weighted estimate already meets the cell's
+				// relative-error target — the rel-err sibling of the
+				// banked-failures settle above.
+				h.stats.UnitsSettled++
+				emits = append(emits, h.recordUnitLocked(r, k, montecarlo.ShardResult{Shard: u.Shard}, "")...)
+				continue
+			}
 			h.nextLease++
 			id := fmt.Sprintf("L-%08d", h.nextLease)
 			l := &lease{id: id, worker: req.Worker, run: r, unit: k, deadline: now.Add(h.ttl)}
@@ -420,7 +429,7 @@ func (h *Hub) Result(req ResultRequest) (ResultResponse, error) {
 	// break bit-identity, so reject it and let the unit be re-run.
 	cell := r.cells[req.Cell]
 	cfg := r.jobs[req.Cell].Cfg
-	if req.Err == "" && cfg.TargetFailures == 0 && req.Result.Trials != cell.plan.ShardTrials(req.Shard) {
+	if req.Err == "" && cfg.TargetFailures == 0 && cfg.TargetRelErr == 0 && req.Result.Trials != cell.plan.ShardTrials(req.Shard) {
 		h.stats.ResultsDiscarded++
 		h.requeueUnitLocked(r, k, req.Lease)
 		h.mu.Unlock()
@@ -497,6 +506,13 @@ func (h *Hub) recordUnitLocked(r *Run, k int, sr montecarlo.ShardResult, errMsg 
 	if tf := cfg.TargetFailures; tf > 0 && errMsg == "" {
 		cell.banked += int64(sr.Failures)
 		if cell.banked >= int64(tf) && !cell.settled {
+			cell.settled = true
+			emits = append(emits, h.cancelCellLocked(r, u.Cell, ReasonSettled, false)...)
+		}
+	}
+	if re := cfg.TargetRelErr; re > 0 && errMsg == "" {
+		cell.wbank.Add(sr.Weighted)
+		if cell.wbank.RelErrMet(re) && !cell.settled {
 			cell.settled = true
 			emits = append(emits, h.cancelCellLocked(r, u.Cell, ReasonSettled, false)...)
 		}

@@ -131,6 +131,58 @@ func TestClusterMatchesLocalSensitivityGrid(t *testing.T) {
 	}
 }
 
+// TestClusterMatchesLocalRareGrid extends the contract to importance-sampled
+// cells: the weighted tallies are likelihood-ratio float sums, so this leg
+// pins that the fabric's shard-index merge order reproduces the local
+// scheduler's floating-point association byte for byte, at every worker
+// count and lease granularity.
+func TestClusterMatchesLocalRareGrid(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-worker sweep matrix")
+	}
+	const trials = 2*montecarlo.MinShardShots + 137
+	jobs := sched.ThresholdJobs(extract.Baseline, []int{3, 5}, []float64{2e-3, 4e-3},
+		hardware.Default(), trials, 41, montecarlo.UF,
+		montecarlo.SweepOptions{RareEvent: true, Boost: 2})
+	for _, shardShots := range []int{0, montecarlo.MinShardShots} {
+		want := runLocal(t, jobs, shardShots)
+		for i := range want {
+			if w := want[i].Result.Weighted; w.Shots != trials || w.SumW <= 0 {
+				t.Fatalf("local reference cell %d carries no weighted tally: %+v", i, w)
+			}
+		}
+		for _, workers := range []int{1, 2, 4} {
+			got := runFabric(t, jobs, shardShots, workers)
+			diffResults(t, "rare "+labelWS(workers, shardShots), got, want)
+		}
+	}
+}
+
+// TestClusterRareRelErrEarlyStop: TargetRelErr cells are timing-dependent
+// by design (locally too), so the contract is semantic: the run completes,
+// the pooled estimate meets the target, trials stop early, and model
+// dimensions survive the merge.
+func TestClusterRareRelErrEarlyStop(t *testing.T) {
+	const trials = 8 * montecarlo.MinShardShots
+	cfg := montecarlo.ThresholdCellConfig(extract.Baseline, 3, 1.6e-2, hardware.Default(),
+		trials, 21, montecarlo.UF,
+		montecarlo.SweepOptions{RareEvent: true, Boost: 1.5, TargetRelErr: 0.3})
+	results := runFabric(t, []sched.Job{{Cfg: cfg}}, montecarlo.MinShardShots, 4)
+	res := results[0].Result
+	if res.Weighted.Estimate() <= 0 {
+		t.Fatalf("no weighted estimate at d=3 p=1.6e-2 over %d trials", res.Trials)
+	}
+	if re := res.RelErr(); !(re <= 0.3) {
+		t.Errorf("converged cell reports relative error %g, target 0.3", re)
+	}
+	if res.Trials <= 0 || res.Trials >= trials {
+		t.Errorf("rel-err early stop did not engage: %d of %d trials taken", res.Trials, trials)
+	}
+	if res.Mechanisms == 0 || res.DetectorCount == 0 {
+		t.Errorf("merged cell lost model dimensions: %d/%d", res.Mechanisms, res.DetectorCount)
+	}
+}
+
 // TestClusterEarlyStopSemantics: TargetFailures cells are timing-dependent
 // by design (locally too), so the contract is semantic: the run completes,
 // the target is banked, trials stop early, and model dimensions survive

@@ -148,6 +148,43 @@ func TestFaultScheduleSensitivityGrid(t *testing.T) {
 	}
 }
 
+// TestFaultScheduleRareGrid is the importance-sampled leg of the fault
+// contract: weighted cells carry likelihood-ratio float sums, so a retried
+// or duplicated shard that slipped into the merge twice would shift the
+// sums even when integer failure counts happen to agree. Every schedule in
+// the matrix must leave the weighted tallies bit-identical to the fault-free
+// local run.
+func TestFaultScheduleRareGrid(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fault schedule matrix")
+	}
+	const trials = 2*montecarlo.MinShardShots + 137
+	jobs := sched.ThresholdJobs(extract.Baseline, []int{3, 5}, []float64{2e-3, 4e-3},
+		hardware.Default(), trials, 41, montecarlo.UF,
+		montecarlo.SweepOptions{RareEvent: true, Boost: 2})
+	s := sched.New(nil, sched.Options{Jobs: 4, ShardShots: montecarlo.MinShardShots})
+	want, err := s.Run(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if w := want[i].Result.Weighted; w.Shots != trials || w.SumW <= 0 {
+			t.Fatalf("local reference cell %d carries no weighted tally: %+v", i, w)
+		}
+	}
+	for _, sch := range schedules() {
+		t.Run(sch.Name, func(t *testing.T) {
+			got, _ := runFaulted(t, jobs, montecarlo.MinShardShots, 3, sch)
+			for i := range want {
+				if got[i].Result != want[i].Result {
+					t.Errorf("cell %d diverged under %s:\n fabric %+v\n local  %+v",
+						i, sch.Name, got[i].Result, want[i].Result)
+				}
+			}
+		})
+	}
+}
+
 // TestDuplicateAndDropCountersObserved pins that the schedules actually
 // exercised the paths they claim: a dropped result response forces a retry
 // that the exactly-once merge must flag as duplicate.

@@ -95,7 +95,8 @@ const (
 	// for this lease — a partial tally from an aborted run would race the
 	// reassigned full run.
 	ReasonExpired = "expired"
-	// ReasonSettled: the cell's TargetFailures budget was banked by
+	// ReasonSettled: the cell's early-stop target (TargetFailures banked,
+	// or the pooled weighted estimate meeting TargetRelErr) was reached by
 	// sibling shards. The worker should abort at the next batch boundary
 	// and submit its partial tally, which still contributes trials
 	// exactly as a local early-stopped shard does.
@@ -171,6 +172,7 @@ type Stats struct {
 	ResultsDuplicate int64 `json:"results_duplicate"`
 	ResultsDiscarded int64 `json:"results_discarded"`
 	// UnitsSettled counts shard units settled as empty because their
-	// cell's TargetFailures budget was already banked.
+	// cell's early-stop target (TargetFailures or TargetRelErr) was
+	// already met.
 	UnitsSettled int64 `json:"units_settled"`
 }

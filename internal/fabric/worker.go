@@ -210,6 +210,7 @@ func (w *Worker) execute(ctx context.Context, l *Lease, hbInterval time.Duration
 			Shard: 0, Trials: res.Trials, Failures: res.Failures,
 			Fallbacks: res.Fallbacks, Skipped: res.Skipped, DedupHits: res.DedupHits,
 			Stats: res.Stats, Mechanisms: res.Mechanisms, DetectorCount: res.DetectorCount,
+			Weighted: res.Weighted,
 		}
 	} else {
 		sr, runErr = w.opts.Engine.RunShardOn(l.Cfg, plan, l.Shard, &budget, &w.st)

@@ -18,6 +18,23 @@
 // optional early-stop mode (Config.TargetFailures) ends a point once a
 // target failure count is reached.
 //
+// For deep sub-threshold points, where brute force would see zero failures
+// in any affordable budget, Config.RareEvent switches the engine to
+// importance sampling: shots are drawn from a boosted proposal model
+// (every fault mechanism fires Boost times as often, via
+// dem.WeightedBatchSampler) and each shot carries a likelihood-ratio
+// weight. Failures accumulate into Result.Weighted (a WeightedResult),
+// whose Estimate is unbiased for the true logical rate and which carries
+// its own variance, relative standard error, and Kish effective sample
+// sizes. Weighted tallies merge across workers, shards, and fabric
+// ShardResults in the same deterministic order as the plain counters, so
+// rare-event sweeps stay bit-identical at any pool width or shard plan.
+// TargetRelErr is the mode's early stop: a point ends once the weighted
+// estimate's relative standard error drops below the target. Trust the
+// error bar only when WeightedResult.FailESS is at least ~10 — below
+// that, too few effective failure observations back the variance
+// estimate.
+//
 // Entry points:
 //
 //   - Config -> Engine.Run: one point, trials split over parallel workers

@@ -56,6 +56,25 @@ type Config struct {
 	// relative error per point (the standard sequential-sampling mode for
 	// threshold sweeps).
 	TargetFailures int
+	// RareEvent switches the point to importance-sampled estimation: shots
+	// are drawn from a proposal model whose fault-source probabilities are
+	// inflated by Boost, each shot carries its likelihood-ratio weight, and
+	// the logical rate comes from Result.Weighted instead of raw failure
+	// counts. The mode exists for deep-subthreshold cells (d >= 9 at
+	// p ~ 1e-3) where brute force observes zero failures at any affordable
+	// trial count. See rare.go and the ARCHITECTURE.md section.
+	RareEvent bool
+	// Boost is the proposal inflation factor for RareEvent mode: per-op
+	// probabilities below 1/2 scale by Boost (clamped at 1/2). Zero selects
+	// DefaultBoost; values must be >= 1. Boost = 1 makes the proposal equal
+	// the target, reproducing the unweighted sampler bit for bit with all
+	// weights exactly 1.
+	Boost float64
+	// TargetRelErr, when positive in RareEvent mode, ends the point early
+	// once the pooled weighted estimate's relative standard error reaches
+	// this value — the weighted analog of TargetFailures (which is undefined
+	// for weighted tallies and rejected). Trials then acts as a cap.
+	TargetRelErr float64
 	// DisablePipeline turns off the batch decode pipeline (zero-defect skip
 	// + syndrome dedup) and decodes every shot through the unpruned path.
 	// The zero value — pipeline on — is the production configuration;
@@ -92,23 +111,60 @@ type Result struct {
 	// Mechanisms and DetectorCount describe the underlying model.
 	Mechanisms    int
 	DetectorCount int
+	// Weighted is the importance-sampling tally, populated only in RareEvent
+	// mode (Failures then counts raw failing proposal shots; the estimate
+	// and error bar live here).
+	Weighted WeightedResult
 }
 
-// Rate returns the logical error rate.
+// Rate returns the logical error rate: the weighted estimate in RareEvent
+// mode, the raw failure fraction otherwise.
 func (r Result) Rate() float64 {
+	if r.Config.RareEvent {
+		return r.Weighted.Estimate()
+	}
 	if r.Trials == 0 {
 		return 0
 	}
 	return float64(r.Failures) / float64(r.Trials)
 }
 
-// StdErr returns the binomial standard error of the rate.
+// StdErr returns the standard error of Rate: the weighted sampling error in
+// RareEvent mode, the binomial error otherwise.
 func (r Result) StdErr() float64 {
+	if r.Config.RareEvent {
+		return r.Weighted.StdErr()
+	}
 	if r.Trials == 0 {
 		return 0
 	}
 	p := r.Rate()
 	return math.Sqrt(p * (1 - p) / float64(r.Trials))
+}
+
+// RelErr returns StdErr/Rate for either mode (+Inf when the rate is zero
+// over a nonzero sample, 0 on an empty result).
+func (r Result) RelErr() float64 {
+	if r.Config.RareEvent {
+		return r.Weighted.RelErr()
+	}
+	rate := r.Rate()
+	if rate <= 0 {
+		if r.Trials > 0 {
+			return math.Inf(1)
+		}
+		return 0
+	}
+	return r.StdErr() / rate
+}
+
+// ESS returns the effective sample size: the Kish ESS of the weighted tally
+// in RareEvent mode, the raw trial count otherwise.
+func (r Result) ESS() float64 {
+	if r.Config.RareEvent {
+		return r.Weighted.ESS()
+	}
+	return float64(r.Trials)
 }
 
 // DefaultCacheEntries is NewEngine's structure-cache bound. Each entry is
@@ -265,7 +321,7 @@ func (cfg *Config) normalize() error {
 	if _, err := decoder.ParseKind(string(cfg.Decoder)); err != nil {
 		return fmt.Errorf("montecarlo: %w", err)
 	}
-	return nil
+	return cfg.normalizeRare()
 }
 
 // prepare resolves one point to its reweighted model and weighted decoding
@@ -336,6 +392,11 @@ type WorkerState struct {
 	bl    *decoder.Blossom
 	pipe  *decoder.Pipeline
 	shots dem.ShotSet
+	// Rare-event siblings of probs/model/bs: the boosted proposal column,
+	// its folded model, and the weighted sampler over the pair.
+	wprobs []float64
+	wmodel *dem.Model
+	wsamp  *dem.WeightedBatchSampler
 }
 
 // sampler returns a batch sampler over model, reusing the worker's buffers.
@@ -389,6 +450,7 @@ type tally struct {
 	trials, failures, fallbacks int
 	skipped, dedupHits          int
 	stats                       decoder.DecoderStats
+	weighted                    WeightedResult
 }
 
 // runWorker executes worker w's share of one point: sample 64-shot batches
@@ -498,7 +560,7 @@ func (en *Engine) Run(cfg Config) (Result, error) {
 	if err := cfg.normalize(); err != nil {
 		return Result{}, err
 	}
-	model, graph, err := en.prepare(cfg, nil)
+	model, prop, graph, err := en.prepareModels(cfg, nil)
 	if err != nil {
 		return Result{}, err
 	}
@@ -527,7 +589,7 @@ func (en *Engine) Run(cfg Config) (Result, error) {
 		go func(w, trials int) {
 			defer wg.Done()
 			var st WorkerState
-			tallies[w], errs[w] = runWorker(model, graph, cfg, w, trials, &budget, &st)
+			tallies[w], errs[w] = runAnyWorker(model, prop, graph, cfg, w, trials, &budget, &st)
 		}(w, trials)
 	}
 	wg.Wait()
@@ -547,6 +609,7 @@ func (en *Engine) Run(cfg Config) (Result, error) {
 		res.Skipped += t.skipped
 		res.DedupHits += t.dedupHits
 		res.Stats.Add(t.stats)
+		res.Weighted.Add(t.weighted)
 	}
 	return res, nil
 }
@@ -563,12 +626,12 @@ func (en *Engine) RunOn(cfg Config, st *WorkerState) (Result, error) {
 	if err := cfg.normalize(); err != nil {
 		return Result{}, err
 	}
-	model, graph, err := en.prepare(cfg, st)
+	model, prop, graph, err := en.prepareModels(cfg, st)
 	if err != nil {
 		return Result{}, err
 	}
 	var budget ShardBudget
-	t, err := runWorker(model, graph, cfg, 0, cfg.Trials, &budget, st)
+	t, err := runAnyWorker(model, prop, graph, cfg, 0, cfg.Trials, &budget, st)
 	if err != nil {
 		return Result{}, err
 	}
@@ -582,6 +645,7 @@ func (en *Engine) RunOn(cfg Config, st *WorkerState) (Result, error) {
 		Stats:         t.stats,
 		Mechanisms:    model.Stats.Mechanisms,
 		DetectorCount: model.NumDets,
+		Weighted:      t.weighted,
 	}, nil
 }
 
@@ -596,6 +660,9 @@ func Run(cfg Config) (Result, error) { return defaultEngine.Run(cfg) }
 func RunReference(cfg Config) (Result, error) {
 	if cfg.Trials <= 0 {
 		return Result{}, fmt.Errorf("montecarlo: trials must be positive")
+	}
+	if cfg.RareEvent {
+		return Result{}, fmt.Errorf("montecarlo: RunReference is the brute-force baseline; rare-event mode is not supported")
 	}
 	if cfg.Decoder == "" {
 		cfg.Decoder = UF
@@ -696,6 +763,12 @@ type SweepOptions struct {
 	// DisablePipeline turns off the batch decode pipeline per cell (see
 	// Config); the zero value keeps it on.
 	DisablePipeline bool
+	// RareEvent switches every cell to importance-sampled estimation with
+	// proposal inflation Boost and optional TargetRelErr early stop (see
+	// Config).
+	RareEvent    bool
+	Boost        float64
+	TargetRelErr float64
 }
 
 // ThresholdCellConfig is the canonical configuration of one Fig. 11 grid
@@ -714,6 +787,9 @@ func ThresholdCellConfig(scheme extract.Scheme, d int, phys float64, base hardwa
 		Decoder:         dec,
 		TargetFailures:  opts.TargetFailures,
 		DisablePipeline: opts.DisablePipeline,
+		RareEvent:       opts.RareEvent,
+		Boost:           opts.Boost,
+		TargetRelErr:    opts.TargetRelErr,
 	}
 }
 

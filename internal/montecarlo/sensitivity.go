@@ -124,6 +124,9 @@ func SensitivityCellConfig(panel Panel, value float64, d int, trials int, seed i
 		ChargeGapIdle:   true,
 		TargetFailures:  opts.TargetFailures,
 		DisablePipeline: opts.DisablePipeline,
+		RareEvent:       opts.RareEvent,
+		Boost:           opts.Boost,
+		TargetRelErr:    opts.TargetRelErr,
 	}, nil
 }
 

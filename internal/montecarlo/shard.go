@@ -2,6 +2,8 @@ package montecarlo
 
 import (
 	"fmt"
+	"slices"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/decoder"
@@ -75,6 +77,13 @@ func (p ShardPlan) ShardTrials(i int) int {
 type ShardBudget struct {
 	failures atomic.Int64
 	aborted  atomic.Bool
+
+	// Pooled weighted tally for TargetRelErr early stopping: shards of a
+	// rare-event point bank their per-batch weight deltas here and check the
+	// pooled relative error at batch boundaries. Mutex-guarded (multiple
+	// float sums), touched only by weighted runs.
+	wmu   sync.Mutex
+	wpool WeightedResult
 }
 
 // Failures returns the failures accumulated toward the early-stop target so
@@ -87,6 +96,33 @@ func (b *ShardBudget) Abort() { b.aborted.Store(true) }
 
 // Aborted reports whether Abort has been called.
 func (b *ShardBudget) Aborted() bool { return b.aborted.Load() }
+
+// AddWeighted banks one batch's weighted tally toward TargetRelErr early
+// stopping. Like the failure counter, the pooled sums see contributions in
+// sibling-timing order — the stop *decision* may vary run to run, but each
+// shard's own ShardResult stays an ordered, deterministic accumulation.
+func (b *ShardBudget) AddWeighted(d WeightedResult) {
+	b.wmu.Lock()
+	b.wpool.Add(d)
+	b.wmu.Unlock()
+}
+
+// WeightedRelErrMet reports whether the pooled weighted estimate has reached
+// the target relative error (target <= 0 never stops).
+func (b *ShardBudget) WeightedRelErrMet(target float64) bool {
+	b.wmu.Lock()
+	defer b.wmu.Unlock()
+	return b.wpool.RelErrMet(target)
+}
+
+// WeightedBanked returns a snapshot of the pooled weighted tally — the
+// scheduler's steal-aware skip reads it to settle unstarted shards of an
+// already-converged rare-event point.
+func (b *ShardBudget) WeightedBanked() WeightedResult {
+	b.wmu.Lock()
+	defer b.wmu.Unlock()
+	return b.wpool
+}
 
 // ShardResult is one shard's tally, mergeable into a Result with
 // MergeShards. It carries the model dimensions so a merge does not need to
@@ -101,6 +137,10 @@ type ShardResult struct {
 	Stats         decoder.DecoderStats
 	Mechanisms    int
 	DetectorCount int
+	// Weighted is the shard's importance-sampling tally (RareEvent mode
+	// only). Go's JSON float64 round-trip is exact, so the sums ride the
+	// fabric wire bit-identically.
+	Weighted WeightedResult
 }
 
 // RunShardOn executes one shard of a planned point single-threaded on the
@@ -135,11 +175,11 @@ func (en *Engine) RunShardOn(cfg Config, plan ShardPlan, shard int, budget *Shar
 	if plan.Trials != cfg.Trials {
 		return ShardResult{}, fmt.Errorf("montecarlo: shard plan covers %d trials but config has %d", plan.Trials, cfg.Trials)
 	}
-	model, graph, err := en.prepare(cfg, st)
+	model, prop, graph, err := en.prepareModels(cfg, st)
 	if err != nil {
 		return ShardResult{}, err
 	}
-	t, err := runWorker(model, graph, cfg, shard, plan.ShardTrials(shard), budget, st)
+	t, err := runAnyWorker(model, prop, graph, cfg, shard, plan.ShardTrials(shard), budget, st)
 	if err != nil {
 		return ShardResult{}, err
 	}
@@ -153,6 +193,7 @@ func (en *Engine) RunShardOn(cfg Config, plan ShardPlan, shard int, budget *Shar
 		Stats:         t.stats,
 		Mechanisms:    model.Stats.Mechanisms,
 		DetectorCount: model.NumDets,
+		Weighted:      t.weighted,
 	}, nil
 }
 
@@ -171,9 +212,17 @@ func MergeShards(cfg Config, parts []ShardResult) (Result, error) {
 	if len(parts) == 0 {
 		return Result{}, fmt.Errorf("montecarlo: merge of zero shards")
 	}
+	// Fold in ascending shard index regardless of arrival order: the integer
+	// sums commute, but the weighted float sums do not, and shard-ordered
+	// folding is what makes a merge independent of lease-completion order.
+	ordered := parts
+	if !slices.IsSortedFunc(parts, func(a, b ShardResult) int { return a.Shard - b.Shard }) {
+		ordered = slices.Clone(parts)
+		slices.SortStableFunc(ordered, func(a, b ShardResult) int { return a.Shard - b.Shard })
+	}
 	res := Result{Config: cfg}
-	first := parts[0]
-	for _, p := range parts {
+	first := ordered[0]
+	for _, p := range ordered {
 		if p.Mechanisms > 0 && (first.Mechanisms == 0 || p.Shard < first.Shard) {
 			first = p
 		}
@@ -183,6 +232,7 @@ func MergeShards(cfg Config, parts []ShardResult) (Result, error) {
 		res.Skipped += p.Skipped
 		res.DedupHits += p.DedupHits
 		res.Stats.Add(p.Stats)
+		res.Weighted.Add(p.Weighted)
 	}
 	res.Mechanisms = first.Mechanisms
 	res.DetectorCount = first.DetectorCount

@@ -34,5 +34,17 @@ func CellCost(cfg montecarlo.Config) float64 {
 	if trials < 1 {
 		trials = 1
 	}
-	return float64(dets) * float64(rounds) * float64(trials)
+	cost := float64(dets) * float64(rounds) * float64(trials)
+	if cfg.RareEvent {
+		// Importance-sampled cells fire mechanisms ~Boost times as often, so
+		// their syndromes are denser and the matcher does proportionally more
+		// work per shot. Still a pure function of the Config (DefaultBoost is
+		// what normalize fills for a zero Boost).
+		boost := cfg.Boost
+		if boost < 1 {
+			boost = montecarlo.DefaultBoost
+		}
+		cost *= boost
+	}
+	return cost
 }

@@ -1,0 +1,140 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+	"slices"
+	"testing"
+
+	"repro/internal/extract"
+	"repro/internal/hardware"
+	"repro/internal/montecarlo"
+)
+
+func rareOpts(boost, targetRelErr float64) montecarlo.SweepOptions {
+	return montecarlo.SweepOptions{RareEvent: true, Boost: boost, TargetRelErr: targetRelErr}
+}
+
+// Weighted sweeps must carry the full determinism contract: bit-identical
+// weighted tallies across pool widths {1,2,4,8} × shard thresholds ×
+// Run/Stream, with the sharded merge equal to the engine's multi-worker run
+// of the same plan.
+func TestRareSweepDeterministicAcrossWidthsAndShards(t *testing.T) {
+	if testing.Short() {
+		t.Skip("width x threshold matrix; run by the dedicated race-scheduler CI job")
+	}
+	const trials = 4200
+	mk := func() []Job {
+		return ThresholdJobs(extract.Baseline, []int{3, 5}, []float64{2e-3, 4e-3},
+			hardware.Default(), trials, 21, montecarlo.UF, rareOpts(2, 0))
+	}
+	for _, shardShots := range []int{0, montecarlo.MinShardShots, 2 * montecarlo.MinShardShots} {
+		plan := montecarlo.PlanShards(trials, shardShots)
+		name := fmt.Sprintf("shard=%d(plan %d)", shardShots, plan.Shards)
+		var ref []CellResult
+		for _, width := range []int{1, 2, 4, 8} {
+			en := montecarlo.NewEngine()
+			s := New(en, Options{Jobs: width, ShardShots: shardShots})
+			results, err := s.Run(mk())
+			if err != nil {
+				t.Fatalf("%s width %d: %v", name, width, err)
+			}
+			var streamed []CellResult
+			for r := range s.Stream(mk()) {
+				if r.Err != nil {
+					t.Fatalf("%s width %d: stream cell %d: %v", name, width, r.Index, r.Err)
+				}
+				streamed = append(streamed, r)
+			}
+			slices.SortFunc(streamed, func(a, b CellResult) int { return a.Index - b.Index })
+			for i := range results {
+				a, b := results[i].Result, streamed[i].Result
+				if a.Weighted != b.Weighted || a.Failures != b.Failures {
+					t.Errorf("%s width %d cell %d: Run and Stream weighted tallies diverged:\n%+v\n%+v",
+						name, width, i, a.Weighted, b.Weighted)
+				}
+			}
+			if ref == nil {
+				ref = results
+				if plan.Shards > 1 {
+					cfg := results[0].Job.Cfg
+					cfg.Workers = plan.Shards
+					want, err := en.Run(cfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					got := results[0].Result
+					if got.Weighted != want.Weighted {
+						t.Errorf("%s: sharded merge diverged from Run(Workers=%d):\n%+v\n%+v",
+							name, plan.Shards, got.Weighted, want.Weighted)
+					}
+				}
+				continue
+			}
+			for i := range results {
+				a, b := results[i].Result, ref[i].Result
+				if a.Weighted != b.Weighted || a.Failures != b.Failures {
+					t.Errorf("%s width %d cell %d: weighted tally diverged from width-1 reference:\n%+v\n%+v",
+						name, width, i, a.Weighted, b.Weighted)
+				}
+			}
+		}
+	}
+}
+
+// A weighted cell whose pooled estimate converges must settle its remaining
+// shard units without touching the engine — the rel-err sibling of the
+// TargetFailures steal-aware skip.
+func TestStealAwareTargetRelErrSkipsShards(t *testing.T) {
+	const trials = 4 * montecarlo.MinShardShots
+	cfg := montecarlo.ThresholdCellConfig(extract.Baseline, 3, 1.6e-2, hardware.Default(),
+		trials, 21, montecarlo.UF, rareOpts(1.5, 0.3))
+	en := montecarlo.NewEngine()
+	s := New(en, Options{Jobs: 1, ShardShots: montecarlo.MinShardShots})
+	results, err := s.Run([]Job{{Cfg: cfg}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := results[0].Result
+	if res.Weighted.Estimate() <= 0 {
+		t.Fatalf("no estimate at d=3 p=1.6e-2 over %d trials", res.Trials)
+	}
+	if re := res.RelErr(); !(re <= 0.3) {
+		t.Errorf("converged cell reports relative error %g, target 0.3", re)
+	}
+	if res.Trials <= 0 || res.Trials > montecarlo.MinShardShots {
+		t.Errorf("first shard took %d trials; rel-err stop should cap it at the %d-trial shard",
+			res.Trials, montecarlo.MinShardShots)
+	}
+	if res.Mechanisms == 0 || res.DetectorCount == 0 {
+		t.Errorf("merged cell lost its model dimensions: %d mechs, %d detectors",
+			res.Mechanisms, res.DetectorCount)
+	}
+	stats := en.CacheStats()
+	if got := stats.Builds + stats.Hits; got != 1 {
+		t.Errorf("engine saw %d structure accesses (%d builds + %d hits), want 1: "+
+			"converged shard units must be skipped without an engine prepare",
+			got, stats.Builds, stats.Hits)
+	}
+}
+
+// Rare-event cells must rank above their unweighted twins in the cost queue
+// (denser syndromes cost more), and the multiplier must be a pure function
+// of the Config.
+func TestCellCostRareMultiplier(t *testing.T) {
+	base := montecarlo.ThresholdCellConfig(extract.Baseline, 5, 1e-3, hardware.Default(),
+		10000, 1, montecarlo.UF, montecarlo.SweepOptions{})
+	rare := base
+	rare.RareEvent, rare.Boost = true, 3
+	if !(CellCost(rare) > CellCost(base)) {
+		t.Errorf("rare cell cost %g not above plain %g", CellCost(rare), CellCost(base))
+	}
+	if got, want := CellCost(rare), 3*CellCost(base); math.Abs(got-want) > 1e-9*want {
+		t.Errorf("boost-3 cost %g, want %g", got, want)
+	}
+	def := base
+	def.RareEvent = true // zero Boost => DefaultBoost
+	if got, want := CellCost(def), montecarlo.DefaultBoost*CellCost(base); math.Abs(got-want) > 1e-9*want {
+		t.Errorf("default-boost cost %g, want %g", got, want)
+	}
+}

@@ -285,6 +285,11 @@ func (s *Scheduler) run(ctx context.Context, jobs []Job, results []CellResult, e
 					// MergeShards takes the model dimensions from the lowest
 					// shard that actually ran.
 					sr = montecarlo.ShardResult{Shard: u.Shard}
+				} else if re := c.job.Cfg.TargetRelErr; re > 0 && c.budget.WeightedRelErrMet(re) {
+					// Weighted sibling of the failure-target skip: the pooled
+					// weighted estimate already reached the target relative
+					// error, so settle the unit empty.
+					sr = montecarlo.ShardResult{Shard: u.Shard}
 				} else {
 					sr, err = s.en.RunShardOn(c.job.Cfg, c.plan, u.Shard, &c.budget, &st)
 				}

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"fmt"
+	"math"
 	"slices"
 	"time"
 
@@ -53,6 +54,19 @@ type SweepRequest struct {
 	// TargetFailures, when positive, ends each cell early once this many
 	// logical failures accumulate.
 	TargetFailures int `json:"target_failures,omitempty"`
+	// RareEvent switches every cell to importance-sampled estimation: shots
+	// draw from a proposal with fault probabilities inflated by Boost and
+	// each cell's logical_rate/stderr come from the likelihood-ratio-weighted
+	// tally (rel_err and ess columns report its quality). The mode of choice
+	// for deep-subthreshold cells where trials-bounded brute force reports 0.
+	RareEvent bool `json:"rare_event,omitempty"`
+	// Boost is the rare-event proposal inflation factor (>= 1; 0 selects
+	// montecarlo.DefaultBoost). Only valid with rare_event.
+	Boost float64 `json:"boost,omitempty"`
+	// TargetRelErr, when positive, ends each rare-event cell early once its
+	// weighted estimate reaches this relative standard error — the weighted
+	// replacement for target_failures, which rare_event rejects.
+	TargetRelErr float64 `json:"target_rel_err,omitempty"`
 	// Seed fixes the sweep's randomness; equal requests return
 	// bit-identical cells.
 	Seed int64 `json:"seed,omitempty"`
@@ -91,8 +105,15 @@ type CellRecord struct {
 	Value       float64 `json:"value,omitempty"`
 	LogicalRate float64 `json:"logical_rate"`
 	StdErr      float64 `json:"stderr"`
-	Trials      int     `json:"trials"`
-	Failures    int     `json:"failures"`
+	// RelErr and ESS are the rare-event error-bar columns: stderr/logical_rate
+	// and the Kish effective sample size of the weighted tally. Omitted for
+	// unweighted cells (whose stderr is already the full story). A RelErr of
+	// -1 encodes "no failures observed yet" (the true relative error is
+	// unbounded, and JSON cannot carry +Inf).
+	RelErr   *float64 `json:"rel_err,omitempty"`
+	ESS      *float64 `json:"ess,omitempty"`
+	Trials   int      `json:"trials"`
+	Failures int      `json:"failures"`
 	// Skipped and DedupHits surface the decode pipeline's hit rates for
 	// this cell: shots answered by the zero-defect fast path, and shots
 	// replayed from a duplicate syndrome in the same batch. Zero when the
@@ -183,6 +204,24 @@ func buildCells(req SweepRequest) (typ string, cells []sched.Job, err error) {
 	if req.TargetFailures < 0 {
 		return "", nil, fmt.Errorf("target_failures must be non-negative, got %d", req.TargetFailures)
 	}
+	if !req.RareEvent {
+		if req.Boost != 0 {
+			return "", nil, fmt.Errorf("boost requires rare_event mode")
+		}
+		if req.TargetRelErr != 0 {
+			return "", nil, fmt.Errorf("target_rel_err requires rare_event mode")
+		}
+	} else {
+		if req.Boost < 0 || req.Boost != 0 && req.Boost < 1 {
+			return "", nil, fmt.Errorf("boost must be >= 1 (or 0 for the default), got %g", req.Boost)
+		}
+		if req.TargetRelErr < 0 {
+			return "", nil, fmt.Errorf("target_rel_err must be non-negative, got %g", req.TargetRelErr)
+		}
+		if req.TargetFailures > 0 {
+			return "", nil, fmt.Errorf("target_failures is undefined for rare_event sweeps; use target_rel_err")
+		}
+	}
 	if req.Jobs < 0 {
 		return "", nil, fmt.Errorf("jobs must be non-negative, got %d", req.Jobs)
 	}
@@ -197,6 +236,9 @@ func buildCells(req SweepRequest) (typ string, cells []sched.Job, err error) {
 	opts := montecarlo.SweepOptions{
 		TargetFailures:  req.TargetFailures,
 		DisablePipeline: req.DecodePipeline != nil && !*req.DecodePipeline,
+		RareEvent:       req.RareEvent,
+		Boost:           req.Boost,
+		TargetRelErr:    req.TargetRelErr,
 	}
 	dec := montecarlo.UF
 	if req.Decoder != "" {
@@ -298,6 +340,14 @@ func cellRecord(r sched.CellResult) CellRecord {
 		DedupHits:   r.Result.DedupHits,
 	}
 	rec.DecoderStats = r.Result.Stats
+	if r.Job.Cfg.RareEvent {
+		re := r.Result.RelErr()
+		if math.IsInf(re, 1) {
+			re = -1 // no failures observed: unbounded relative error
+		}
+		ess := r.Result.ESS()
+		rec.RelErr, rec.ESS = &re, &ess
+	}
 	if r.Err != nil {
 		rec.Error = r.Err.Error()
 	}

@@ -19,7 +19,10 @@
 //     skip-sampling over rare mechanisms, union-find and exact
 //     minimum-weight-matching decoders with allocation-free batch entry
 //     points, a parallel Monte-Carlo engine with a bounded LRU structure
-//     cache, per-worker ChaCha8 streams, and optional early stopping, a
+//     cache, per-worker ChaCha8 streams, optional early stopping, and an
+//     importance-sampled rare-event mode (boosted proposal sampling with
+//     likelihood-ratio-weighted estimates, error bars, and effective
+//     sample sizes for deep sub-threshold points), a
 //     sweep scheduler draining whole threshold/sensitivity grids
 //     (Fig. 11 / Fig. 12) through one shared worker pool with streamed,
 //     deterministic per-cell results, and an HTTP/JSON serving front end
@@ -221,9 +224,28 @@ type (
 	// MonteCarloEngine caches circuit structures and detector-error-model
 	// Structures across the points of a sweep.
 	MonteCarloEngine = montecarlo.Engine
-	// SweepOptions tunes sweeps (early stopping).
+	// SweepOptions tunes sweeps (early stopping, rare-event mode).
 	SweepOptions = montecarlo.SweepOptions
+	// WeightedMonteCarloResult is the importance-sampled tally of a
+	// rare-event run: likelihood-ratio-weighted estimate, variance,
+	// relative error, and effective sample size, merging deterministically
+	// like MonteCarloResult (see MonteCarloResult.Weighted).
+	WeightedMonteCarloResult = montecarlo.WeightedResult
+	// WeightedBatchSampler samples 64-shot batches from a boosted proposal
+	// model while tracking per-shot log likelihood ratios against the
+	// target model.
+	WeightedBatchSampler = dem.WeightedBatchSampler
 )
+
+// DefaultRareEventBoost is the proposal boost factor rare-event runs use
+// when MonteCarloConfig.Boost is zero.
+const DefaultRareEventBoost = montecarlo.DefaultBoost
+
+// NewWeightedBatchSampler returns a sampler drawing from proposal while
+// weighting shots back to target; the models must share fault structure.
+func NewWeightedBatchSampler(target, proposal *DetectorModel) (*WeightedBatchSampler, error) {
+	return dem.NewWeightedBatchSampler(target, proposal)
+}
 
 // NewMonteCarloEngine returns an engine with an empty structure cache,
 // bounded by LRU eviction at the default entry cap. The package-level
