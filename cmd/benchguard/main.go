@@ -29,10 +29,21 @@
 // pinned, so the gains are deterministic per platform and the floor gates
 // estimator quality, not timing noise.
 //
+// With -serve-current, benchguard gates the serving-layer report
+// cmd/vlqload writes to BENCH_serve.json: the repeat leg must have been
+// served from the result ledger (ledger hits > 0, zero engine shots would
+// be even stricter but ledger hits is the contract), the coalesce leg
+// must show in-flight executions actually shared (coalesce hits > 0), no
+// leg may have request errors, and the repeat leg's p50 speedup over the
+// cold leg must clear -min-serve-speedup. The speedup is a same-machine
+// ratio, so it gates the dedup layers' effect rather than absolute
+// timing, and needs no baseline file.
+//
 // Usage:
 //
 //	benchguard -baseline baseline/BENCH_decoder.json [-current BENCH_decoder.json] [-max-regress 0.10] [-max-allocs 1.2]
 //	benchguard -rare-baseline baseline/BENCH_rare.json [-rare-current BENCH_rare.json] [-min-rare-gain 1.2]
+//	benchguard -serve-current BENCH_serve.json [-min-serve-speedup 1.5]
 package main
 
 import (
@@ -184,6 +195,75 @@ func guardRare(currentPath, baselinePath string, minGain, maxRegress float64) in
 	return fails
 }
 
+// serveLeg and serveReport mirror cmd/vlqload's BENCH_serve.json.
+type serveLeg struct {
+	Name         string  `json:"name"`
+	Requests     int     `json:"requests"`
+	Cells        int     `json:"cells"`
+	Errors       int     `json:"errors"`
+	P50MS        float64 `json:"p50_ms"`
+	P95MS        float64 `json:"p95_ms"`
+	LedgerHits   int64   `json:"ledger_hits"`
+	CoalesceHits int64   `json:"coalesce_hits"`
+	DecodeShots  int64   `json:"decode_shots"`
+}
+
+type serveReport struct {
+	Legs             []serveLeg `json:"legs"`
+	RepeatSpeedupP50 float64    `json:"repeat_speedup_p50"`
+}
+
+// guardServe gates the load-harness report: the dedup layers must be
+// observed working (ledger hits on the repeat leg, coalesce hits on the
+// coalesce leg), every request must have succeeded, and the repeat leg
+// must actually be faster. Returns the number of failures.
+func guardServe(path string, minSpeedup float64) int {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard:", err)
+		return 1
+	}
+	var r serveReport
+	if err := json.Unmarshal(buf, &r); err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: %s: %v\n", path, err)
+		return 1
+	}
+	fmt.Printf("benchguard: %s, gating repeat p50 speedup >= %.2fx, ledger/coalesce hits > 0, zero errors\n",
+		path, minSpeedup)
+	fails := 0
+	legs := map[string]serveLeg{}
+	for _, l := range r.Legs {
+		legs[l.Name] = l
+		verdict := "ok"
+		if l.Errors > 0 {
+			verdict = fmt.Sprintf("%d REQUEST ERRORS", l.Errors)
+			fails++
+		}
+		fmt.Printf("  %-8s %3d reqs %4d cells  p50 %8.2fms p95 %8.2fms  ledger %4d coalesce %3d engine-shots %8d  %s\n",
+			l.Name, l.Requests, l.Cells, l.P50MS, l.P95MS, l.LedgerHits, l.CoalesceHits, l.DecodeShots, verdict)
+	}
+	repeat, ok := legs["repeat"]
+	if !ok {
+		fmt.Println("  no repeat leg — NOTHING TO GATE")
+		return fails + 1
+	}
+	if repeat.LedgerHits == 0 {
+		fmt.Println("  repeat leg had ZERO ledger hits — the result ledger is not serving")
+		fails++
+	}
+	if co, ok := legs["coalesce"]; ok && co.CoalesceHits == 0 {
+		fmt.Println("  coalesce leg had ZERO coalesce hits — in-flight sharing is not happening")
+		fails++
+	}
+	if r.RepeatSpeedupP50 < minSpeedup {
+		fmt.Printf("  repeat p50 speedup %.2fx BELOW FLOOR %.2fx\n", r.RepeatSpeedupP50, minSpeedup)
+		fails++
+	} else {
+		fmt.Printf("  repeat p50 speedup %.2fx — ok\n", r.RepeatSpeedupP50)
+	}
+	return fails
+}
+
 func main() {
 	baselinePath := flag.String("baseline", "", "baseline BENCH_decoder.json from the previous run (missing file = clean pass)")
 	currentPath := flag.String("current", "BENCH_decoder.json", "current run's BENCH_decoder.json")
@@ -192,14 +272,26 @@ func main() {
 	rareCurrent := flag.String("rare-current", "", "current run's BENCH_rare.json; when set, gate the rare-event leg")
 	rareBaseline := flag.String("rare-baseline", "", "baseline BENCH_rare.json from the previous run (missing file = clean pass)")
 	minRareGain := flag.Float64("min-rare-gain", 1.2, "minimum shots-to-target gain over brute force any boosted rare-event leg must hold")
+	serveCurrent := flag.String("serve-current", "", "current run's BENCH_serve.json; when set, gate the serving-layer legs")
+	minServeSpeedup := flag.Float64("min-serve-speedup", 1.5, "minimum repeat-over-cold p50 speedup the ledger-served leg must hold")
 	flag.Parse()
-	if *baselinePath == "" && *rareCurrent == "" {
-		fmt.Fprintln(os.Stderr, "benchguard: -baseline or -rare-current is required")
+	if *baselinePath == "" && *rareCurrent == "" && *serveCurrent == "" {
+		fmt.Fprintln(os.Stderr, "benchguard: -baseline, -rare-current, or -serve-current is required")
 		os.Exit(2)
 	}
 	if *maxRegress < 0 || *maxRegress >= 1 {
 		fmt.Fprintf(os.Stderr, "benchguard: -max-regress must be in [0, 1), got %g\n", *maxRegress)
 		os.Exit(2)
+	}
+	if *serveCurrent != "" {
+		if fails := guardServe(*serveCurrent, *minServeSpeedup); fails > 0 {
+			fmt.Fprintf(os.Stderr, "benchguard: %d serve gate failure(s)\n", fails)
+			os.Exit(1)
+		}
+		if *baselinePath == "" && *rareCurrent == "" {
+			fmt.Println("benchguard: pass")
+			return
+		}
 	}
 	if *rareCurrent != "" {
 		if fails := guardRare(*rareCurrent, *rareBaseline, *minRareGain, *maxRegress); fails > 0 {

@@ -1,0 +1,421 @@
+// Command vlqload is the serving layer's load harness: it drives a
+// vlqserve-shaped server with concurrent clients across three legs and
+// writes BENCH_serve.json with latency percentiles, throughput, and the
+// ledger/coalescing hit rates that prove the hardening works under load.
+//
+// The three legs, in order:
+//
+//	cold      distinct-seed sweeps fired by -clients concurrent workers:
+//	          every cell misses the ledger and runs on the engine. This is
+//	          the baseline the dedup layers are measured against.
+//	repeat    the same sweeps resubmitted: every cell is served from the
+//	          result ledger without engine work. The p50 ratio against the
+//	          cold leg is the harness's headline number.
+//	coalesce  -clients identical fresh-seed sweeps fired simultaneously:
+//	          the first to plan each cell runs it, everyone else shares
+//	          the in-flight execution (or reads the ledger just after).
+//
+// Each leg's section of the report carries request-latency p50/p95/p99,
+// cells/sec, and the /v1/stats deltas it incurred (engine builds, decoded
+// shots, ledger hits, coalesce hits). The harness follows the
+// prepare → drive → monitor → parse shape: prepare builds the request
+// bodies and (by default) an in-process server; drive fires the requests
+// and records per-request wall time; monitor snapshots /v1/stats around
+// every leg and scrapes /metrics once at the end (a missing exposition
+// family fails the run); parse computes percentiles, writes -out, and
+// prints one machine-parseable BENCHLINE to stdout for CI logs.
+//
+// Against an external server (-addr), the harness skips the in-process
+// setup and drives whatever is listening; note the stats deltas are then
+// polluted by any other traffic the server is taking.
+//
+// Usage:
+//
+//	vlqload [-out BENCH_serve.json] [-clients 8] [-requests 24] [-trials 500] [-ledger path] [-addr host:port]
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/montecarlo"
+	"repro/internal/serve"
+)
+
+type legReport struct {
+	Name     string  `json:"name"`
+	Requests int     `json:"requests"`
+	Cells    int     `json:"cells"`
+	Errors   int     `json:"errors"`
+	WallMS   float64 `json:"wall_ms"`
+	P50MS    float64 `json:"p50_ms"`
+	P95MS    float64 `json:"p95_ms"`
+	P99MS    float64 `json:"p99_ms"`
+	CellsSec float64 `json:"cells_per_sec"`
+	// Stats deltas across the leg: how the cells were actually served.
+	EngineBuilds int64 `json:"engine_builds"`
+	DecodeShots  int64 `json:"decode_shots"`
+	LedgerHits   int64 `json:"ledger_hits"`
+	CoalesceHits int64 `json:"coalesce_hits"`
+}
+
+type report struct {
+	Clients  int         `json:"clients"`
+	Requests int         `json:"requests"`
+	Trials   int         `json:"trials"`
+	Legs     []legReport `json:"legs"`
+	// RepeatSpeedupP50 is cold p50 / repeat p50 — the headline: how much
+	// faster an already-answered sweep returns.
+	RepeatSpeedupP50 float64 `json:"repeat_speedup_p50"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_serve.json", "report output path")
+	addr := flag.String("addr", "", "drive an external server at this base URL or host:port (empty = in-process)")
+	clients := flag.Int("clients", 8, "concurrent client workers")
+	requests := flag.Int("requests", 24, "sweep submissions in the cold and repeat legs")
+	trials := flag.Int("trials", 500, "Monte-Carlo trials per cell")
+	ledgerPath := flag.String("ledger", "", "JSONL ledger file for the in-process server (empty = in-memory)")
+	flag.Parse()
+	if *clients < 1 || *requests < 1 || *trials < 1 {
+		fmt.Fprintln(os.Stderr, "vlqload: -clients, -requests, and -trials must be positive")
+		os.Exit(2)
+	}
+
+	// ── prepare ─────────────────────────────────────────────────────────
+	base := *addr
+	if base == "" {
+		var ledger serve.Ledger
+		if *ledgerPath != "" {
+			var err error
+			if ledger, err = serve.OpenFileLedger(*ledgerPath); err != nil {
+				fatal(err)
+			}
+			defer ledger.Close()
+		}
+		srv := serve.NewServer(serve.Config{
+			Engine:            montecarlo.NewEngine(),
+			Ledger:            ledger,
+			MaxConcurrentJobs: *clients,
+			QueueDepth:        2 * *clients * *requests, // never 429 the harness
+		})
+		defer srv.Close()
+		ts := httptest.NewServer(srv)
+		defer ts.Close()
+		base = ts.URL
+	} else if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+
+	// Distinct seeds make the cold leg all engine work; the repeat leg
+	// reuses the exact bodies. The grid is small (one distance, three
+	// rates) so the harness measures serving overhead and dedup, not
+	// decoder throughput — bench-decoder owns that.
+	body := func(seed int64) string {
+		return fmt.Sprintf(
+			`{"scheme":"baseline","distances":[3],"rates":[0.004,0.008,0.016],"trials":%d,"seed":%d}`,
+			*trials, seed)
+	}
+	coldBodies := make([]string, *requests)
+	for i := range coldBodies {
+		coldBodies[i] = body(1000 + int64(i))
+	}
+	// The coalesce leg: every client submits the same fresh-seed body whose
+	// rate grid deliberately repeats one cell four times. The duplicates
+	// are the guarantee — a job plans all its cells in one pass before any
+	// decoding, so the first copy leads and the other three share its
+	// in-flight execution even on a single-core runner, where
+	// cross-request timing cannot be pinned (the leader's decode pool owns
+	// the only P and follower requests only get scheduled in preemption
+	// gaps). Cross-request coalescing still happens opportunistically on
+	// top when cores allow; the rendezvous below maximizes its window.
+	coalesceBody := fmt.Sprintf(
+		`{"scheme":"baseline","distances":[3],"rates":[0.008,0.008,0.008,0.008],"trials":%d,"seed":9999999}`,
+		20**trials)
+	coalesceBodies := make([]string, *clients)
+	for i := range coalesceBodies {
+		coalesceBodies[i] = coalesceBody // identical on purpose
+	}
+
+	// ── drive + monitor ─────────────────────────────────────────────────
+	rep := report{Clients: *clients, Requests: *requests, Trials: *trials}
+	for _, l := range []struct {
+		name       string
+		bodies     []string
+		rendezvous bool
+	}{
+		{"cold", coldBodies, false},
+		{"repeat", coldBodies, false},
+		{"coalesce", coalesceBodies, true},
+	} {
+		before := getStats(base)
+		var lr legReport
+		if l.rendezvous {
+			lr = driveCoalesce(base, l.name, l.bodies)
+		} else {
+			lr = drive(base, l.name, l.bodies, *clients)
+		}
+		after := getStats(base)
+		lr.EngineBuilds = after.Engine.Builds - before.Engine.Builds
+		lr.DecodeShots = after.Decode.Shots - before.Decode.Shots
+		lr.LedgerHits = after.Ledger.Hits - before.Ledger.Hits
+		lr.CoalesceHits = after.Ledger.CoalesceHits - before.Ledger.CoalesceHits
+		rep.Legs = append(rep.Legs, lr)
+		fmt.Fprintf(os.Stderr,
+			"vlqload: %-8s %d reqs %d cells in %.0fms  p50 %.2fms p95 %.2fms p99 %.2fms  ledger %d coalesce %d engine-shots %d\n",
+			lr.Name, lr.Requests, lr.Cells, lr.WallMS, lr.P50MS, lr.P95MS, lr.P99MS,
+			lr.LedgerHits, lr.CoalesceHits, lr.DecodeShots)
+	}
+	checkMetrics(base)
+
+	// ── parse ───────────────────────────────────────────────────────────
+	cold, repeat := rep.Legs[0], rep.Legs[1]
+	if repeat.P50MS > 0 {
+		rep.RepeatSpeedupP50 = cold.P50MS / repeat.P50MS
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("BENCHLINE bench=serve clients=%d requests=%d trials=%d cold_p50_ms=%.2f repeat_p50_ms=%.2f repeat_speedup_p50=%.2f ledger_hits=%d coalesce_hits=%d errors=%d\n",
+		*clients, *requests, *trials, cold.P50MS, repeat.P50MS, rep.RepeatSpeedupP50,
+		repeat.LedgerHits, rep.Legs[2].CoalesceHits,
+		cold.Errors+repeat.Errors+rep.Legs[2].Errors)
+}
+
+// drive fires every body at the server from a fixed-size worker pool,
+// reading each stream to completion and timing it end to end.
+func drive(base, name string, bodies []string, workers int) legReport {
+	type outcome struct {
+		ms    float64
+		cells int
+		err   error
+	}
+	work := make(chan string)
+	results := make(chan outcome, len(bodies))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for b := range work {
+				start := time.Now()
+				cells, err := submit(base, b)
+				results <- outcome{float64(time.Since(start).Microseconds()) / 1000, cells, err}
+			}
+		}()
+	}
+	wallStart := time.Now()
+	for _, b := range bodies {
+		work <- b
+	}
+	close(work)
+	wg.Wait()
+	wallMS := float64(time.Since(wallStart).Microseconds()) / 1000
+	close(results)
+
+	lr := legReport{Name: name, Requests: len(bodies), WallMS: wallMS}
+	var lat []float64
+	for o := range results {
+		if o.err != nil {
+			fmt.Fprintf(os.Stderr, "vlqload: %s: %v\n", name, o.err)
+			lr.Errors++
+			continue
+		}
+		lr.Cells += o.cells
+		lat = append(lat, o.ms)
+	}
+	lr.P50MS, lr.P95MS, lr.P99MS = pct(lat, 0.50), pct(lat, 0.95), pct(lat, 0.99)
+	if wallMS > 0 {
+		lr.CellsSec = float64(lr.Cells) / (wallMS / 1000)
+	}
+	return lr
+}
+
+// driveCoalesce fires the duplicate-cell bodies with a rendezvous: the
+// first submission goes alone, and the rest launch once /v1/stats shows a
+// cell claimed in the coalescer's pending map (the leader has planned but
+// not finished) — or the leader has already finished, on machines too
+// busy to observe the window. The wait maximizes the cross-request
+// coalescing window; the in-request duplicate cells carry the guarantee
+// regardless.
+func driveCoalesce(base, name string, bodies []string) legReport {
+	type outcome struct {
+		ms    float64
+		cells int
+		err   error
+	}
+	results := make(chan outcome, len(bodies))
+	post := func(b string) {
+		start := time.Now()
+		cells, err := submit(base, b)
+		results <- outcome{float64(time.Since(start).Microseconds()) / 1000, cells, err}
+	}
+	wallStart := time.Now()
+	leaderDone := make(chan struct{})
+	go func() {
+		defer close(leaderDone)
+		post(bodies[0])
+	}()
+rendezvous:
+	for getStats(base).Ledger.CoalescePending == 0 {
+		select {
+		case <-leaderDone:
+			break rendezvous
+		default:
+			time.Sleep(500 * time.Microsecond)
+		}
+	}
+	var wg sync.WaitGroup
+	for _, b := range bodies[1:] {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			post(b)
+		}()
+	}
+	wg.Wait()
+	lr := legReport{Name: name, Requests: len(bodies), WallMS: float64(time.Since(wallStart).Microseconds()) / 1000}
+	var lat []float64
+	for range bodies {
+		o := <-results
+		if o.err != nil {
+			fmt.Fprintf(os.Stderr, "vlqload: %s: %v\n", name, o.err)
+			lr.Errors++
+			continue
+		}
+		lr.Cells += o.cells
+		lat = append(lat, o.ms)
+	}
+	lr.P50MS, lr.P95MS, lr.P99MS = pct(lat, 0.50), pct(lat, 0.95), pct(lat, 0.99)
+	if lr.WallMS > 0 {
+		lr.CellsSec = float64(lr.Cells) / (lr.WallMS / 1000)
+	}
+	return lr
+}
+
+// submit posts one sweep and consumes its NDJSON stream, returning the
+// cell count and checking the trailing status line reports done.
+func submit(base, body string) (int, error) {
+	resp, err := http.Post(base+"/v1/sweeps", "application/json", strings.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		return 0, fmt.Errorf("HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(b)))
+	}
+	var last string
+	cells := -1 // the trailing line is the JobStatus, not a cell
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	for sc.Scan() {
+		if ln := strings.TrimSpace(sc.Text()); ln != "" {
+			last = ln
+			cells++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return 0, err
+	}
+	var status struct {
+		State string `json:"state"`
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal([]byte(last), &status); err != nil {
+		return 0, fmt.Errorf("trailing status line %q: %w", last, err)
+	}
+	if status.State != "done" {
+		return 0, fmt.Errorf("job ended %q: %s", status.State, status.Error)
+	}
+	return cells, nil
+}
+
+// statsSnapshot is the subset of GET /v1/stats the harness diffs.
+type statsSnapshot struct {
+	Engine struct {
+		Builds int64 `json:"builds"`
+	} `json:"engine"`
+	Decode struct {
+		Shots int64 `json:"shots"`
+	} `json:"decode"`
+	Ledger struct {
+		Hits            int64 `json:"hits"`
+		CoalesceHits    int64 `json:"coalesce_hits"`
+		CoalescePending int   `json:"coalesce_pending"`
+	} `json:"ledger"`
+}
+
+func getStats(base string) statsSnapshot {
+	var st statsSnapshot
+	resp, err := http.Get(base + "/v1/stats")
+	if err != nil {
+		fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		fatal(fmt.Errorf("stats: %w", err))
+	}
+	return st
+}
+
+// checkMetrics scrapes /metrics once and fails the run if the serving
+// families the dashboard depends on are missing — the harness doubles as
+// the exposition's end-to-end test.
+func checkMetrics(base string) {
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		fatal(err)
+	}
+	for _, fam := range []string{
+		"vlq_serve_submissions_total", "vlq_serve_cells_total",
+		"vlq_serve_cell_wait_seconds_bucket", "vlq_serve_request_seconds_bucket",
+		"vlq_ledger_hits_total", "vlq_coalesce_hits_total",
+		"vlq_engine_cache_builds_total", "vlq_decode_shots_total",
+	} {
+		if !strings.Contains(string(b), fam) {
+			fatal(fmt.Errorf("metrics scrape missing family %s", fam))
+		}
+	}
+}
+
+// pct is the nearest-rank percentile of an unsorted latency sample.
+func pct(ms []float64, q float64) float64 {
+	if len(ms) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), ms...)
+	sort.Float64s(sorted)
+	i := int(q*float64(len(sorted))+0.999999) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vlqload:", err)
+	os.Exit(1)
+}

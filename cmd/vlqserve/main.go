@@ -21,6 +21,15 @@
 // loopback or otherwise private address — profiles expose internals).
 // SIGINT/SIGTERM drain in-flight requests, then cancel outstanding jobs.
 //
+// With -ledger the server persists every finished cell to an append-only
+// JSONL file and replays it on startup: a cell the file already holds —
+// from this run or any earlier one — is served without touching the
+// engine, marked "source":"ledger" in its record. Without the flag the
+// same dedup still happens in memory, for the life of the process only.
+// GET /metrics exposes the serving stack (submissions, cell provenance,
+// latency histograms, ledger/coalescing/engine counters) in Prometheus
+// text format.
+//
 // With -fabric-listen the process additionally runs a fabric coordinator
 // on that address: vlqworker processes connect to it, and sweeps submitted
 // with "mode":"fabric" are leased to them instead of the local pool —
@@ -52,6 +61,7 @@ func main() {
 	maxJobs := flag.Int("max-jobs", 2, "sweep jobs running concurrently")
 	queue := flag.Int("queue", 8, "sweep jobs waiting beyond -max-jobs before submissions get 429 (negative: no queueing)")
 	retain := flag.Int("retain", 64, "finished jobs retained for status/replay")
+	ledgerPath := flag.String("ledger", "", "append-only JSONL result-ledger file, replayed on startup (empty = in-memory only)")
 	pprofAddr := flag.String("pprof", "", "listen address for net/http/pprof debug endpoints (e.g. localhost:6060; empty = disabled)")
 	fabricAddr := flag.String("fabric-listen", "", "listen address for the fabric coordinator (e.g. :8791; empty = fabric mode disabled)")
 	fabricTTL := flag.Duration("fabric-ttl", fabric.DefaultLeaseTTL, "fabric lease time-to-live before a silent worker's units are reassigned")
@@ -88,8 +98,19 @@ func main() {
 		}()
 	}
 
+	var ledger serve.Ledger
+	if *ledgerPath != "" {
+		var err error
+		if ledger, err = serve.OpenFileLedger(*ledgerPath); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "vlqserve: result ledger %s (%d cells replayed)\n",
+			*ledgerPath, ledger.Stats().Entries)
+	}
+
 	server := serve.NewServer(serve.Config{
 		Engine:            montecarlo.NewEngineWithCache(*cache),
+		Ledger:            ledger,
 		MaxConcurrentJobs: *maxJobs,
 		QueueDepth:        *queue,
 		DefaultPoolWidth:  *jobs,
@@ -125,6 +146,11 @@ func main() {
 	}
 	if err := httpServer.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		fatal(err)
+	}
+	if ledger != nil {
+		if err := ledger.Close(); err != nil {
+			fatal(err)
+		}
 	}
 }
 

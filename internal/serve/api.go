@@ -90,6 +90,14 @@ type SweepRequest struct {
 	// and bit-identical to the unpruned path; false decodes every shot
 	// through the matcher (A/B benchmarking).
 	DecodePipeline *bool `json:"decode_pipeline,omitempty"`
+	// NoCache bypasses the result ledger and request coalescing for this
+	// job: every cell runs on the engine (or fabric) even if an identical
+	// cell is stored or in flight, and nothing this job computes is
+	// written back. The engine's structure cache still applies — it is
+	// invisible in the result bytes. For A/B measurement (cmd/vlqload's
+	// cold legs) and cache-suspicious debugging; results are bit-identical
+	// either way, which is the whole point of the ledger.
+	NoCache bool `json:"no_cache,omitempty"`
 }
 
 // CellRecord is one finished sweep cell as streamed to clients (NDJSON
@@ -124,7 +132,14 @@ type CellRecord struct {
 	// omitzero drops the block for cells that did no matcher work, and the
 	// value keeps CellRecord comparable.
 	DecoderStats decoder.DecoderStats `json:"decoder_stats,omitzero"`
-	Error        string               `json:"error,omitempty"`
+	// Source reports how this job obtained the cell: "" (the engine ran
+	// it), "ledger" (served from the durable result store), or
+	// "coalesced" (fed from an identical cell in flight on another job).
+	// The scientific payload is bit-identical across all three — Source is
+	// provenance, not identity, and is excluded from the ledger's stored
+	// bytes.
+	Source string `json:"source,omitempty"`
+	Error  string `json:"error,omitempty"`
 }
 
 // JobStatus is the wire form of one sweep job: GET /v1/sweeps/{id}, the
@@ -149,9 +164,25 @@ type StatsResponse struct {
 	Engine montecarlo.CacheStats `json:"engine"`
 	Decode DecodeStats           `json:"decode"`
 	Jobs   JobCounts             `json:"jobs"`
+	// Ledger reports the durable result store and request-coalescing
+	// counters: entries stored, lookup hits/misses, appends, and how many
+	// cells were fed from an identical in-flight execution.
+	Ledger LedgerSection `json:"ledger"`
 	// Fabric carries the fabric coordinator's worker/lease/merge counters;
 	// absent when the server runs without one.
 	Fabric *fabric.Stats `json:"fabric,omitempty"`
+}
+
+// LedgerSection is the "ledger" block of GET /v1/stats: the store's own
+// counters plus the coalescer's, which shares the section because the two
+// answer the same question — how many cells never touched the engine.
+type LedgerSection struct {
+	LedgerStats
+	// CoalesceHits counts cells served from another job's in-flight
+	// execution of the same canonical cell.
+	CoalesceHits int64 `json:"coalesce_hits"`
+	// CoalescePending is the current in-flight pending-map population.
+	CoalescePending int `json:"coalesce_pending"`
 }
 
 // DecodeStats aggregates the decode pipeline's counters over every cell
@@ -326,6 +357,24 @@ func BuildCells(req SweepRequest) ([]sched.Job, error) {
 
 // ToCellRecord converts one scheduler result to its wire form.
 func ToCellRecord(r sched.CellResult) CellRecord { return cellRecord(r) }
+
+// cellKey is the canonical identity of one scheduler job: the
+// montecarlo-level key (every Config field that moves the result bytes)
+// prefixed by the cell's sweep-grid coordinates. The prefix matters
+// because CellRecord carries the coordinates from the Tag, not the
+// Config: a threshold cell and a sensitivity cell that happened to expand
+// to the same Config would still stream different Scheme/Panel/PhysRate/
+// Value columns, so they must not share a ledger entry.
+func cellKey(j sched.Job) string {
+	switch tag := j.Tag.(type) {
+	case sched.ThresholdCell:
+		return fmt.Sprintf("t|%s|%d|%x|%s", tag.Scheme, tag.Distance, tag.Phys, j.Cfg.CellKey())
+	case sched.SensitivityCell:
+		return fmt.Sprintf("s|%s|%d|%x|%s", tag.Panel, tag.Distance, tag.Value, j.Cfg.CellKey())
+	default:
+		return "u|" + j.Cfg.CellKey()
+	}
+}
 
 // cellRecord converts one scheduler result to its wire form.
 func cellRecord(r sched.CellResult) CellRecord {

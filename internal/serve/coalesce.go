@@ -1,0 +1,98 @@
+package serve
+
+// Request coalescing: identical in-flight cells across concurrent jobs
+// share one execution. The first job to plan a cell key becomes its
+// leader and runs it through the engine (or fabric); every other job
+// holding the same key subscribes to the leader's pendingCell and feeds
+// its own stream from the shared result — singleflight, per cell rather
+// than per request, so two overlapping sweeps coalesce exactly the cells
+// they share.
+//
+// A leader that aborts (cancelled job, failed run) resolves its entries
+// with ok=false; subscribers then loop back through planning, where one
+// of them claims leadership and the cell still runs exactly once at a
+// time. Successful resolutions are written to the ledger *before* the
+// pending entry is removed (both under plan's lock ordering), so a job
+// planning the key at any moment finds it in exactly one place: the
+// ledger, the pending map, or — neither — claims it.
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// pendingCell is one in-flight cell execution. done closes exactly once,
+// after rec/ok are set.
+type pendingCell struct {
+	done chan struct{}
+	rec  CellRecord // canonical (Index/Source cleared); valid when ok
+	ok   bool       // false: leader aborted without a result, re-plan
+}
+
+// coalescer is the singleflight pending map.
+type coalescer struct {
+	mu      sync.Mutex
+	pending map[string]*pendingCell
+	hits    atomic.Int64 // cells served from another job's in-flight run
+}
+
+func newCoalescer() *coalescer {
+	return &coalescer{pending: make(map[string]*pendingCell)}
+}
+
+// cellPlan is planCell's verdict for one cell.
+type cellPlan int
+
+const (
+	planLedger cellPlan = iota // rec was served from the ledger
+	planLead                   // caller owns the execution
+	planFollow                 // subscribe to entry.done
+)
+
+// planCell decides how a job obtains one cell: from the ledger, by
+// leading a fresh execution, or by following an in-flight one. The
+// ledger probe happens under the coalescer lock so a concurrent leader's
+// Put-then-remove can never slip between a miss here and the pending
+// lookup.
+func (c *coalescer) planCell(ledger Ledger, key string) (plan cellPlan, rec CellRecord, entry *pendingCell) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if rec, ok := ledger.Get(key); ok {
+		return planLedger, rec, nil
+	}
+	if e, ok := c.pending[key]; ok {
+		return planFollow, CellRecord{}, e
+	}
+	e := &pendingCell{done: make(chan struct{})}
+	c.pending[key] = e
+	return planLead, CellRecord{}, e
+}
+
+// resolve publishes a leader's canonical record to every follower and
+// retires the entry. Callers must Put the record into the ledger first.
+func (c *coalescer) resolve(key string, e *pendingCell, rec CellRecord) {
+	c.mu.Lock()
+	if c.pending[key] == e {
+		delete(c.pending, key)
+	}
+	c.mu.Unlock()
+	e.rec, e.ok = rec, true
+	close(e.done)
+}
+
+// abort retires a leader's entry without a result; followers re-plan.
+func (c *coalescer) abort(key string, e *pendingCell) {
+	c.mu.Lock()
+	if c.pending[key] == e {
+		delete(c.pending, key)
+	}
+	c.mu.Unlock()
+	close(e.done)
+}
+
+// pendingCount reports the in-flight map population (stats).
+func (c *coalescer) pendingCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.pending)
+}

@@ -34,7 +34,11 @@ func TestFabricModeMatchesLocal(t *testing.T) {
 		t.Fatalf("local job ended %q: %s", localStatus.State, localStatus.Error)
 	}
 
-	fabricBody := `{"mode":"fabric","scheme":"baseline","distances":[3],"rates":[0.004,0.008,0.016],"trials":300,"seed":7}`
+	// no_cache keeps the fabric leg off the ledger (the local leg just
+	// stored these exact cells); the point here is that the fabric
+	// *executor* reproduces the local bytes, not that the ledger can
+	// replay them.
+	fabricBody := `{"mode":"fabric","no_cache":true,"scheme":"baseline","distances":[3],"rates":[0.004,0.008,0.016],"trials":300,"seed":7}`
 	resp = postSweep(t, ts, "/v1/sweeps", fabricBody)
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("fabric submit: HTTP %d", resp.StatusCode)

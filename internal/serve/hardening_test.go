@@ -1,0 +1,200 @@
+package serve
+
+// Regression tests for the serve-layer hardening sweep: the job-context
+// leak, streaming onto dead connections, oversized-body status mapping,
+// and eviction under churn.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// A finished job must release its context. Before the fix, newJob derived
+// a cancellable context from the server's base context but nothing ever
+// called cancel on completion, so every finished job stayed registered on
+// the parent for as long as it was retained — this test fails on that
+// code (ctx.Err() stays nil after done).
+func TestFinishedJobReleasesContext(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	_, status := readStream(t, postSweep(t, ts, "/v1/sweeps", rowBody))
+	if status.State != StateDone {
+		t.Fatalf("sweep ended %q (error %q)", status.State, status.Error)
+	}
+	jb := s.lookup(status.ID)
+	if jb == nil {
+		t.Fatalf("job %s not retained", status.ID)
+	}
+	if jb.ctx.Err() == nil {
+		t.Error("finished job's context is still live; finish must cancel it")
+	}
+}
+
+// failWriter is a ResponseWriter standing in for a dead connection: every
+// Write after the first failAfter calls returns an error, the way a
+// closed TCP peer eventually surfaces through the http stack.
+type failWriter struct {
+	h         http.Header
+	writes    int
+	failAfter int
+}
+
+func (f *failWriter) Header() http.Header { return f.h }
+func (f *failWriter) WriteHeader(int)     {}
+func (f *failWriter) Write(p []byte) (int, error) {
+	f.writes++
+	if f.writes > f.failAfter {
+		return 0, errors.New("write tcp: connection reset by peer")
+	}
+	return len(p), nil
+}
+
+// A stream whose writes fail must end instead of encoding into the void.
+// Before the fix, streamJob ignored every write error: with a job that
+// keeps producing (or just never finishes), the handler goroutine stayed
+// parked on the update channel forever and an owned job never got
+// cancelled. This test fails on that code by timeout.
+func TestStreamStopsOnWriteError(t *testing.T) {
+	s := NewServer(Config{})
+	defer s.Close()
+	jb := newJob("sw-test", "threshold", "local", nil, 0, 0, context.Background())
+	jb.setRunning()
+	jb.appendCell(CellRecord{Index: 0, Distance: 3}) // the write that fails
+	// The job deliberately never finishes: only the write error can end the
+	// stream.
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		w := &failWriter{h: make(http.Header)}
+		r := httptest.NewRequest("POST", "/v1/sweeps", nil)
+		s.streamJob(w, r, jb, true)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("streamJob still running 5s after its connection died")
+	}
+	if jb.ctx.Err() == nil {
+		t.Error("owned job not cancelled after its stream's connection died")
+	}
+}
+
+// An observer's dead connection must not cancel the job it was watching.
+func TestObserverWriteErrorLeavesJobAlive(t *testing.T) {
+	s := NewServer(Config{})
+	defer s.Close()
+	jb := newJob("sw-test", "threshold", "local", nil, 0, 0, context.Background())
+	jb.setRunning()
+	jb.appendCell(CellRecord{Index: 0, Distance: 3})
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		w := &failWriter{h: make(http.Header)}
+		r := httptest.NewRequest("GET", "/v1/sweeps/sw-test/results", nil)
+		s.streamJob(w, r, jb, false)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("observer stream still running 5s after its connection died")
+	}
+	if jb.ctx.Err() != nil {
+		t.Error("observer disconnect cancelled the job; only owners may")
+	}
+}
+
+// Submission-body failures map to distinct statuses: malformed JSON and
+// unknown fields are 400s, but a body over the 1 MiB cap is 413 naming
+// the limit (it was a generic 400 before the fix).
+func TestSubmitBodyErrors(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	huge := `{"scheme":"` + strings.Repeat("x", maxBodyBytes+1) + `"}`
+	cases := []struct {
+		name     string
+		body     string
+		wantCode int
+		wantMsg  string
+	}{
+		{"oversized body", huge, http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("%d-byte limit", maxBodyBytes)},
+		{"malformed json", `{"scheme":`, http.StatusBadRequest, "invalid request body"},
+		{"unknown field", `{"schemme":"baseline"}`, http.StatusBadRequest, "invalid request body"},
+		{"bad value", `{"trials":-5}`, http.StatusBadRequest, "trials must be positive"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp := postSweep(t, ts, "/v1/sweeps", tc.body)
+			defer resp.Body.Close()
+			if resp.StatusCode != tc.wantCode {
+				t.Errorf("HTTP %d, want %d", resp.StatusCode, tc.wantCode)
+			}
+			b, _ := io.ReadAll(resp.Body)
+			if !strings.Contains(string(b), tc.wantMsg) {
+				t.Errorf("body %q does not mention %q", b, tc.wantMsg)
+			}
+		})
+	}
+}
+
+// Eviction under churn: many short jobs against a small retention cap must
+// keep the registry bounded with jobs and order in lockstep, evict oldest
+// first, and cancel what it evicts. (The pre-fix implementation also spent
+// O(n²) splicing the order slice — behaviourally covered here by the
+// invariants, structurally by the rewrite.)
+func TestEvictionUnderChurn(t *testing.T) {
+	const retain, total = 3, 12
+	s, ts := newTestServer(t, Config{RetainJobs: retain})
+	var last JobStatus
+	for i := 0; i < total; i++ {
+		// Distinct seeds so each job does real (if tiny) work; ledger and
+		// coalescing do not collapse the churn.
+		body := fmt.Sprintf(`{"scheme":"baseline","distances":[3],"rates":[0.008],"trials":20,"seed":%d}`, i)
+		_, last = readStream(t, postSweep(t, ts, "/v1/sweeps", body))
+		if last.State != StateDone {
+			t.Fatalf("job %d ended %q (error %q)", i, last.State, last.Error)
+		}
+	}
+
+	// The final job's evict pass runs just after its stream closes; poll
+	// briefly for the registry to settle.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		s.mu.Lock()
+		jobs, order := len(s.jobs), len(s.order)
+		s.mu.Unlock()
+		if jobs <= retain && jobs == order {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("registry never settled: %d jobs, %d in order, want <= %d and equal",
+				jobs, order, retain)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, jb := range s.order {
+		if s.jobs[jb.id] != jb {
+			t.Errorf("order[%d] (%s) missing from the jobs map", i, jb.id)
+		}
+		if i > 0 && jb.id <= s.order[i-1].id {
+			t.Errorf("order not oldest-first: %s after %s", jb.id, s.order[i-1].id)
+		}
+	}
+	// The newest job must have survived; the earliest must be gone.
+	if _, ok := s.jobs[last.ID]; !ok {
+		t.Errorf("newest job %s was evicted", last.ID)
+	}
+	if _, ok := s.jobs["sw-000001"]; ok {
+		t.Error("oldest job sw-000001 survived eviction")
+	}
+}

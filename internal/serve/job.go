@@ -34,6 +34,7 @@ type job struct {
 	cells      []sched.Job
 	poolWidth  int
 	shardShots int
+	noCache    bool // bypass ledger + coalescing (set before publication)
 	ctx        context.Context
 	cancel     context.CancelFunc
 
@@ -71,11 +72,16 @@ func (j *job) setRunning() {
 }
 
 // finish moves the job to a terminal state exactly once; later calls (for
-// example a cancel racing completion) are ignored.
+// example a cancel racing completion) are ignored. It also releases the
+// job's context: the context derives from the server's base context, and a
+// derived context stays registered on its parent until cancelled — without
+// this, every finished job would leak its context (and the goroutine
+// propagating the parent's cancellation) for as long as it stayed in the
+// retention window.
 func (j *job) finish(state string, err error) {
 	j.mu.Lock()
-	defer j.mu.Unlock()
 	if terminal(j.state) {
+		j.mu.Unlock()
 		return
 	}
 	j.state = state
@@ -84,6 +90,8 @@ func (j *job) finish(state string, err error) {
 	}
 	j.finished = time.Now()
 	j.notifyLocked()
+	j.mu.Unlock()
+	j.cancel()
 }
 
 func (j *job) appendCell(rec CellRecord) {

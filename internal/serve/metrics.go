@@ -1,0 +1,327 @@
+package serve
+
+// A dependency-free Prometheus-text-format metrics registry. The serving
+// layer (and any CLI that wants the same exposition — cmd/vlqload scrapes
+// it end to end) registers counters, gauges, and histograms here and
+// mounts the Registry on GET /metrics. Only the subset of the exposition
+// format the repo needs is implemented: counter/gauge/histogram families
+// with fixed label names, HELP/TYPE comments, and deterministic output
+// ordering (families in registration order, series sorted by label
+// values) so scrapes diff cleanly in tests.
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Registry holds an ordered set of metric families and writes them in
+// Prometheus text exposition format. It implements http.Handler. The zero
+// value is not usable; call NewRegistry.
+type Registry struct {
+	mu       sync.Mutex
+	families []family
+	names    map[string]bool
+}
+
+type family interface {
+	write(w io.Writer)
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{names: make(map[string]bool)}
+}
+
+func (r *Registry) add(name string, f family) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.names[name] {
+		panic(fmt.Sprintf("metrics: duplicate family %q", name))
+	}
+	r.names[name] = true
+	r.families = append(r.families, f)
+}
+
+// Expose writes every registered family in text exposition format.
+func (r *Registry) Expose(w io.Writer) {
+	r.mu.Lock()
+	fams := make([]family, len(r.families))
+	copy(fams, r.families)
+	r.mu.Unlock()
+	for _, f := range fams {
+		f.write(w)
+	}
+}
+
+// ServeHTTP implements the /metrics scrape endpoint.
+func (r *Registry) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	r.Expose(w)
+}
+
+// Counter is a monotonically increasing metric family with fixed label
+// names; each distinct label-value tuple is one series.
+type Counter struct {
+	name, help string
+	labels     []string
+	mu         sync.Mutex
+	series     map[string]float64
+}
+
+// NewCounter registers a counter family.
+func (r *Registry) NewCounter(name, help string, labels ...string) *Counter {
+	c := &Counter{name: name, help: help, labels: labels, series: make(map[string]float64)}
+	r.add(name, c)
+	return c
+}
+
+// Add increments the series identified by labelValues (one per declared
+// label name, in order) by delta.
+func (c *Counter) Add(delta float64, labelValues ...string) {
+	key := seriesKey(c.name, c.labels, labelValues)
+	c.mu.Lock()
+	c.series[key] += delta
+	c.mu.Unlock()
+}
+
+// Inc is Add(1, ...).
+func (c *Counter) Inc(labelValues ...string) { c.Add(1, labelValues...) }
+
+// Value returns the current value of one series (0 if never written) —
+// a test and harness convenience, not part of the exposition.
+func (c *Counter) Value(labelValues ...string) float64 {
+	key := seriesKey(c.name, c.labels, labelValues)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.series[key]
+}
+
+func (c *Counter) write(w io.Writer) {
+	c.mu.Lock()
+	keys := sortedKeys(c.series)
+	vals := make([]float64, len(keys))
+	for i, k := range keys {
+		vals[i] = c.series[k]
+	}
+	c.mu.Unlock()
+	header(w, c.name, c.help, "counter")
+	for i, k := range keys {
+		fmt.Fprintf(w, "%s %s\n", k, formatValue(vals[i]))
+	}
+}
+
+// funcMetric is a counter or gauge whose value is read at scrape time —
+// the re-export path for counters that already live elsewhere (engine
+// cache stats, decode atomics, ledger counters).
+type funcMetric struct {
+	name, help, typ string
+	fn              func() float64
+}
+
+// NewGaugeFunc registers a label-less gauge evaluated at scrape time.
+func (r *Registry) NewGaugeFunc(name, help string, fn func() float64) {
+	r.add(name, &funcMetric{name: name, help: help, typ: "gauge", fn: fn})
+}
+
+// NewCounterFunc registers a label-less counter evaluated at scrape time.
+// The function must be monotonic for the exposition to be honest.
+func (r *Registry) NewCounterFunc(name, help string, fn func() float64) {
+	r.add(name, &funcMetric{name: name, help: help, typ: "counter", fn: fn})
+}
+
+func (m *funcMetric) write(w io.Writer) {
+	header(w, m.name, m.help, m.typ)
+	fmt.Fprintf(w, "%s %s\n", m.name, formatValue(m.fn()))
+}
+
+// Histogram is a cumulative-bucket histogram family with fixed label
+// names. Buckets are upper bounds in increasing order; a +Inf bucket is
+// implicit.
+type Histogram struct {
+	name, help string
+	labels     []string
+	buckets    []float64
+	mu         sync.Mutex
+	series     map[string]*histSeries
+}
+
+type histSeries struct {
+	counts []uint64 // one per bucket, non-cumulative
+	inf    uint64
+	sum    float64
+}
+
+// NewHistogram registers a histogram family with the given bucket upper
+// bounds (must be strictly increasing).
+func (r *Registry) NewHistogram(name, help string, buckets []float64, labels ...string) *Histogram {
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i] <= buckets[i-1] {
+			panic(fmt.Sprintf("metrics: histogram %q buckets not increasing", name))
+		}
+	}
+	h := &Histogram{name: name, help: help, labels: labels,
+		buckets: append([]float64(nil), buckets...), series: make(map[string]*histSeries)}
+	r.add(name, h)
+	return h
+}
+
+// Observe records one value in the series identified by labelValues.
+func (h *Histogram) Observe(v float64, labelValues ...string) {
+	key := labelPairs(h.labels, labelValues)
+	h.mu.Lock()
+	s := h.series[key]
+	if s == nil {
+		s = &histSeries{counts: make([]uint64, len(h.buckets))}
+		h.series[key] = s
+	}
+	placed := false
+	for i, ub := range h.buckets {
+		if v <= ub {
+			s.counts[i]++
+			placed = true
+			break
+		}
+	}
+	if !placed {
+		s.inf++
+	}
+	s.sum += v
+	h.mu.Unlock()
+}
+
+// Count returns the total observation count of one series — a test and
+// harness convenience.
+func (h *Histogram) Count(labelValues ...string) uint64 {
+	key := labelPairs(h.labels, labelValues)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := h.series[key]
+	if s == nil {
+		return 0
+	}
+	n := s.inf
+	for _, c := range s.counts {
+		n += c
+	}
+	return n
+}
+
+func (h *Histogram) write(w io.Writer) {
+	h.mu.Lock()
+	keys := make([]string, 0, len(h.series))
+	for k := range h.series {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	type snap struct {
+		key    string
+		counts []uint64
+		inf    uint64
+		sum    float64
+	}
+	snaps := make([]snap, 0, len(keys))
+	for _, k := range keys {
+		s := h.series[k]
+		snaps = append(snaps, snap{k, append([]uint64(nil), s.counts...), s.inf, s.sum})
+	}
+	h.mu.Unlock()
+
+	header(w, h.name, h.help, "histogram")
+	for _, s := range snaps {
+		cum := uint64(0)
+		for i, ub := range h.buckets {
+			cum += s.counts[i]
+			fmt.Fprintf(w, "%s_bucket%s %d\n", h.name, mergeLabels(s.key, "le", formatValue(ub)), cum)
+		}
+		cum += s.inf
+		fmt.Fprintf(w, "%s_bucket%s %d\n", h.name, mergeLabels(s.key, "le", "+Inf"), cum)
+		fmt.Fprintf(w, "%s_sum%s %s\n", h.name, wrapLabels(s.key), formatValue(s.sum))
+		fmt.Fprintf(w, "%s_count%s %d\n", h.name, wrapLabels(s.key), cum)
+	}
+}
+
+// DefaultLatencyBuckets spans sub-millisecond ledger hits through
+// multi-minute engine sweeps (seconds).
+var DefaultLatencyBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+	0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 120, 300,
+}
+
+func sortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func header(w io.Writer, name, help, typ string) {
+	if help != "" {
+		fmt.Fprintf(w, "# HELP %s %s\n", name, help)
+	}
+	fmt.Fprintf(w, "# TYPE %s %s\n", name, typ)
+}
+
+// labelPairs renders `l1="v1",l2="v2"` (no braces; empty for no labels).
+func labelPairs(labels, values []string) string {
+	if len(labels) != len(values) {
+		panic(fmt.Sprintf("metrics: %d label values for %d labels", len(values), len(labels)))
+	}
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(values[i]))
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+// seriesKey renders the full `name{pairs}` series line prefix.
+func seriesKey(name string, labels, values []string) string {
+	pairs := labelPairs(labels, values)
+	if pairs == "" {
+		return name
+	}
+	return name + "{" + pairs + "}"
+}
+
+// wrapLabels braces a rendered pair list ("" stays "").
+func wrapLabels(pairs string) string {
+	if pairs == "" {
+		return ""
+	}
+	return "{" + pairs + "}"
+}
+
+// mergeLabels appends one extra pair (the histogram "le" bound) to a
+// rendered pair list and braces the result.
+func mergeLabels(pairs, name, value string) string {
+	extra := name + `="` + escapeLabel(value) + `"`
+	if pairs == "" {
+		return "{" + extra + "}"
+	}
+	return "{" + pairs + "," + extra + "}"
+}
+
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,128 @@
+package serve
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// Registry unit: exposition format, family ordering, series sorting,
+// label escaping, histogram cumulation.
+func TestRegistryExposition(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.NewCounter("test_ops_total", "Operations.", "kind")
+	c.Add(3, "read")
+	c.Inc("write")
+	c.Inc(`we"ird\label`)
+	reg.NewGaugeFunc("test_depth", "Depth.", func() float64 { return 4 })
+	h := reg.NewHistogram("test_wait_seconds", "Wait.", []float64{0.1, 1}, "op")
+	h.Observe(0.05, "get")
+	h.Observe(0.5, "get")
+	h.Observe(30, "get")
+
+	var b strings.Builder
+	reg.Expose(&b)
+	out := b.String()
+
+	for _, want := range []string{
+		"# HELP test_ops_total Operations.\n# TYPE test_ops_total counter\n",
+		`test_ops_total{kind="read"} 3`,
+		`test_ops_total{kind="write"} 1`,
+		`test_ops_total{kind="we\"ird\\label"} 1`,
+		"# TYPE test_depth gauge\ntest_depth 4",
+		`test_wait_seconds_bucket{op="get",le="0.1"} 1`,
+		`test_wait_seconds_bucket{op="get",le="1"} 2`,
+		`test_wait_seconds_bucket{op="get",le="+Inf"} 3`,
+		`test_wait_seconds_sum{op="get"} 30.55`,
+		`test_wait_seconds_count{op="get"} 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Families appear in registration order.
+	if strings.Index(out, "test_ops_total") > strings.Index(out, "test_depth") {
+		t.Error("families not in registration order")
+	}
+	if c.Value("read") != 3 || h.Count("get") != 3 {
+		t.Errorf("convenience readers: counter %v, histogram %d", c.Value("read"), h.Count("get"))
+	}
+}
+
+func TestRegistryRejectsDuplicatesAndBadBuckets(t *testing.T) {
+	reg := NewRegistry()
+	reg.NewCounter("dup_total", "")
+	for name, fn := range map[string]func(){
+		"duplicate family": func() { reg.NewCounter("dup_total", "") },
+		"bad buckets":      func() { reg.NewHistogram("h", "", []float64{1, 1}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// End to end: after a cold sweep, a ledger-served repeat, and a rejected
+// body, one /metrics scrape shows the whole story.
+func TestMetricsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	readStream(t, postSweep(t, ts, "/v1/sweeps", rowBody)) // cold: engine cells
+	readStream(t, postSweep(t, ts, "/v1/sweeps", rowBody)) // repeat: ledger cells
+	resp := postSweep(t, ts, "/v1/sweeps", `{"bad`)        // invalid submission
+	resp.Body.Close()
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type %q, want text/plain exposition", ct)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	out := string(b)
+
+	for _, want := range []string{
+		`vlq_serve_submissions_total{type="threshold",mode="local",outcome="accepted"} 2`,
+		`vlq_serve_submissions_total{type="unknown",mode="unknown",outcome="invalid"} 1`,
+		`vlq_serve_cells_total{source="engine"} 3`,
+		`vlq_serve_cells_total{source="ledger"} 3`,
+		"# TYPE vlq_serve_cell_wait_seconds histogram",
+		`vlq_serve_cell_wait_seconds_count{source="ledger"} 3`,
+		"# TYPE vlq_engine_cache_builds_total counter",
+		"vlq_ledger_entries 3",
+		"vlq_ledger_hits_total 3",
+		"vlq_ledger_appends_total 3",
+		"vlq_serve_jobs_submitted_total 2",
+		"vlq_serve_run_slots_total 2",
+		"vlq_decode_shots_total 900",
+		`vlq_serve_request_seconds_count{endpoint="submit"} 3`,
+		`vlq_serve_job_seconds_count{outcome="done"} 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("scrape missing %q", want)
+		}
+	}
+	if t.Failed() {
+		t.Logf("full scrape:\n%s", out)
+	}
+}
+
+// The registry is reachable for embedding callers.
+func TestServerMetricsAccessor(t *testing.T) {
+	s := NewServer(Config{})
+	defer s.Close()
+	s.Metrics().NewGaugeFunc("embedder_extra", "", func() float64 { return 1 })
+	rr := httptest.NewRecorder()
+	s.ServeHTTP(rr, httptest.NewRequest("GET", "/metrics", nil))
+	if !strings.Contains(rr.Body.String(), "embedder_extra 1") {
+		t.Error("embedded family missing from /metrics")
+	}
+}

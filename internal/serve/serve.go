@@ -7,8 +7,17 @@
 // (scheme, distance, rounds) experiment builds its circuit, fault
 // Structure, and decoding-graph topology; every later sweep touching the
 // same experiment — from any client — reweights cached structures and
-// skips the builds entirely. GET /v1/stats exposes the cache counters
-// that make this observable.
+// skips the builds entirely. Above the engine sit two more layers of
+// dedup, both keyed by the canonical cell spec (montecarlo.CellKey plus
+// the sweep-grid coordinates): a durable result ledger that answers
+// previously finished cells without any engine work (file-backed ledgers
+// replay across restarts), and request coalescing, which shares one
+// execution between identical cells in flight on concurrent jobs. All
+// three layers are bit-invisible: a cell served from the ledger or a
+// coalesced run is byte-identical to running it cold, which is exactly
+// why results are safe to memoize. GET /v1/stats exposes the engine,
+// ledger, and coalescing counters; GET /metrics serves the same (and
+// more) in Prometheus text format.
 //
 // The API:
 //
@@ -20,8 +29,9 @@
 //	GET    /v1/sweeps/{id}         JobStatus snapshot
 //	GET    /v1/sweeps/{id}/results replay finished cells and follow live
 //	DELETE /v1/sweeps/{id}         cancel (observed at the next cell boundary)
-//	GET    /v1/stats               engine cache, decode pipeline, and job
-//	                               registry counters
+//	GET    /v1/stats               engine cache, decode pipeline, ledger,
+//	                               and job registry counters
+//	GET    /metrics                Prometheus text exposition
 //	GET    /healthz                liveness
 //
 // A synchronous POST ties the job to the request: if the client
@@ -48,6 +58,7 @@ import (
 	"net/http"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/decoder"
 	"repro/internal/fabric"
@@ -55,14 +66,26 @@ import (
 	"repro/internal/sched"
 )
 
+// maxBodyBytes bounds a submission body; larger bodies are rejected with
+// 413 naming the limit.
+const maxBodyBytes = 1 << 20
+
 // Config tunes a Server. The zero value serves with a fresh default
-// engine, 2 concurrent sweeps, a queue of 8, and 64 retained jobs.
+// engine, an in-memory result ledger, 2 concurrent sweeps, a queue of 8,
+// and 64 retained jobs.
 type Config struct {
 	// Engine is the process-wide Monte-Carlo engine shared by every
 	// request (a fresh montecarlo.NewEngine if nil). Sharing it is the
 	// point of the server: its structure cache is what lets repeated
 	// sweeps skip circuit and decoding-graph builds.
 	Engine *montecarlo.Engine
+	// Ledger is the durable result store consulted before any cell runs
+	// and appended to as cells finish (nil: a fresh in-memory ledger, so
+	// repeat cells are always deduplicated for the life of the process).
+	// Pass OpenFileLedger's result for persistence across restarts. The
+	// ledger's lifecycle belongs to the caller — Server.Close does not
+	// close it (vlqserve closes its file ledger on shutdown).
+	Ledger Ledger
 	// MaxConcurrentJobs bounds sweeps running at once (default 2). Each
 	// job gets its own scheduler pool, so this times DefaultPoolWidth is
 	// the worst-case decode parallelism.
@@ -90,6 +113,9 @@ func (c Config) withDefaults() Config {
 	if c.Engine == nil {
 		c.Engine = montecarlo.NewEngine()
 	}
+	if c.Ledger == nil {
+		c.Ledger = NewMemLedger()
+	}
 	if c.MaxConcurrentJobs <= 0 {
 		c.MaxConcurrentJobs = 2
 	}
@@ -110,6 +136,9 @@ func (c Config) withDefaults() Config {
 type Server struct {
 	cfg     Config
 	en      *montecarlo.Engine
+	ledger  Ledger
+	coal    *coalescer
+	met     *serverMetrics
 	mux     *http.ServeMux
 	baseCtx context.Context
 	stop    context.CancelFunc
@@ -121,14 +150,15 @@ type Server struct {
 	submitted int64
 	nextID    int
 
-	// Process-wide decode pipeline counters, accumulated per finished cell
-	// across every job and surfaced by GET /v1/stats.
+	// Process-wide decode pipeline counters, accumulated per engine-run
+	// cell across every job and surfaced by GET /v1/stats. Ledger-served
+	// and coalesced cells do not add here — they did no decode work.
 	decShots   atomic.Int64
 	decSkipped atomic.Int64
 	decDedup   atomic.Int64
 	// Decoder-internal stage counters (growth rounds, tree phases, ...),
-	// summed over every finished cell; a struct, so guarded by its own lock
-	// rather than per-field atomics.
+	// summed over every engine-run cell; a struct, so guarded by its own
+	// lock rather than per-field atomics.
 	decStatsMu sync.Mutex
 	decStats   decoder.DecoderStats
 
@@ -146,17 +176,21 @@ func NewServer(cfg Config) *Server {
 	s := &Server{
 		cfg:     cfg,
 		en:      cfg.Engine,
+		ledger:  cfg.Ledger,
+		coal:    newCoalescer(),
 		mux:     http.NewServeMux(),
 		baseCtx: ctx,
 		stop:    cancel,
 		slots:   make(chan struct{}, cfg.MaxConcurrentJobs),
 		jobs:    make(map[string]*job),
 	}
-	s.mux.HandleFunc("POST /v1/sweeps", s.handleSubmit)
-	s.mux.HandleFunc("GET /v1/sweeps/{id}", s.handleStatus)
-	s.mux.HandleFunc("DELETE /v1/sweeps/{id}", s.handleCancel)
-	s.mux.HandleFunc("GET /v1/sweeps/{id}/results", s.handleResults)
-	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.met = newServerMetrics(s)
+	s.mux.HandleFunc("POST /v1/sweeps", s.timed("submit", s.handleSubmit))
+	s.mux.HandleFunc("GET /v1/sweeps/{id}", s.timed("status", s.handleStatus))
+	s.mux.HandleFunc("DELETE /v1/sweeps/{id}", s.timed("cancel", s.handleCancel))
+	s.mux.HandleFunc("GET /v1/sweeps/{id}/results", s.timed("results", s.handleResults))
+	s.mux.HandleFunc("GET /v1/stats", s.timed("stats", s.handleStats))
+	s.mux.Handle("GET /metrics", s.met.reg)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return s
 }
@@ -167,9 +201,27 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.Serve
 // Engine returns the server's shared Monte-Carlo engine.
 func (s *Server) Engine() *montecarlo.Engine { return s.en }
 
+// Metrics returns the server's metric registry, for callers embedding the
+// server that want to register their own families on the same /metrics
+// exposition.
+func (s *Server) Metrics() *Registry { return s.met.reg }
+
 // Close cancels every outstanding job and makes further submissions fail
-// with 503. In-flight streams end after their current cell.
+// with 503. In-flight streams end after their current cell. The engine
+// and ledger are left open — their lifecycles belong to the caller.
 func (s *Server) Close() { s.stop() }
+
+// timed wraps a handler with the per-request latency histogram. For a
+// synchronous submit the observation covers the whole stream — the
+// latency a client actually experiences — which is what cmd/vlqload
+// measures from the other side.
+func (s *Server) timed(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		h(w, r)
+		s.met.requests.Observe(time.Since(start).Seconds(), endpoint)
+	}
+}
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -201,8 +253,11 @@ func (s *Server) lookup(id string) *job {
 	return s.jobs[id]
 }
 
-// evictFinished drops the oldest finished jobs beyond the retention cap.
-// Queued and running jobs are never evicted.
+// evictFinished drops the oldest finished jobs beyond the retention cap in
+// one compaction pass over the order slice (the scan-and-splice it
+// replaces was O(n²) under churn). Queued and running jobs are never
+// evicted; evicted jobs get a belt-and-braces cancel so no evicted job
+// can leave a context registered on baseCtx.
 func (s *Server) evictFinished() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -212,33 +267,51 @@ func (s *Server) evictFinished() {
 			finished++
 		}
 	}
-	for i := 0; finished > s.cfg.RetainJobs && i < len(s.order); {
-		j := s.order[i]
-		if !terminal(j.stateNow()) {
-			i++
+	excess := finished - s.cfg.RetainJobs
+	if excess <= 0 {
+		return
+	}
+	kept := s.order[:0]
+	for _, j := range s.order {
+		if excess > 0 && terminal(j.stateNow()) {
+			delete(s.jobs, j.id)
+			j.cancel()
+			excess--
 			continue
 		}
-		delete(s.jobs, j.id)
-		s.order = append(s.order[:i], s.order[i+1:]...)
-		finished--
+		kept = append(kept, j)
 	}
+	for i := len(kept); i < len(s.order); i++ {
+		s.order[i] = nil // release the tail for GC
+	}
+	s.order = kept
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if s.baseCtx.Err() != nil {
+		s.met.submissions.Inc("unknown", "unknown", "shutdown")
 		writeError(w, http.StatusServiceUnavailable, "server shutting down")
 		return
 	}
 	var req SweepRequest
-	body := http.MaxBytesReader(w, r.Body, 1<<20)
+	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
 	dec := json.NewDecoder(body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil && !errors.Is(err, io.EOF) {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			s.met.submissions.Inc("unknown", "unknown", "too_large")
+			writeError(w, http.StatusRequestEntityTooLarge,
+				"request body exceeds the %d-byte limit", tooBig.Limit)
+			return
+		}
+		s.met.submissions.Inc("unknown", "unknown", "invalid")
 		writeError(w, http.StatusBadRequest, "invalid request body: %v", err)
 		return
 	}
 	typ, cells, err := buildCells(req)
 	if err != nil {
+		s.met.submissions.Inc("unknown", "unknown", "invalid")
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
@@ -249,11 +322,13 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	case "local":
 	case "fabric":
 		if s.cfg.Fabric == nil {
+			s.met.submissions.Inc(typ, mode, "invalid")
 			writeError(w, http.StatusBadRequest,
 				"fabric mode requested but this server has no fabric coordinator (start with -fabric-listen)")
 			return
 		}
 	default:
+		s.met.submissions.Inc(typ, "unknown", "invalid")
 		writeError(w, http.StatusBadRequest, "unknown mode %q (want %q or %q)", mode, "local", "fabric")
 		return
 	}
@@ -270,6 +345,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	c := s.countsLocked()
 	if c.Running+c.Queued >= s.cfg.MaxConcurrentJobs+s.cfg.QueueDepth {
 		s.mu.Unlock()
+		s.met.submissions.Inc(typ, mode, "overloaded")
 		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusTooManyRequests,
 			"job queue full (%d running, %d queued)", c.Running, c.Queued)
@@ -278,9 +354,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.nextID++
 	s.submitted++
 	jb := newJob(fmt.Sprintf("sw-%06d", s.nextID), typ, mode, cells, width, req.ShardShots, s.baseCtx)
+	jb.noCache = req.NoCache
 	s.jobs[jb.id] = jb
 	s.order = append(s.order, jb)
 	s.mu.Unlock()
+	s.met.submissions.Inc(typ, mode, "accepted")
 
 	go s.execute(jb)
 
@@ -295,74 +373,201 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 }
 
 // execute drives one job through its lifecycle on a background goroutine:
-// wait for a run slot, run the sweep through a scheduler sharing the
-// server engine, and record the terminal state.
+// wait for a run slot, resolve its cells (ledger, coalesced, or engine),
+// and record the terminal state.
 func (s *Server) execute(jb *job) {
 	select {
 	case s.slots <- struct{}{}:
 	case <-jb.ctx.Done():
 		jb.finish(StateCancelled, jb.ctx.Err())
+		s.met.jobs.Observe(time.Since(jb.created).Seconds(), StateCancelled)
 		s.evictFinished()
 		return
 	}
 	defer func() { <-s.slots }()
 	jb.setRunning()
-	if s.beforeRun != nil {
-		if err := s.beforeRun(jb.ctx); err != nil {
-			jb.finish(StateCancelled, err)
-			s.evictFinished()
-			return
-		}
-	}
-	onResult := func(r sched.CellResult) {
-		s.decShots.Add(int64(r.Result.Trials))
-		s.decSkipped.Add(int64(r.Result.Skipped))
-		s.decDedup.Add(int64(r.Result.DedupHits))
-		s.decStatsMu.Lock()
-		s.decStats.Add(r.Result.Stats)
-		s.decStatsMu.Unlock()
-		jb.appendCell(cellRecord(r))
-	}
 	var err error
-	if jb.mode == "fabric" {
-		// Fabric mode leases the same unit queue to the coordinator's
-		// workers; the merged cells stream back through the identical
-		// callback, bit-identical to the local path.
-		var run *fabric.Run
-		run, err = s.cfg.Fabric.Submit(jb.cells, fabric.RunOptions{
-			ShardShots: jb.shardShots,
-			OnResult:   onResult,
-		})
-		if err == nil {
-			_, err = run.Wait(jb.ctx)
-		}
-	} else {
-		scheduler := sched.New(s.en, sched.Options{
-			Jobs:       jb.poolWidth,
-			ShardShots: jb.shardShots,
-			OnResult:   onResult,
-		})
-		// Cancellation granularity: sched observes jb.ctx at unit boundaries —
-		// a DELETE or an owning client's disconnect skips unstarted cells and
-		// aborts the in-flight shards of a sharded cell, which is then dropped
-		// without a partial CellRecord.
-		_, err = scheduler.RunContext(jb.ctx, jb.cells)
+	if s.beforeRun != nil {
+		err = s.beforeRun(jb.ctx)
 	}
+	if err == nil {
+		err = s.runCells(jb)
+	}
+	var outcome string
 	switch {
 	case jb.ctx.Err() != nil:
 		jb.finish(StateCancelled, jb.ctx.Err())
+		outcome = StateCancelled
 	case err != nil:
 		jb.finish(StateFailed, err)
+		outcome = StateFailed
 	default:
 		jb.finish(StateDone, nil)
+		outcome = StateDone
 	}
+	s.met.jobs.Observe(time.Since(jb.created).Seconds(), outcome)
 	s.evictFinished()
+}
+
+// Cell provenance labels (CellRecord.Source and the metrics source label;
+// the engine's wire form is "" so pre-ledger clients see unchanged bytes).
+const (
+	sourceEngine    = "engine"
+	sourceLedger    = "ledger"
+	sourceCoalesced = "coalesced"
+)
+
+// runCells resolves every cell of a job, cheapest layer first: the
+// ledger answers finished cells instantly, the coalescer subscribes to
+// identical cells already in flight on other jobs, and only the
+// remainder — cells this job leads — touch the engine (or fabric). The
+// loop re-plans cells whose leader aborted, so every cell is eventually
+// served or the job's context ends; a cell key never runs on two
+// executors at once.
+func (s *Server) runCells(jb *job) error {
+	n := len(jb.cells)
+	keys := make([]string, n)
+	for i := range jb.cells {
+		keys[i] = cellKey(jb.cells[i])
+	}
+	resolved := make([]bool, n)
+
+	// emit stamps the job-local index and provenance on a canonical
+	// record and streams it.
+	emit := func(i int, rec CellRecord, source string) {
+		rec.Index = i
+		if source == sourceEngine {
+			rec.Source = "" // wire default: engine-run cells are unmarked
+		} else {
+			rec.Source = source
+		}
+		resolved[i] = true
+		jb.appendCell(rec)
+		s.met.cells.Inc(source)
+		s.met.cellWait.Observe(time.Since(jb.created).Seconds(), source)
+	}
+
+	for {
+		if err := jb.ctx.Err(); err != nil {
+			return err
+		}
+		// Plan every unresolved cell. entries[i] is the pending-map entry a
+		// leading or following cell holds.
+		var owned, waits []int
+		entries := make(map[int]*pendingCell)
+		for i := range n {
+			if resolved[i] {
+				continue
+			}
+			if jb.noCache {
+				owned = append(owned, i)
+				continue
+			}
+			switch plan, rec, e := s.coal.planCell(s.ledger, keys[i]); plan {
+			case planLedger:
+				emit(i, rec, sourceLedger)
+			case planLead:
+				owned = append(owned, i)
+				entries[i] = e
+			case planFollow:
+				waits = append(waits, i)
+				entries[i] = e
+			}
+		}
+		if len(owned) == 0 && len(waits) == 0 {
+			return nil
+		}
+
+		var runErr error
+		if len(owned) > 0 {
+			sub := make([]sched.Job, len(owned))
+			for k, i := range owned {
+				sub[k] = jb.cells[i]
+			}
+			completed := make([]bool, len(owned))
+			onResult := func(r sched.CellResult) {
+				i := owned[r.Index]
+				completed[r.Index] = true
+				s.decShots.Add(int64(r.Result.Trials))
+				s.decSkipped.Add(int64(r.Result.Skipped))
+				s.decDedup.Add(int64(r.Result.DedupHits))
+				s.decStatsMu.Lock()
+				s.decStats.Add(r.Result.Stats)
+				s.decStatsMu.Unlock()
+				rec := canonicalRecord(cellRecord(r))
+				if e := entries[i]; e != nil {
+					// Ledger first, then retire the pending entry: a planner
+					// probing between the two still finds the record.
+					if rec.Error == "" {
+						s.ledger.Put(keys[i], rec)
+					}
+					s.coal.resolve(keys[i], e, rec)
+				}
+				emit(i, rec, sourceEngine)
+			}
+			if jb.mode == "fabric" {
+				// Fabric mode leases the same unit queue to the coordinator's
+				// workers; the merged cells stream back through the identical
+				// callback, bit-identical to the local path.
+				var run *fabric.Run
+				run, runErr = s.cfg.Fabric.Submit(sub, fabric.RunOptions{
+					ShardShots: jb.shardShots,
+					OnResult:   onResult,
+				})
+				if runErr == nil {
+					_, runErr = run.Wait(jb.ctx)
+				}
+			} else {
+				scheduler := sched.New(s.en, sched.Options{
+					Jobs:       jb.poolWidth,
+					ShardShots: jb.shardShots,
+					OnResult:   onResult,
+				})
+				// Cancellation granularity: sched observes jb.ctx at unit
+				// boundaries — a DELETE or an owning client's disconnect skips
+				// unstarted cells and aborts the in-flight shards of a sharded
+				// cell, which is then dropped without a partial CellRecord.
+				_, runErr = scheduler.RunContext(jb.ctx, sub)
+			}
+			// Cells this job led but never finished (cancel, failure) must
+			// release their pending entries so a follower can take over.
+			for k, i := range owned {
+				if !completed[k] {
+					if e := entries[i]; e != nil {
+						s.coal.abort(keys[i], e)
+					}
+				}
+			}
+		}
+
+		for _, i := range waits {
+			e := entries[i]
+			select {
+			case <-e.done:
+				if e.ok {
+					s.coal.hits.Add(1)
+					emit(i, e.rec, sourceCoalesced)
+				}
+				// Leader aborted: leave the cell unresolved; the next pass
+				// re-plans it (and may claim leadership).
+			case <-jb.ctx.Done():
+				return jb.ctx.Err()
+			}
+		}
+		if runErr != nil {
+			return runErr
+		}
+	}
 }
 
 // streamJob writes the job's cells to the client as they finish — NDJSON
 // by default, SSE with ?stream=sse — replaying anything already recorded,
 // and ends with the terminal JobStatus. When own is true the client's
 // disconnect cancels the job (synchronous POST); observers pass false.
+// Write failures end the stream immediately (cancelling the job only when
+// own): a dead connection must not keep the encoder goroutine alive until
+// the job ends, and a mid-write failure must not be followed by more
+// writes onto a torn line.
 func (s *Server) streamJob(w http.ResponseWriter, r *http.Request, jb *job, own bool) {
 	sse := r.URL.Query().Get("stream") == "sse"
 	if sse {
@@ -382,39 +587,48 @@ func (s *Server) streamJob(w http.ResponseWriter, r *http.Request, jb *job, own 
 	flush() // deliver headers (and the job id) before the first cell lands
 
 	enc := json.NewEncoder(w)
-	writeEvent := func(event string, v any) {
+	writeEvent := func(event string, v any) error {
 		if !sse {
-			enc.Encode(v)
-			return
+			return enc.Encode(v)
 		}
 		b, err := json.Marshal(v)
 		if err != nil {
-			return
+			return err
 		}
-		fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, b)
+		_, err = fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, b)
+		return err
+	}
+	fail := func() {
+		if own {
+			jb.cancel()
+		}
 	}
 
 	cursor := 0
 	for {
 		recs, state, updated := jb.next(cursor)
 		for _, rec := range recs {
-			writeEvent("cell", rec)
+			if err := writeEvent("cell", rec); err != nil {
+				fail()
+				return
+			}
 		}
 		cursor += len(recs)
 		if len(recs) > 0 {
 			flush()
 		}
 		if terminal(state) {
-			writeEvent("done", jb.status())
+			if err := writeEvent("done", jb.status()); err != nil {
+				fail()
+				return
+			}
 			flush()
 			return
 		}
 		select {
 		case <-updated:
 		case <-r.Context().Done():
-			if own {
-				jb.cancel()
-			}
+			fail()
 			return
 		}
 	}
@@ -451,6 +665,15 @@ func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 	s.streamJob(w, r, jb, false)
 }
 
+// ledgerSection assembles the /v1/stats ledger block.
+func (s *Server) ledgerSection() LedgerSection {
+	return LedgerSection{
+		LedgerStats:     s.ledger.Stats(),
+		CoalesceHits:    s.coal.hits.Load(),
+		CoalescePending: s.coal.pendingCount(),
+	}
+}
+
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	counts := s.countsLocked()
@@ -466,7 +689,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			DedupHits: s.decDedup.Load(),
 			Decoder:   decStats,
 		},
-		Jobs: counts,
+		Jobs:   counts,
+		Ledger: s.ledgerSection(),
 	}
 	if s.cfg.Fabric != nil {
 		fs := s.cfg.Fabric.Stats()

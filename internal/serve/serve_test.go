@@ -122,10 +122,19 @@ func waitForState(t *testing.T, ts *httptest.Server, id, want string) JobStatus 
 	return JobStatus{}
 }
 
+// stripSource clears the provenance column: the scientific payload must be
+// bit-identical whether a cell ran on the engine or came from the ledger
+// or a coalesced run, and Source is the one field allowed to differ.
+func stripSource(rec CellRecord) CellRecord {
+	rec.Source = ""
+	return rec
+}
+
 // The acceptance path: a Fig. 11 row streams per-cell NDJSON records and
 // ends done; an identical second submission is served entirely from the
-// engine's structure cache — zero new builds, hits for every cell —
-// observable through /v1/stats, and returns bit-identical cells.
+// result ledger — no engine work at all, not even cache hits — and a
+// third no_cache submission bypasses the ledger, re-running on the engine
+// via its structure cache. All three return bit-identical cells.
 func TestSubmitStreamCompleteAndRepeatHitsCache(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
 
@@ -140,6 +149,9 @@ func TestSubmitStreamCompleteAndRepeatHitsCache(t *testing.T) {
 		if rec.Scheme != "baseline" || rec.Distance != 3 || rec.Trials != 300 || rec.Error != "" {
 			t.Errorf("bad cell record %+v", rec)
 		}
+		if rec.Source != "" {
+			t.Errorf("cold cell %d has source %q, want engine (empty)", rec.Index, rec.Source)
+		}
 	}
 	if st, code := getStatus(t, ts, status.ID); code != http.StatusOK || st.State != StateDone {
 		t.Errorf("GET status: HTTP %d, %+v", code, st)
@@ -149,41 +161,79 @@ func TestSubmitStreamCompleteAndRepeatHitsCache(t *testing.T) {
 	if before.Engine.Builds == 0 {
 		t.Fatalf("first sweep reported no structure builds: %+v", before.Engine)
 	}
+	if before.Ledger.Entries != 3 || before.Ledger.Appends != 3 {
+		t.Fatalf("first sweep left ledger %+v, want 3 entries / 3 appends", before.Ledger)
+	}
 
 	second, status2 := readStream(t, postSweep(t, ts, "/v1/sweeps", rowBody))
 	if status2.State != StateDone {
 		t.Fatalf("second sweep state %q (error %q)", status2.State, status2.Error)
 	}
 	after := getStats(t, ts)
-	if after.Engine.Builds != before.Engine.Builds {
-		t.Errorf("second identical sweep rebuilt structures: %d -> %d builds",
-			before.Engine.Builds, after.Engine.Builds)
+	// Ledger-served: the engine was not consulted at all.
+	if after.Engine.Builds != before.Engine.Builds || after.Engine.Hits != before.Engine.Hits {
+		t.Errorf("second identical sweep touched the engine: builds %d -> %d, hits %d -> %d",
+			before.Engine.Builds, after.Engine.Builds, before.Engine.Hits, after.Engine.Hits)
 	}
-	if got := after.Engine.Hits - before.Engine.Hits; got < int64(len(second)) {
-		t.Errorf("second sweep recorded %d cache hits, want >= %d", got, len(second))
+	if got := after.Ledger.Hits - before.Ledger.Hits; got < int64(len(second)) {
+		t.Errorf("second sweep recorded %d ledger hits, want >= %d", got, len(second))
 	}
-
 	for i := range first {
-		if first[i] != second[i] {
+		if second[i].Source != "ledger" {
+			t.Errorf("repeat cell %d has source %q, want %q", i, second[i].Source, "ledger")
+		}
+		if first[i] != stripSource(second[i]) {
 			t.Errorf("cell %d differs between identical submissions:\n  %+v\n  %+v",
 				i, first[i], second[i])
 		}
 	}
+
+	// no_cache opts out of the ledger: the engine runs again (structure
+	// cache hits, no rebuilds) and the bytes still match.
+	third, status3 := readStream(t, postSweep(t, ts, "/v1/sweeps",
+		`{"no_cache":true,"scheme":"baseline","distances":[3],"rates":[0.004,0.008,0.016],"trials":300,"seed":7}`))
+	if status3.State != StateDone {
+		t.Fatalf("no_cache sweep state %q (error %q)", status3.State, status3.Error)
+	}
+	final := getStats(t, ts)
+	if final.Engine.Builds != after.Engine.Builds {
+		t.Errorf("no_cache sweep rebuilt structures: %d -> %d builds",
+			after.Engine.Builds, final.Engine.Builds)
+	}
+	if got := final.Engine.Hits - after.Engine.Hits; got < int64(len(third)) {
+		t.Errorf("no_cache sweep recorded %d engine cache hits, want >= %d", got, len(third))
+	}
+	for i := range first {
+		if third[i].Source != "" {
+			t.Errorf("no_cache cell %d has source %q, want engine (empty)", i, third[i].Source)
+		}
+		if first[i] != third[i] {
+			t.Errorf("cell %d differs between engine runs:\n  %+v\n  %+v", i, first[i], third[i])
+		}
+	}
 }
 
-// Concurrent submissions of the same experiment share one structure build:
-// the engine's once-guarded cache entry serves every pool.
+// Concurrent submissions of the same experiment run each cell exactly once
+// between them: the first job to plan a cell leads it through the engine's
+// once-guarded structure cache and everyone else is fed by the ledger or
+// the coalescer — observable as one build and exactly one sweep's worth of
+// decoded shots, with all four streams bit-identical.
 func TestConcurrentSubmitsShareCachedStructures(t *testing.T) {
-	_, ts := newTestServer(t, Config{MaxConcurrentJobs: 4})
+	srv, ts := newTestServer(t, Config{MaxConcurrentJobs: 4})
+	var mu sync.Mutex
+	streams := make([][]CellRecord, 0, 4)
 	var wg sync.WaitGroup
 	for i := 0; i < 4; i++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			_, status := readStream(t, postSweep(t, ts, "/v1/sweeps", rowBody))
+			cells, status := readStream(t, postSweep(t, ts, "/v1/sweeps", rowBody))
 			if status.State != StateDone {
 				t.Errorf("sweep state %q (error %q)", status.State, status.Error)
 			}
+			mu.Lock()
+			streams = append(streams, cells)
+			mu.Unlock()
 		}()
 	}
 	wg.Wait()
@@ -191,8 +241,21 @@ func TestConcurrentSubmitsShareCachedStructures(t *testing.T) {
 	if st.Engine.Builds != 1 {
 		t.Errorf("4 concurrent identical sweeps built %d structures, want 1", st.Engine.Builds)
 	}
-	if st.Engine.Hits < 11 { // 4 sweeps x 3 cells, minus the one miss
-		t.Errorf("cache hits = %d, want >= 11", st.Engine.Hits)
+	// Exactly one engine execution per distinct cell: 3 cells x 300 trials.
+	if got := srv.decShots.Load(); got != 900 {
+		t.Errorf("decoded %d shots across 4 identical sweeps, want 900 (each cell ran once)", got)
+	}
+	if dedup := st.Ledger.Hits + st.Ledger.CoalesceHits; dedup != 9 {
+		t.Errorf("ledger hits (%d) + coalesce hits (%d) = %d, want 9 (12 cells, 3 engine runs)",
+			st.Ledger.Hits, st.Ledger.CoalesceHits, dedup)
+	}
+	for k := 1; k < len(streams); k++ {
+		for i := range streams[0] {
+			if stripSource(streams[0][i]) != stripSource(streams[k][i]) {
+				t.Errorf("stream %d cell %d diverged:\n  %+v\n  %+v",
+					k, i, streams[0][i], streams[k][i])
+			}
+		}
 	}
 }
 
